@@ -1,0 +1,57 @@
+// Ablation: Squirrel vs peer-to-peer VMI distribution (§5.2.1 related work).
+//
+// BitTorrent-style full-image provisioning delays VM start by "tens of
+// minutes" (the paper, citing [8,31,40]); VMTorrent's on-demand streaming
+// cuts that to the boot working set's transfer time; Squirrel's warm
+// replicas cut it to zero. This bench runs the swarm model at paper-scale
+// byte sizes (no content needed) for one image booted on n nodes at once.
+#include "bench/harness.h"
+#include "sim/p2p.h"
+#include "util/table.h"
+
+using namespace squirrel;
+using namespace squirrel::bench;
+
+int main(int argc, char** argv) {
+  const Options options = ParseOptions(argc, argv);
+  PrintHeader("ablation_p2p",
+              "Ablation: P2P distribution (full image / streaming) vs "
+              "Squirrel warm replicas",
+              options);
+
+  // Paper-scale sizes: one 27.6 GB VMI whose boot working set is 132 MB
+  // (the Table 1 averages), distributed over commodity 1 GbE.
+  const std::uint64_t image_bytes = 27ull * 1024 * 1024 * 1024;
+  const std::uint64_t boot_bytes = 132ull * 1024 * 1024;
+
+  util::Table table({"#nodes", "bittorrent full (mean/max)",
+                     "vmtorrent stream (mean/max)", "squirrel warm",
+                     "p2p seed egress (stream)"});
+  for (std::uint32_t nodes : {4u, 16u, 64u}) {
+    sim::P2pConfig full;
+    full.mode = sim::P2pMode::kFullImage;
+    const sim::P2pResult full_result =
+        sim::SimulateSwarm(image_bytes, boot_bytes, nodes, full);
+
+    sim::P2pConfig stream;
+    stream.mode = sim::P2pMode::kStreaming;
+    const sim::P2pResult stream_result =
+        sim::SimulateSwarm(image_bytes, boot_bytes, nodes, stream);
+
+    table.AddRow(
+        {std::to_string(nodes),
+         util::Table::Num(full_result.mean_time_to_boot / 60.0, 1) + "/" +
+             util::Table::Num(full_result.max_time_to_boot / 60.0, 1) + " min",
+         util::Table::Num(stream_result.mean_time_to_boot, 1) + "/" +
+             util::Table::Num(stream_result.max_time_to_boot, 1) + " s",
+         "0 s (+ local boot)",
+         util::FormatBytes(static_cast<double>(stream_result.seed_bytes))});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nreading: full-image P2P provisioning costs tens of minutes before a\n"
+      "VM can even start (the paper's critique of [8,31,40]); streaming cuts\n"
+      "the wait to the working-set transfer but still consumes substantial\n"
+      "network resources on every boot — Squirrel's replicas consume none.\n");
+  return 0;
+}

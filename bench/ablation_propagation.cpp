@@ -1,0 +1,83 @@
+// Ablation: how the registration diff reaches the compute nodes — IP
+// multicast (the paper's choice, §3.2), sequential unicast (the naive
+// alternative whose storage-node egress scales with the cluster), and a
+// LANTorrent-style pipeline (§5.2.1). Measures registration latency and
+// storage-node egress against cluster size on commodity 1 GbE.
+#include "bench/ingest_common.h"
+#include "core/squirrel.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace squirrel;
+using namespace squirrel::bench;
+
+namespace {
+
+struct StrategyResult {
+  double mean_seconds = 0.0;
+  std::uint64_t storage_egress = 0;
+};
+
+StrategyResult RunRegistrations(const vmi::Catalog& catalog,
+                                core::PropagationStrategy strategy,
+                                std::uint32_t nodes) {
+  core::SquirrelConfig config;
+  config.volume = zvol::VolumeConfig{.block_size = 64 * 1024,
+                                     .codec = "gzip6",
+                                     .dedup = true,
+                                     .fast_hash = true};
+  config.propagation = strategy;
+  sim::NetworkConfig net;
+  net.bandwidth_bytes_per_ns = 0.125;  // 1 GbE
+  core::SquirrelCluster cluster(config, nodes, net);
+
+  util::RunningStats seconds;
+  std::uint64_t now = 0;
+  for (const vmi::ImageSpec& spec : catalog.images()) {
+    const vmi::VmImage image(catalog, spec);
+    const vmi::BootWorkingSet boot(catalog, image);
+    const auto report =
+        cluster.Register(spec.name, vmi::CacheImage(image, boot), now += 60);
+    seconds.Add(report.total_seconds);
+  }
+  return {seconds.mean(), cluster.network().bytes_out(0)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options = ParseOptions(argc, argv);
+  if (options.images == 607) options.images = 32;
+  PrintHeader("ablation_propagation",
+              "Ablation: diff distribution strategy vs cluster size (1 GbE)",
+              options);
+  const vmi::Catalog catalog =
+      vmi::Catalog::AzureCommunity(MakeCatalogConfig(options));
+
+  util::Table table({"#nodes", "multicast reg(s)", "unicast reg(s)",
+                     "pipeline reg(s)", "mcast egress", "ucast egress",
+                     "pipe egress"});
+  for (std::uint32_t nodes : {8u, 32u, 128u}) {
+    const auto mcast = RunRegistrations(
+        catalog, core::PropagationStrategy::kMulticast, nodes);
+    const auto ucast = RunRegistrations(
+        catalog, core::PropagationStrategy::kUnicast, nodes);
+    const auto pipe = RunRegistrations(
+        catalog, core::PropagationStrategy::kPipeline, nodes);
+    table.AddRow({std::to_string(nodes),
+                  util::Table::Num(mcast.mean_seconds, 2),
+                  util::Table::Num(ucast.mean_seconds, 2),
+                  util::Table::Num(pipe.mean_seconds, 2),
+                  util::FormatBytes(static_cast<double>(mcast.storage_egress)),
+                  util::FormatBytes(static_cast<double>(ucast.storage_egress)),
+                  util::FormatBytes(static_cast<double>(pipe.storage_egress))});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nreading: unicast registration time and storage egress grow with the\n"
+      "cluster; multicast and pipeline stay flat (the pipeline spreads the\n"
+      "forwarding load over compute nodes), which is why the paper's diff\n"
+      "propagation is 'a common scenario in scalable data transfer' solved\n"
+      "by either (§3.2).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: the offline-propagation window `n` (Sections 3.4/3.5).
+//
+// Larger n keeps dead snapshot references around longer (more scVolume
+// space) but lets longer-offline nodes catch up incrementally instead of
+// re-replicating the whole cVolume. This bench sweeps n against a node
+// downtime distribution and reports full-resync probability and sync bytes.
+#include "bench/ingest_common.h"
+#include "core/squirrel.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace squirrel;
+using namespace squirrel::bench;
+
+int main(int argc, char** argv) {
+  Options options = ParseOptions(argc, argv);
+  if (options.images == 607) options.images = 48;
+  PrintHeader("ablation_retention",
+              "Ablation: retention window n vs offline catch-up cost",
+              options);
+  const vmi::Catalog catalog =
+      vmi::Catalog::AzureCommunity(MakeCatalogConfig(options));
+
+  util::Table table({"n (days)", "full resyncs", "incr syncs",
+                     "mean sync bytes", "scVolume disk"});
+  for (std::uint64_t n_days : {1ull, 3ull, 7ull, 14ull}) {
+    core::SquirrelConfig config;
+    config.volume = zvol::VolumeConfig{.block_size = 64 * 1024,
+                                       .codec = "gzip6",
+                                       .dedup = true,
+                                       .fast_hash = true};
+    config.retention_seconds = n_days * 86400;
+    constexpr std::uint32_t kNodes = 12;
+    core::SquirrelCluster cluster(config, kNodes);
+    util::Rng rng(options.seed + n_days);
+
+    // One registration per day; each day one node goes down for a random
+    // 0-13 day outage (geometric-ish mix of short and long outages).
+    std::vector<std::uint64_t> down_until(kNodes, 0);
+    std::uint64_t full = 0, incremental = 0, sync_bytes = 0, syncs = 0;
+    std::uint64_t day = 0;
+    for (const vmi::ImageSpec& spec : catalog.images()) {
+      ++day;
+      const std::uint64_t now = day * 86400;
+      // Outage injection.
+      const std::uint32_t victim = static_cast<std::uint32_t>(rng.Below(kNodes));
+      if (down_until[victim] < now) {
+        down_until[victim] = now + rng.Below(13) * 86400;
+        cluster.compute_node(victim).set_online(false);
+      }
+      // Recoveries + catch-up sync on boot.
+      for (std::uint32_t node = 0; node < kNodes; ++node) {
+        if (!cluster.compute_node(node).online() && down_until[node] <= now) {
+          cluster.compute_node(node).set_online(true);
+          const core::SyncReport report = cluster.SyncNode(node, now);
+          if (report.wire_bytes > 0) {
+            ++syncs;
+            sync_bytes += report.wire_bytes;
+            report.full_resync ? ++full : ++incremental;
+          }
+        }
+      }
+      const vmi::VmImage image(catalog, spec);
+      const vmi::BootWorkingSet boot(catalog, image);
+      cluster.Register(spec.name, vmi::CacheImage(image, boot), now);
+      cluster.RunGc(now + 3600);
+    }
+    table.AddRow(
+        {std::to_string(n_days), std::to_string(full),
+         std::to_string(incremental),
+         util::FormatBytes(syncs ? static_cast<double>(sync_bytes) / syncs : 0),
+         util::FormatBytes(static_cast<double>(
+             cluster.storage_volume().Stats().disk_used_bytes))});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nreading: a small n forces long-offline nodes into full cVolume\n"
+      "replication; a large n trades a little scVolume space (dead\n"
+      "references linger) for cheap incremental catch-up — the paper argues\n"
+      "full resyncs are rare with a large enough n, and even then the\n"
+      "cVolume is only tens of GBs (Section 3.5).\n");
+  return 0;
+}

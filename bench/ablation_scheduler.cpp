@@ -1,0 +1,170 @@
+// Ablation: cache-aware VM scheduling vs Squirrel's full replication.
+//
+// Section 1 names the "traditional" fixes for cold caches: replacement
+// policies and cache-aware scheduling. This bench simulates the scheduling
+// alternative: VMs prefer nodes already holding their image's cache (each
+// node caching a bounded set, LRU). The price is placement coupling — under
+// Zipf-popular images the cache-holding nodes saturate, forcing either load
+// imbalance or cold boots. Squirrel decouples placement from cache locality
+// entirely: any node, never cold.
+#include <list>
+#include <unordered_map>
+
+#include "bench/ingest_common.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace squirrel;
+using namespace squirrel::bench;
+
+namespace {
+
+struct Node {
+  std::uint32_t running = 0;
+  std::list<std::uint32_t> cache_lru;  // front = MRU image ids
+  std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator> cached;
+
+  bool Has(std::uint32_t image) const { return cached.contains(image); }
+  void Touch(std::uint32_t image, std::size_t capacity) {
+    auto it = cached.find(image);
+    if (it != cached.end()) {
+      cache_lru.splice(cache_lru.begin(), cache_lru, it->second);
+      return;
+    }
+    cache_lru.push_front(image);
+    cached[image] = cache_lru.begin();
+    while (cache_lru.size() > capacity) {
+      cached.erase(cache_lru.back());
+      cache_lru.pop_back();
+    }
+  }
+};
+
+struct Outcome {
+  std::uint64_t cold_boots = 0;
+  std::uint64_t total_boots = 0;
+  double mean_peak_load = 0.0;   // max node load averaged over time
+  std::uint64_t rejected_preferred = 0;  // preferred node full
+};
+
+enum class Policy { kRandom, kCacheAware, kSquirrel };
+
+Outcome Simulate(Policy policy, std::uint32_t nodes_n, std::size_t cache_slots,
+                 std::uint32_t images_n, std::uint64_t seed) {
+  constexpr std::uint32_t kSteps = 6000;
+  constexpr std::uint32_t kVmLifetime = 60;   // steps
+  constexpr std::uint32_t kNodeSlots = 8;     // VMs per node
+
+  util::Rng rng(seed);
+  const util::ZipfSampler popularity(images_n, 1.0);
+  std::vector<Node> nodes(nodes_n);
+  // Departure schedule: (step, node).
+  std::multimap<std::uint32_t, std::uint32_t> departures;
+
+  Outcome outcome;
+  double peak_load_sum = 0.0;
+  for (std::uint32_t step = 0; step < kSteps; ++step) {
+    // Departures first.
+    for (auto it = departures.begin();
+         it != departures.end() && it->first <= step;) {
+      --nodes[it->second].running;
+      it = departures.erase(it);
+    }
+
+    // One arrival per step.
+    const std::uint32_t image =
+        static_cast<std::uint32_t>(popularity.Sample(rng));
+    std::uint32_t target = nodes_n;
+
+    auto least_loaded = [&](auto pred) {
+      std::uint32_t best = nodes_n;
+      for (std::uint32_t n = 0; n < nodes_n; ++n) {
+        if (nodes[n].running >= kNodeSlots || !pred(n)) continue;
+        if (best == nodes_n || nodes[n].running < nodes[best].running) best = n;
+      }
+      return best;
+    };
+
+    switch (policy) {
+      case Policy::kRandom:
+      case Policy::kSquirrel:
+        target = least_loaded([](std::uint32_t) { return true; });
+        break;
+      case Policy::kCacheAware: {
+        target = least_loaded([&](std::uint32_t n) { return nodes[n].Has(image); });
+        if (target == nodes_n) {
+          // No cache-holding node has room: fall back (and count it).
+          const std::uint32_t holder_exists = [&] {
+            for (const Node& node : nodes) {
+              if (node.Has(image)) return 1u;
+            }
+            return 0u;
+          }();
+          outcome.rejected_preferred += holder_exists;
+          target = least_loaded([](std::uint32_t) { return true; });
+        }
+        break;
+      }
+    }
+    if (target == nodes_n) continue;  // cluster full; drop the request
+
+    ++outcome.total_boots;
+    ++nodes[target].running;
+    departures.emplace(step + kVmLifetime, target);
+
+    if (policy == Policy::kSquirrel) {
+      // Every node holds every cache: never cold.
+    } else {
+      if (!nodes[target].Has(image)) ++outcome.cold_boots;
+      nodes[target].Touch(image, cache_slots);
+    }
+
+    std::uint32_t peak = 0;
+    for (const Node& node : nodes) peak = std::max(peak, node.running);
+    peak_load_sum += peak;
+  }
+  outcome.mean_peak_load = peak_load_sum / kSteps;
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options = ParseOptions(argc, argv);
+  PrintHeader("ablation_scheduler",
+              "Ablation: cache-aware scheduling vs Squirrel replication",
+              options);
+  constexpr std::uint32_t kNodes = 16;
+  const std::uint32_t images = std::min<std::uint32_t>(options.images, 300);
+
+  util::Table table({"policy", "cache slots/node", "cold-boot rate",
+                     "mean peak node load", "forced off preferred node"});
+  for (std::size_t slots : {4ul, 16ul, 64ul}) {
+    const Outcome random =
+        Simulate(Policy::kRandom, kNodes, slots, images, options.seed);
+    const Outcome aware =
+        Simulate(Policy::kCacheAware, kNodes, slots, images, options.seed);
+    auto row = [&](const char* label, const Outcome& o) {
+      table.AddRow({label, std::to_string(slots),
+                    util::Table::Num(static_cast<double>(o.cold_boots) /
+                                     std::max<std::uint64_t>(1, o.total_boots), 3),
+                    util::Table::Num(o.mean_peak_load, 1),
+                    std::to_string(o.rejected_preferred)});
+    };
+    row("random + LRU", random);
+    row("cache-aware + LRU", aware);
+  }
+  const Outcome squirrel =
+      Simulate(Policy::kSquirrel, kNodes, 0, images, options.seed);
+  table.AddRow({"Squirrel (replicated)", "all images",
+                util::Table::Num(0.0, 3),
+                util::Table::Num(squirrel.mean_peak_load, 1), "0"});
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nreading: cache-aware scheduling cuts cold boots versus random\n"
+      "placement but concentrates popular images' VMs on their holder nodes\n"
+      "(higher peak load, forced fallbacks under pressure). Squirrel gets\n"
+      "the zero-cold-boot result with placement completely free — the\n"
+      "paper's argument for replacing both techniques with replication.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Dataset-analysis helpers shared by the Figure 2/3/4/12 and Table 1
+// benches: sweep the catalog's images or caches through a DedupAnalyzer at a
+// given block size.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bench/harness.h"
+#include "compress/codec.h"
+#include "store/dedup_analysis.h"
+#include "vmi/bootset.h"
+#include "vmi/image.h"
+
+namespace squirrel::bench {
+
+enum class Dataset { kImages, kCaches };
+
+inline store::AnalysisResult AnalyzeDataset(const vmi::Catalog& catalog,
+                                            Dataset dataset,
+                                            std::uint32_t block_size,
+                                            const compress::Codec* codec) {
+  store::AnalysisConfig config;
+  config.block_size = block_size;
+  config.codec = codec;
+  store::DedupAnalyzer analyzer(config);
+  for (const vmi::ImageSpec& spec : catalog.images()) {
+    const vmi::VmImage image(catalog, spec);
+    if (dataset == Dataset::kImages) {
+      analyzer.AddFile(image);
+    } else {
+      const vmi::BootWorkingSet boot(catalog, image);
+      const vmi::CacheImage cache(image, boot);
+      analyzer.AddFile(cache);
+    }
+  }
+  return analyzer.Finish();
+}
+
+/// The paper's Figure 2/3/4/12 block-size axis: 1 KB to 1024 KB.
+inline std::vector<std::uint32_t> FigureBlockSizesKb(bool fast) {
+  if (fast) return {4, 16, 64, 256};
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+}
+
+/// The ZFS-measured figures (8, 9, 10) use 4 KB to 128 KB.
+inline std::vector<std::uint32_t> ZfsBlockSizesKb(bool fast) {
+  if (fast) return {16, 64};
+  return {4, 8, 16, 32, 64, 128};
+}
+
+}  // namespace squirrel::bench

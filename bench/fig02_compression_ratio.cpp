@@ -1,0 +1,38 @@
+// Figure 2: compression ratio of VMIs and caches with dedup and gzip6,
+// across block sizes 1 KB - 1024 KB.
+//
+// Expected shape (paper): as block size decreases, the dedup ratio of both
+// datasets rises (small deltas stop poisoning whole blocks; misaligned
+// content starts matching) while the gzip6 ratio falls (smaller compression
+// windows); caches deduplicate better than images at every block size.
+#include "bench/analysis_common.h"
+#include "util/table.h"
+
+using namespace squirrel;
+using namespace squirrel::bench;
+
+int main(int argc, char** argv) {
+  const Options options = ParseOptions(argc, argv);
+  PrintHeader("fig02_compression_ratio",
+              "Figure 2: compression ratio of VMIs and caches (dedup, gzip6)",
+              options);
+  const vmi::Catalog catalog =
+      vmi::Catalog::AzureCommunity(MakeCatalogConfig(options));
+  const compress::Codec* gzip6 = compress::FindCodec("gzip6");
+
+  util::Table table({"block(KB)", "caches:dedup", "images:dedup",
+                     "caches:gzip6", "images:gzip6"});
+  for (std::uint32_t kb : FigureBlockSizesKb(options.fast)) {
+    const auto caches = AnalyzeDataset(catalog, Dataset::kCaches, kb * 1024, gzip6);
+    const auto images = AnalyzeDataset(catalog, Dataset::kImages, kb * 1024, gzip6);
+    table.AddRow({std::to_string(kb), util::Table::Num(caches.dedup_ratio()),
+                  util::Table::Num(images.dedup_ratio()),
+                  util::Table::Num(caches.compression_ratio()),
+                  util::Table::Num(images.compression_ratio())});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nshape check: read right-to-left, dedup rises and gzip falls as the\n"
+      "block size shrinks; caches dedup better than images throughout.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 10: memory consumed by the in-core deduplication tables for images
+// and caches, across block sizes.
+//
+// Expected shape (paper): for caches the footprint stays small (tens of MB
+// paper-scale at >= 32 KB); for images it grows at an alarming rate as the
+// block size shrinks — one reason full images cannot be scatter-hoarded.
+#include "bench/ingest_common.h"
+#include "util/table.h"
+
+using namespace squirrel;
+using namespace squirrel::bench;
+
+int main(int argc, char** argv) {
+  Options options = ParseOptions(argc, argv);
+  if (options.images == 607) options.images = 256;
+  PrintHeader("fig10_ddt_memory",
+              "Figure 10: memory consumption of deduplication tables",
+              options);
+  const vmi::Catalog catalog =
+      vmi::Catalog::AzureCommunity(MakeCatalogConfig(options));
+
+  util::Table table({"block(KB)", "images DDT mem", "caches DDT mem",
+                     "mem ratio img/cache"});
+  for (std::uint32_t kb : ZfsBlockSizesKb(options.fast)) {
+    const auto images = IngestDataset(catalog, Dataset::kImages, kb * 1024, "null");
+    const auto caches = IngestDataset(catalog, Dataset::kCaches, kb * 1024, "null");
+    table.AddRow({std::to_string(kb),
+                  util::FormatBytes(static_cast<double>(images.ddt_core_bytes)),
+                  util::FormatBytes(static_cast<double>(caches.ddt_core_bytes)),
+                  util::Table::Num(static_cast<double>(images.ddt_core_bytes) /
+                                   static_cast<double>(caches.ddt_core_bytes), 1)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nshape check: cache DDT memory stays modest at >= 32 KB blocks;\n"
+      "image DDT memory grows at an alarming rate as blocks shrink\n"
+      "(Section 4.2.2).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 12: cross-similarity of VMIs vs VMI caches across block sizes —
+// the measurement behind Squirrel's scalability argument (Section 4.3.1).
+//
+// Expected shape (paper): caches show strong similarity (boot working sets
+// of one distro family are nearly the same), images much less (user
+// software dominates); both rise as blocks shrink, caches saturating early.
+#include "bench/analysis_common.h"
+#include "util/table.h"
+
+using namespace squirrel;
+using namespace squirrel::bench;
+
+int main(int argc, char** argv) {
+  const Options options = ParseOptions(argc, argv);
+  PrintHeader("fig12_cross_similarity",
+              "Figure 12: cross-similarity of VMIs and caches", options);
+  const vmi::Catalog catalog =
+      vmi::Catalog::AzureCommunity(MakeCatalogConfig(options));
+
+  util::Table table({"block(KB)", "images", "caches", "cache advantage"});
+  for (std::uint32_t kb : FigureBlockSizesKb(options.fast)) {
+    // No compression probe needed: similarity is a hash-level metric.
+    const auto images =
+        AnalyzeDataset(catalog, Dataset::kImages, kb * 1024, nullptr);
+    const auto caches =
+        AnalyzeDataset(catalog, Dataset::kCaches, kb * 1024, nullptr);
+    table.AddRow({std::to_string(kb),
+                  util::Table::Num(images.cross_similarity()),
+                  util::Table::Num(caches.cross_similarity()),
+                  util::Table::Num(caches.cross_similarity() -
+                                   images.cross_similarity())});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nshape check: caches sit well above images at every block size; a\n"
+      "new cache therefore adds only a few hashes to a cVolume, which is\n"
+      "what makes full replication scale (Section 4.3.1's three findings).\n");
+  return 0;
+}

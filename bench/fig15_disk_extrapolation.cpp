@@ -1,0 +1,56 @@
+// Figure 15: extrapolation of disk consumption to 3000 caches, per block
+// size, using the winning (linear) model retrained on all measured points.
+// The paper reads ~18 GB for 1200+ caches at 64 KB.
+#include "bench/fit_common.h"
+
+using namespace squirrel;
+using namespace squirrel::bench;
+
+int main(int argc, char** argv) {
+  const Options options = ParseOptions(argc, argv);
+  PrintHeader("fig15_disk_extrapolation",
+              "Figure 15: extrapolation of disk consumption", options);
+  const vmi::Catalog catalog =
+      vmi::Catalog::AzureCommunity(MakeCatalogConfig(options));
+
+  const std::vector<std::uint32_t> counts = {100, 300, 607, 1200, 2000, 3000};
+  util::Table table({"#caches", "bs=128KB", "bs=64KB", "bs=32KB", "bs=16KB"});
+  std::vector<std::vector<std::string>> columns;
+  std::vector<fit::FittedCurve> curves;
+  double per_cache_paper_factor = 0.0;
+
+  for (std::uint32_t kb : FitBlockSizesKb(options.fast)) {
+    const GrowthSeries series = CacheGrowthSeries(catalog, kb * 1024);
+    // Retrain the winner (linear, per Table 3) on ALL points.
+    curves.push_back(fit::FitLinear(series.x, series.disk));
+    if (kb == 64) {
+      // Paper-scale projection factor: measured bytes per cache at our
+      // scale; the paper's caches are (1/scale)/cachex times larger.
+      per_cache_paper_factor =
+          1.0 / options.scale / options.cache_multiplier;
+    }
+  }
+
+  for (std::uint32_t count : counts) {
+    std::vector<std::string> row = {std::to_string(count)};
+    for (const auto& curve : curves) {
+      row.push_back(util::FormatBytes(curve(count)));
+    }
+    row.resize(5, "-");
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s", table.Render().c_str());
+
+  if (!curves.empty() && !options.fast) {
+    const double at_1200 = curves[1](1200);  // 64 KB column
+    std::printf("\npaper-scale projection at 64 KB, 1200 caches: %s "
+                "(paper: ~18 GB)\n",
+                util::FormatBytes(at_1200 * per_cache_paper_factor).c_str());
+  }
+  std::printf(
+      "shape check: linear growth; smaller block sizes need less disk per\n"
+      "cache down to the DDT-dominated regime. Past ~2x the measured range\n"
+      "the fit no longer guarantees a small RMSE (the paper's vertical line\n"
+      "at 1200).\n");
+  return 0;
+}

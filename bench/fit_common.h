@@ -1,0 +1,71 @@
+// Shared machinery for the Figure 14-17 / Table 3-4 benches: produce the
+// per-cache-count resource series at several block sizes, run the paper's
+// fitting protocol (train on the first half, score RMSE over all points,
+// retrain the winner on everything, extrapolate).
+#pragma once
+
+#include <vector>
+
+#include "bench/ingest_common.h"
+#include "fit/curve_fit.h"
+#include "util/table.h"
+
+namespace squirrel::bench {
+
+struct GrowthSeries {
+  std::vector<double> x;     // cache count (1-based)
+  std::vector<double> disk;  // bytes
+  std::vector<double> mem;   // bytes
+};
+
+inline GrowthSeries CacheGrowthSeries(const vmi::Catalog& catalog,
+                                      std::uint32_t block_size) {
+  GrowthSeries series;
+  const std::size_t n = catalog.images().size();
+  series.x.reserve(n);
+  series.disk.reserve(n);
+  series.mem.reserve(n);
+  IngestDataset(catalog, Dataset::kCaches, block_size, "gzip6",
+                [&](std::size_t i, const zvol::VolumeStats& s) {
+                  series.x.push_back(static_cast<double>(i + 1));
+                  series.disk.push_back(static_cast<double>(s.disk_used_bytes));
+                  series.mem.push_back(static_cast<double>(s.ddt_core_bytes));
+                });
+  return series;
+}
+
+struct FitProtocolResult {
+  fit::FittedCurve linear, mmf, hoerl;
+  double rmse_linear, rmse_mmf, rmse_hoerl;
+};
+
+/// Trains each candidate on the first half, scores RMSE over all points.
+/// RMSE values are normalized by the series mean so different block sizes
+/// are comparable (the paper's tables list comparable magnitudes).
+inline FitProtocolResult RunFitProtocol(const std::vector<double>& x,
+                                        const std::vector<double>& y) {
+  const std::size_t half = x.size() / 2;
+  std::span<const double> xh(x.data(), half), yh(y.data(), half);
+  FitProtocolResult result{
+      .linear = fit::FitLinear(xh, yh),
+      .mmf = fit::FitMmf(xh, yh),
+      .hoerl = fit::FitHoerl(xh, yh),
+      .rmse_linear = 0,
+      .rmse_mmf = 0,
+      .rmse_hoerl = 0,
+  };
+  double mean = 0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  result.rmse_linear = fit::CurveRmse(result.linear, x, y) / mean;
+  result.rmse_mmf = fit::CurveRmse(result.mmf, x, y) / mean;
+  result.rmse_hoerl = fit::CurveRmse(result.hoerl, x, y) / mean;
+  return result;
+}
+
+inline std::vector<std::uint32_t> FitBlockSizesKb(bool fast) {
+  if (fast) return {64};
+  return {128, 64, 32, 16};
+}
+
+}  // namespace squirrel::bench

@@ -1,0 +1,90 @@
+// Shared harness for the figure/table reproduction binaries.
+//
+// Every bench accepts the same flags:
+//   --images=N   catalog size (default 607, the full Azure community set)
+//   --scale=X    linear size scale vs paper bytes (default 1/1024)
+//   --cachex=M   multiplier on the boot-working-set size (default 8; at deep
+//                downscales the cache would otherwise shrink below a handful
+//                of blocks and the per-cache statistics would degenerate)
+//   --seed=S     dataset seed
+//   --fast       quarter-size run for smoke testing
+//
+// Each binary prints (a) the series of the paper figure/table it reproduces,
+// at simulation scale, and (b) paper-scale projections where byte counts are
+// involved (projection = measured ratio applied to the paper's raw sizes).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "vmi/catalog.h"
+
+namespace squirrel::bench {
+
+struct Options {
+  std::uint32_t images = 607;
+  double scale = 1.0 / 1024.0;
+  double cache_multiplier = 8.0;
+  std::uint64_t seed = 2014;
+  bool fast = false;
+};
+
+inline Options ParseOptions(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--images=")) {
+      options.images = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--scale=")) {
+      options.scale = std::atof(v);
+    } else if (const char* v = value("--cachex=")) {
+      options.cache_multiplier = std::atof(v);
+    } else if (const char* v = value("--seed=")) {
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--fast") {
+      options.fast = true;
+    } else if (arg == "--help") {
+      std::printf(
+          "flags: --images=N --scale=X --cachex=M --seed=S --fast\n");
+      std::exit(0);
+    }
+  }
+  if (options.fast) {
+    options.images = std::min<std::uint32_t>(options.images, 96);
+    options.scale = std::min(options.scale, 1.0 / 2048.0);
+  }
+  return options;
+}
+
+inline vmi::CatalogConfig MakeCatalogConfig(const Options& options) {
+  vmi::CatalogConfig config;
+  config.image_count = options.images;
+  config.size_scale = options.scale;
+  config.seed = options.seed;
+  config.cache_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(config.cache_bytes) * options.cache_multiplier);
+  return config;
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_ref,
+                        const Options& options) {
+  std::printf("== %s ==\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("dataset: %u images, size scale %.6f, cache x%.1f, seed %llu\n\n",
+              options.images, options.scale, options.cache_multiplier,
+              static_cast<unsigned long long>(options.seed));
+}
+
+/// Paper raw repository size (Table 1) used for paper-scale projections.
+inline constexpr double kPaperRawBytes = 16.4 * 1024.0 * 1024 * 1024 * 1024;
+inline constexpr double kPaperNonzeroBytes = 1.4 * 1024.0 * 1024 * 1024 * 1024;
+inline constexpr double kPaperCacheBytes = 78.5 * 1024.0 * 1024 * 1024;
+
+}  // namespace squirrel::bench

@@ -1,0 +1,42 @@
+// Shared volume-ingest helper for the ZFS-measured figures (8, 9, 10, 13):
+// stores the catalog's images or caches into a zvol::Volume and returns the
+// volume statistics the paper read from ZFS.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "bench/analysis_common.h"
+#include "zvol/volume.h"
+
+namespace squirrel::bench {
+
+/// Ingests the whole dataset at one block size.
+/// `per_file` (optional) is invoked after each file with the running stats —
+/// Figure 13 uses it to record the growth curve.
+inline zvol::VolumeStats IngestDataset(
+    const vmi::Catalog& catalog, Dataset dataset, std::uint32_t block_size,
+    const std::string& codec,
+    const std::function<void(std::size_t, const zvol::VolumeStats&)>& per_file =
+        {}) {
+  zvol::Volume volume(zvol::VolumeConfig{.block_size = block_size,
+                                         .codec = codec,
+                                         .dedup = true,
+                                         .fast_hash = true});
+  std::size_t index = 0;
+  for (const vmi::ImageSpec& spec : catalog.images()) {
+    const vmi::VmImage image(catalog, spec);
+    if (dataset == Dataset::kImages) {
+      volume.WriteFile(spec.name, image);
+    } else {
+      const vmi::BootWorkingSet boot(catalog, image);
+      const vmi::CacheImage cache(image, boot);
+      volume.WriteFile(spec.name, cache);
+    }
+    if (per_file) per_file(index, volume.Stats());
+    ++index;
+  }
+  return volume.Stats();
+}
+
+}  // namespace squirrel::bench

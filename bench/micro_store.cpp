@@ -1,0 +1,117 @@
+// Microbenchmarks (google-benchmark): block store and volume write paths —
+// dedup hits vs misses, hash choice, snapshot and send costs.
+#include <benchmark/benchmark.h>
+
+#include "store/block_store.h"
+#include "vmi/corpus.h"
+#include "zvol/volume.h"
+
+using namespace squirrel;
+
+namespace {
+
+/// DataSource over regenerated corpus content of a given size.
+class CorpusSource final : public util::DataSource {
+ public:
+  CorpusSource(std::uint64_t seed, std::uint64_t size)
+      : seed_(seed), size_(size) {}
+  std::uint64_t size() const override { return size_; }
+  void Read(std::uint64_t offset, util::MutableByteSpan out) const override {
+    vmi::GenerateCorpus(seed_, offset, out);
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t size_;
+};
+
+void BM_StorePutUnique(benchmark::State& state) {
+  store::BlockStore bs({.codec = "null", .dedup = true, .fast_hash = true});
+  util::Bytes block(64 << 10);
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    vmi::GenerateCorpus(1, offset, block);
+    offset += block.size();
+    benchmark::DoNotOptimize(bs.Put(block));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block.size()));
+}
+
+void BM_StorePutDuplicate(benchmark::State& state) {
+  store::BlockStore bs({.codec = "null", .dedup = true, .fast_hash = true});
+  util::Bytes block(64 << 10);
+  vmi::GenerateCorpus(2, 0, block);
+  bs.Put(block);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bs.Put(block));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block.size()));
+}
+
+void BM_StorePutSha256(benchmark::State& state) {
+  store::BlockStore bs({.codec = "null", .dedup = true, .fast_hash = false});
+  util::Bytes block(64 << 10);
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    vmi::GenerateCorpus(3, offset, block);
+    offset += block.size();
+    benchmark::DoNotOptimize(bs.Put(block));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block.size()));
+}
+
+void BM_VolumeIngest(benchmark::State& state) {
+  const std::uint64_t file_size = 4 << 20;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    zvol::Volume volume(zvol::VolumeConfig{.block_size = 64 * 1024,
+                                           .codec = "lz4",
+                                           .dedup = true,
+                                           .fast_hash = true});
+    volume.WriteFile("f", CorpusSource(seed++, file_size));
+    benchmark::DoNotOptimize(volume.Stats());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(file_size));
+}
+
+void BM_SnapshotCreate(benchmark::State& state) {
+  zvol::Volume volume(zvol::VolumeConfig{.block_size = 64 * 1024,
+                                         .codec = "null",
+                                         .dedup = true,
+                                         .fast_hash = true});
+  volume.WriteFile("f", CorpusSource(1, 8 << 20));
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    volume.CreateSnapshot("snap-" + std::to_string(n), n);
+    ++n;
+  }
+}
+
+void BM_IncrementalSend(benchmark::State& state) {
+  zvol::Volume volume(zvol::VolumeConfig{.block_size = 64 * 1024,
+                                         .codec = "lz4",
+                                         .dedup = true,
+                                         .fast_hash = true});
+  volume.WriteFile("base", CorpusSource(1, 8 << 20));
+  volume.CreateSnapshot("from", 1);
+  volume.WriteFile("extra", CorpusSource(2, 1 << 20));
+  volume.CreateSnapshot("to", 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(volume.Send("from", "to").Serialize());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_StorePutUnique);
+BENCHMARK(BM_StorePutDuplicate);
+BENCHMARK(BM_StorePutSha256);
+BENCHMARK(BM_VolumeIngest);
+BENCHMARK(BM_SnapshotCreate);
+BENCHMARK(BM_IncrementalSend);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table 1: attained storage efficiency with 128 KB block size.
+//   Original -> Nonzero -> Caches (Nonzero) -> Caches/CCR
+// Paper: 16.4 TB -> 1.4 TB -> 78.5 GB -> 15.1 GB.
+//
+// We report the measured (simulation-scale) byte counts, the reduction
+// ratios between stages, and the paper-scale projection obtained by applying
+// our measured ratios to the paper's 16.4 TB starting point.
+#include "bench/analysis_common.h"
+#include "util/table.h"
+
+using namespace squirrel;
+using namespace squirrel::bench;
+
+int main(int argc, char** argv) {
+  Options options = ParseOptions(argc, argv);
+  PrintHeader("table1_storage_efficiency",
+              "Table 1: storage efficiency at 128 KB block size", options);
+  const vmi::Catalog catalog =
+      vmi::Catalog::AzureCommunity(MakeCatalogConfig(options));
+  const compress::Codec* gzip6 = compress::FindCodec("gzip6");
+  constexpr std::uint32_t kBlock = 128 * 1024;
+
+  const auto images = AnalyzeDataset(catalog, Dataset::kImages, kBlock, gzip6);
+  const auto caches = AnalyzeDataset(catalog, Dataset::kCaches, kBlock, gzip6);
+
+  const double original = static_cast<double>(images.logical_bytes);
+  const double nonzero = static_cast<double>(images.nonzero_bytes);
+  const double cache_nonzero = static_cast<double>(caches.nonzero_bytes);
+  const double cache_ccr = cache_nonzero / caches.ccr();
+
+  util::Table table({"stage", "measured", "ratio vs previous",
+                     "paper-scale projection", "paper reported"});
+  table.AddRow({"Original", util::FormatBytes(original), "-",
+                util::FormatBytes(kPaperRawBytes), "16.4 TB"});
+  table.AddRow({"Nonzero", util::FormatBytes(nonzero),
+                util::Table::Num(original / nonzero, 1) + "x",
+                util::FormatBytes(kPaperRawBytes * (nonzero / original)),
+                "1.4 TB"});
+  table.AddRow({"Caches (Nonzero)", util::FormatBytes(cache_nonzero),
+                util::Table::Num(nonzero / cache_nonzero, 1) + "x",
+                util::FormatBytes(kPaperRawBytes * (cache_nonzero / original)),
+                "78.5 GB"});
+  table.AddRow({"Caches/CCR", util::FormatBytes(cache_ccr),
+                util::Table::Num(caches.ccr(), 1) + "x (CCR)",
+                util::FormatBytes(kPaperRawBytes * (cache_ccr / original)),
+                "15.1 GB"});
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nnote: the cache stage ratio depends on --cachex (default inflates\n"
+      "the boot working set to keep per-cache block counts meaningful at\n"
+      "deep downscales); the paper's caches are 5.6%% of nonzero bytes.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Cache-volume tour: a guided walk through the zvol substrate that backs
+// Squirrel's cVolumes — sparse files, inline dedup + compression, snapshots,
+// incremental send/receive, and retention garbage collection.
+//
+// Build & run:  ./build/examples/cache_volume_tour
+#include <cstdio>
+
+#include "util/rng.h"
+#include "util/table.h"
+#include "zvol/volume.h"
+
+using namespace squirrel;
+
+namespace {
+
+class BufferSource final : public util::DataSource {
+ public:
+  explicit BufferSource(util::Bytes data) : data_(std::move(data)) {}
+  std::uint64_t size() const override { return data_.size(); }
+  void Read(std::uint64_t offset, util::MutableByteSpan out) const override {
+    std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(offset), out.size(),
+                out.begin());
+  }
+
+ private:
+  util::Bytes data_;
+};
+
+void PrintStats(const char* label, const zvol::Volume& volume) {
+  const zvol::VolumeStats stats = volume.Stats();
+  std::printf("%-38s files=%llu snaps=%llu disk=%-9s ddt-mem=%s\n", label,
+              static_cast<unsigned long long>(stats.file_count),
+              static_cast<unsigned long long>(stats.snapshot_count),
+              util::FormatBytes(static_cast<double>(stats.disk_used_bytes)).c_str(),
+              util::FormatBytes(static_cast<double>(stats.ddt_core_bytes)).c_str());
+}
+
+}  // namespace
+
+int main() {
+  zvol::Volume storage(zvol::VolumeConfig{
+      .block_size = 64 * 1024, .codec = "gzip6", .dedup = true});
+
+  // 1. Sparse, compressible, duplicate-heavy content.
+  util::Bytes cache_a(64 * 64 * 1024, 0);
+  util::Rng rng(1);
+  // 32 blocks of content, the other 32 stay holes; half the content blocks
+  // duplicate each other.
+  for (int b = 0; b < 32; ++b) {
+    util::MutableByteSpan block(cache_a.data() + b * 65536, 65536);
+    util::Rng content(b < 16 ? 100 + b : 100 + (b % 16));  // duplicates!
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      block[i] = static_cast<util::Byte>('a' + content.Below(6));
+    }
+  }
+  storage.WriteFile("cache/alpha", BufferSource(cache_a));
+  PrintStats("write alpha (sparse, dupes, text)", storage);
+
+  // 2. A second file sharing most content: dedup absorbs it.
+  util::Bytes cache_b = cache_a;
+  util::MutableByteSpan tail(cache_b.data() + 30 * 65536, 2 * 65536);
+  rng.Fill(tail);  // two unique blocks
+  storage.WriteFile("cache/beta", BufferSource(cache_b));
+  PrintStats("write beta (differs in 2 blocks)", storage);
+
+  // 3. Snapshots are cheap and immutable.
+  storage.CreateSnapshot("reg-1", /*now=*/1000);
+  PrintStats("snapshot reg-1", storage);
+
+  // 4. Incremental send after another change.
+  util::Bytes cache_c = cache_a;
+  util::MutableByteSpan head(cache_c.data(), 65536);
+  rng.Fill(head);
+  storage.WriteFile("cache/gamma", BufferSource(cache_c));
+  storage.CreateSnapshot("reg-2", /*now=*/2000);
+  const zvol::SendStream diff = storage.Send("reg-1", "reg-2");
+  std::printf("\nincremental reg-1 -> reg-2: wire=%s payload=%s "
+              "(gamma is mostly deduped against alpha)\n",
+              util::FormatBytes(static_cast<double>(diff.WireSize())).c_str(),
+              util::FormatBytes(static_cast<double>(diff.PayloadBytes())).c_str());
+
+  // 5. Replicate onto a compute node.
+  zvol::Volume replica(storage.config());
+  replica.Receive(storage.Send("", "reg-1"));
+  replica.Receive(zvol::SendStream::Deserialize(diff.Serialize()));
+  PrintStats("replica after full + incremental", replica);
+  const bool identical =
+      replica.ReadRange("cache/gamma", 0, cache_c.size()) == cache_c;
+  std::printf("replica gamma bit-identical: %s\n", identical ? "yes" : "NO");
+
+  // 6. Deregistration + retention GC.
+  storage.DeleteFile("cache/alpha");
+  storage.CreateSnapshot("reg-3", /*now=*/4ull * 86400);
+  PrintStats("delete alpha (blocks pinned by snaps)", storage);
+  storage.PruneSnapshots(/*retention=*/2 * 86400, /*now=*/5ull * 86400);
+  PrintStats("GC (2-day retention)", storage);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Calibration tool: prints the dataset-analysis metrics across block sizes
+// for a small catalog, so the content-model knobs can be tuned against the
+// paper's reported shapes. Not part of the figure harness.
+#include <cstdio>
+#include <cstdlib>
+
+#include "compress/codec.h"
+#include "store/dedup_analysis.h"
+#include "util/table.h"
+#include "vmi/bootset.h"
+#include "vmi/image.h"
+
+using namespace squirrel;
+
+int main(int argc, char** argv) {
+  vmi::CatalogConfig config;
+  config.image_count = argc > 1 ? std::atoi(argv[1]) : 64;
+  config.size_scale = argc > 2 ? std::atof(argv[2]) : 1.0 / 512.0;
+  if (argc > 3) config.cache_bytes *= std::atof(argv[3]);
+  const vmi::Catalog catalog = vmi::Catalog::AzureCommunity(config);
+
+  std::printf("images=%u scale=%g nonzero/image=%.1f MiB cache/image=%.2f MiB\n",
+              config.image_count, config.size_scale,
+              config.ScaledNonzero() / 1048576.0,
+              config.ScaledCache() / 1048576.0);
+
+  const compress::Codec* gzip6 = compress::FindCodec("gzip6");
+  util::Table table({"bs(KB)", "img dedup", "img gzip", "img CCR", "img xsim",
+                     "cache dedup", "cache gzip", "cache CCR", "cache xsim"});
+
+  for (std::uint32_t bs_kb : {4u, 16u, 64u, 256u}) {
+    store::AnalysisConfig ac;
+    ac.block_size = bs_kb * 1024;
+    ac.codec = gzip6;
+    store::DedupAnalyzer images(ac), caches(ac);
+    for (const vmi::ImageSpec& spec : catalog.images()) {
+      const vmi::VmImage image(catalog, spec);
+      const vmi::BootWorkingSet boot(catalog, image);
+      const vmi::CacheImage cache(image, boot);
+      images.AddFile(image);
+      caches.AddFile(cache);
+    }
+    const auto ir = images.Finish();
+    const auto cr = caches.Finish();
+    table.AddRow({std::to_string(bs_kb), util::Table::Num(ir.dedup_ratio()),
+                  util::Table::Num(ir.compression_ratio()),
+                  util::Table::Num(ir.ccr()),
+                  util::Table::Num(ir.cross_similarity()),
+                  util::Table::Num(cr.dedup_ratio()),
+                  util::Table::Num(cr.compression_ratio()),
+                  util::Table::Num(cr.ccr()),
+                  util::Table::Num(cr.cross_similarity())});
+  }
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}

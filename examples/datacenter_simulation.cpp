@@ -1,0 +1,146 @@
+// Data-center week: a larger operational scenario over the public API.
+//
+// 16 compute nodes serve a synthetic IaaS data center for seven simulated
+// days: users register new images daily, VMs boot from warm replicas with
+// Zipf-skewed popularity, nodes fail and come back (catching up
+// incrementally, or via full replication after long outages), images get
+// deregistered, and the nightly garbage-collection cron prunes snapshots.
+//
+// Build & run:  ./build/examples/datacenter_simulation [days]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/squirrel.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "vmi/bootset.h"
+#include "vmi/image.h"
+
+using namespace squirrel;
+
+int main(int argc, char** argv) {
+  const int days = argc > 1 ? std::atoi(argv[1]) : 7;
+
+  vmi::CatalogConfig catalog_config;
+  catalog_config.image_count = 64;
+  catalog_config.size_scale = 1.0 / 2048.0;
+  catalog_config.cache_bytes *= 4;
+  const vmi::Catalog catalog = vmi::Catalog::AzureCommunity(catalog_config);
+
+  core::SquirrelConfig config;
+  config.volume = zvol::VolumeConfig{.block_size = 64 * 1024,
+                                     .codec = "gzip6",
+                                     .dedup = true,
+                                     .fast_hash = true};
+  config.retention_seconds = 3ull * 86400;  // n = 3 days
+  constexpr std::uint32_t kNodes = 16;
+  core::SquirrelCluster cluster(config, kNodes);
+
+  // Pre-build images and boot sets (they are reused across the run).
+  std::vector<std::unique_ptr<vmi::VmImage>> images;
+  std::vector<std::unique_ptr<vmi::BootWorkingSet>> boots;
+  for (const vmi::ImageSpec& spec : catalog.images()) {
+    images.push_back(std::make_unique<vmi::VmImage>(catalog, spec));
+    boots.push_back(std::make_unique<vmi::BootWorkingSet>(catalog, *images.back()));
+  }
+
+  util::Rng rng(7);
+  const util::ZipfSampler popularity(catalog.images().size(), 0.9);
+  std::vector<std::uint64_t> down_until(kNodes, 0);
+
+  std::uint64_t registered = 0, boots_done = 0, boot_network_bytes = 0;
+  std::uint64_t incr_syncs = 0, full_syncs = 0;
+  double boot_seconds_total = 0;
+
+  const std::size_t per_day =
+      (catalog.images().size() + static_cast<std::size_t>(days) - 1) /
+      static_cast<std::size_t>(days);
+
+  for (int day = 0; day < days; ++day) {
+    const std::uint64_t day_start = static_cast<std::uint64_t>(day) * 86400;
+
+    // Node failures: each day one random node goes down for 1-6 days.
+    const std::uint32_t victim = static_cast<std::uint32_t>(rng.Below(kNodes));
+    if (cluster.compute_node(victim).online()) {
+      cluster.compute_node(victim).set_online(false);
+      down_until[victim] = day_start + rng.Between(1, 6) * 86400;
+    }
+    // Recoveries: nodes whose outage ended catch up on boot (Section 3.5).
+    for (std::uint32_t node = 0; node < kNodes; ++node) {
+      if (!cluster.compute_node(node).online() && down_until[node] <= day_start) {
+        cluster.compute_node(node).set_online(true);
+        const core::SyncReport sync = cluster.SyncNode(node, day_start);
+        if (sync.wire_bytes > 0) sync.full_resync ? ++full_syncs : ++incr_syncs;
+      }
+    }
+
+    // Daily registrations.
+    for (std::size_t r = 0; r < per_day && registered < images.size(); ++r) {
+      const std::size_t idx = registered++;
+      const vmi::CacheImage cache(*images[idx], *boots[idx]);
+      cluster.Register(catalog.images()[idx].name, cache,
+                       day_start + 3600 + r * 60);
+    }
+
+    // VM boots all day on online, synced nodes.
+    for (int boot = 0; boot < 40; ++boot) {
+      const std::size_t image_idx = popularity.Sample(rng) % registered;
+      std::uint32_t node = static_cast<std::uint32_t>(rng.Below(kNodes));
+      if (!cluster.compute_node(node).online()) continue;
+      const std::string& name = catalog.images()[image_idx].name;
+      if (!cluster.storage_volume().HasFile(
+              core::SquirrelCluster::CacheFileName(name))) {
+        continue;  // image was deregistered in the meantime
+      }
+      if (!cluster.compute_node(node).volume().HasFile(
+              core::SquirrelCluster::CacheFileName(name))) {
+        // Replica lagging (node was offline during registration): sync first,
+        // exactly as a node-boot would.
+        cluster.SyncNode(node, day_start + 7200);
+      }
+      sim::IoContext io;
+      const core::BootReport report = cluster.Boot(
+          node, name, *images[image_idx],
+          boots[image_idx]->Trace(rng.Next()), io);
+      ++boots_done;
+      boot_network_bytes += report.network_bytes;
+      boot_seconds_total += report.result.seconds;
+    }
+
+    // One deregistration every other day.
+    if (day % 2 == 1 && registered > 4) {
+      const std::string& name =
+          catalog.images()[rng.Below(registered)].name;
+      if (cluster.storage_volume().HasFile(
+              core::SquirrelCluster::CacheFileName(name))) {
+        cluster.Deregister(name, day_start + 80000);
+      }
+    }
+
+    // Nightly GC cron (Section 3.4).
+    cluster.RunGc(day_start + 86000);
+
+    const zvol::VolumeStats stats = cluster.storage_volume().Stats();
+    std::printf(
+        "day %2d: %3llu caches registered, scVolume %-9s DDT mem %-9s "
+        "snapshots %llu\n",
+        day + 1, static_cast<unsigned long long>(stats.file_count),
+        util::FormatBytes(static_cast<double>(stats.disk_used_bytes)).c_str(),
+        util::FormatBytes(static_cast<double>(stats.ddt_core_bytes)).c_str(),
+        static_cast<unsigned long long>(stats.snapshot_count));
+  }
+
+  std::printf("\nweek summary:\n");
+  std::printf("  registrations        %llu\n",
+              static_cast<unsigned long long>(registered));
+  std::printf("  VM boots             %llu (avg %.1f s)\n",
+              static_cast<unsigned long long>(boots_done),
+              boots_done ? boot_seconds_total / static_cast<double>(boots_done) : 0.0);
+  std::printf("  boot network bytes   %llu  <- scatter hoarding at work\n",
+              static_cast<unsigned long long>(boot_network_bytes));
+  std::printf("  catch-up syncs       %llu incremental, %llu full\n",
+              static_cast<unsigned long long>(incr_syncs),
+              static_cast<unsigned long long>(full_syncs));
+  return 0;
+}

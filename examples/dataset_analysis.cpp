@@ -1,0 +1,95 @@
+// Dataset analysis CLI: the paper's "Hadoop MapReduce job" as a command-line
+// tool. Computes dedup ratio, compression ratio, CCR and cross-similarity of
+// the synthetic Azure catalog's images or caches at a chosen block size and
+// codec (Section 2.2 / 4.3.1 metrics).
+//
+// Usage: dataset_analysis [--caches] [--bs=64K] [--codec=gzip6]
+//                         [--images=N] [--scale=X]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "compress/codec.h"
+#include "store/dedup_analysis.h"
+#include "util/table.h"
+#include "vmi/bootset.h"
+#include "vmi/image.h"
+
+using namespace squirrel;
+
+int main(int argc, char** argv) {
+  bool caches = false;
+  std::uint64_t block_size = 64 * util::kKiB;
+  std::string codec_name = "gzip6";
+  vmi::CatalogConfig config;
+  config.image_count = 128;
+  config.size_scale = 1.0 / 1024.0;
+  config.cache_bytes *= 8;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--caches") {
+      caches = true;
+    } else if (arg.rfind("--bs=", 0) == 0) {
+      block_size = util::ParseBytes(arg.substr(5));
+    } else if (arg.rfind("--codec=", 0) == 0) {
+      codec_name = arg.substr(8);
+    } else if (arg.rfind("--images=", 0) == 0) {
+      config.image_count = static_cast<std::uint32_t>(std::atoi(arg.c_str() + 9));
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      config.size_scale = std::atof(arg.c_str() + 8);
+    } else {
+      std::printf(
+          "usage: dataset_analysis [--caches] [--bs=64K] [--codec=gzip6] "
+          "[--images=N] [--scale=X]\n");
+      return arg == "--help" ? 0 : 1;
+    }
+  }
+  if (block_size == 0) {
+    std::fprintf(stderr, "invalid --bs\n");
+    return 1;
+  }
+  const compress::Codec* codec = compress::FindCodec(codec_name);
+  if (codec == nullptr) {
+    std::fprintf(stderr, "unknown codec '%s'; known:", codec_name.c_str());
+    for (const auto& name : compress::CodecNames()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  const vmi::Catalog catalog = vmi::Catalog::AzureCommunity(config);
+  store::DedupAnalyzer analyzer(
+      {.block_size = static_cast<std::uint32_t>(block_size), .codec = codec});
+  for (const vmi::ImageSpec& spec : catalog.images()) {
+    const vmi::VmImage image(catalog, spec);
+    if (caches) {
+      const vmi::BootWorkingSet boot(catalog, image);
+      const vmi::CacheImage cache(image, boot);
+      analyzer.AddFile(cache);
+    } else {
+      analyzer.AddFile(image);
+    }
+  }
+  const store::AnalysisResult result = analyzer.Finish();
+
+  std::printf("dataset: %u %s, block size %s, codec %s\n\n",
+              config.image_count, caches ? "caches" : "images",
+              util::FormatBytes(static_cast<double>(block_size)).c_str(),
+              codec_name.c_str());
+  util::Table table({"metric", "value"});
+  table.AddRow({"logical bytes",
+                util::FormatBytes(static_cast<double>(result.logical_bytes))});
+  table.AddRow({"nonzero bytes",
+                util::FormatBytes(static_cast<double>(result.nonzero_bytes))});
+  table.AddRow({"nonzero blocks |N|", std::to_string(result.nonzero_blocks)});
+  table.AddRow({"unique blocks |U|", std::to_string(result.unique_blocks)});
+  table.AddRow({"dedup ratio |N|/|U|", util::Table::Num(result.dedup_ratio())});
+  table.AddRow({"compression ratio", util::Table::Num(result.compression_ratio())});
+  table.AddRow({"CCR", util::Table::Num(result.ccr())});
+  table.AddRow({"cross-similarity", util::Table::Num(result.cross_similarity(), 3)});
+  table.AddRow({"probed blocks", std::to_string(result.probed_blocks)});
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// LSB-first bit stream reader/writer used by the Deflate-style codec.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/bytes.h"
+
+namespace squirrel::compress {
+
+class BitWriter {
+ public:
+  /// Appends the low `count` bits of `bits` (count <= 32), LSB first.
+  void Write(std::uint32_t bits, unsigned count) {
+    acc_ |= static_cast<std::uint64_t>(bits & ((count < 32) ? ((1u << count) - 1) : 0xffffffffu))
+            << filled_;
+    filled_ += count;
+    while (filled_ >= 8) {
+      out_.push_back(static_cast<util::Byte>(acc_ & 0xff));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  /// Flushes any partial byte (zero padded) and returns the buffer.
+  util::Bytes Finish() {
+    if (filled_ > 0) {
+      out_.push_back(static_cast<util::Byte>(acc_ & 0xff));
+      acc_ = 0;
+      filled_ = 0;
+    }
+    return std::move(out_);
+  }
+
+  std::size_t bit_count() const { return out_.size() * 8 + filled_; }
+
+ private:
+  util::Bytes out_;
+  std::uint64_t acc_ = 0;
+  unsigned filled_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(util::ByteSpan data) : data_(data) {}
+
+  /// Reads `count` bits (count <= 32), LSB first. Throws on underflow.
+  std::uint32_t Read(unsigned count) {
+    while (filled_ < count) {
+      if (pos_ >= data_.size()) {
+        throw std::runtime_error("bit stream underflow");
+      }
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << filled_;
+      filled_ += 8;
+    }
+    const std::uint32_t value =
+        static_cast<std::uint32_t>(acc_ & ((count < 32) ? ((1ull << count) - 1) : 0xffffffffull));
+    acc_ >>= count;
+    filled_ -= count;
+    return value;
+  }
+
+  /// Reads a single bit.
+  std::uint32_t ReadBit() { return Read(1); }
+
+ private:
+  util::ByteSpan data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  unsigned filled_ = 0;
+};
+
+}  // namespace squirrel::compress

@@ -1,0 +1,68 @@
+#include "compress/codec.h"
+
+#include <array>
+#include <memory>
+#include <stdexcept>
+
+#include "compress/deflate.h"
+#include "compress/lz4like.h"
+#include "compress/lzjb.h"
+#include "compress/zle.h"
+
+namespace squirrel::compress {
+namespace {
+
+/// Identity codec: the `compression=off` baseline.
+class NullCodec final : public Codec {
+ public:
+  std::string_view name() const override { return "null"; }
+  util::Bytes Compress(util::ByteSpan input) const override {
+    return util::Bytes(input.begin(), input.end());
+  }
+  util::Bytes Decompress(util::ByteSpan input,
+                         std::size_t expected_size) const override {
+    if (input.size() != expected_size) {
+      throw std::runtime_error("null: size mismatch");
+    }
+    return util::Bytes(input.begin(), input.end());
+  }
+  CodecCost cost() const override { return {0.0, 0.0}; }
+};
+
+struct Registry {
+  std::vector<std::unique_ptr<Codec>> codecs;
+
+  Registry() {
+    codecs.push_back(std::make_unique<NullCodec>());
+    for (int level = 1; level <= 9; ++level) {
+      codecs.push_back(std::make_unique<DeflateCodec>(level));
+    }
+    codecs.push_back(std::make_unique<Lz4LikeCodec>());
+    codecs.push_back(std::make_unique<LzjbCodec>());
+    codecs.push_back(std::make_unique<ZleCodec>());
+  }
+};
+
+const Registry& GetRegistry() {
+  static const Registry registry;
+  return registry;
+}
+
+}  // namespace
+
+const Codec* FindCodec(std::string_view name) {
+  for (const auto& codec : GetRegistry().codecs) {
+    if (codec->name() == name) return codec.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> CodecNames() {
+  std::vector<std::string> names;
+  for (const auto& codec : GetRegistry().codecs) {
+    names.emplace_back(codec->name());
+  }
+  return names;
+}
+
+}  // namespace squirrel::compress

@@ -1,0 +1,262 @@
+#include "compress/deflate.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "compress/bitio.h"
+#include "compress/huffman.h"
+
+namespace squirrel::compress {
+namespace {
+
+// Alphabet layout: 0..255 literals, 256 end-of-block, 257.. length buckets.
+constexpr std::size_t kEob = 256;
+constexpr std::size_t kLengthBase = 257;
+constexpr std::size_t kLengthBuckets = 16;   // covers match lengths 3..258
+constexpr std::size_t kLitLenSymbols = kLengthBase + kLengthBuckets;
+constexpr std::size_t kDistSymbols = 48;     // covers distances up to 2^24
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 258;
+
+constexpr unsigned kHashBits = 15;
+constexpr std::uint32_t kHashSize = 1u << kHashBits;
+
+// Log-bucket encoding with one mantissa bit: values 0..3 map to buckets 0..3
+// with no extra bits; larger values use bucket 2k+b with k-1 extra bits.
+struct Bucket {
+  std::uint32_t index;
+  std::uint32_t extra_bits;
+  std::uint32_t extra_value;
+};
+
+Bucket EncodeBucket(std::uint32_t v) {
+  if (v < 4) return {v, 0, 0};
+  const unsigned k = std::bit_width(v) - 1;
+  const std::uint32_t second = (v >> (k - 1)) & 1u;
+  return {2 * k + second, k - 1, v & ((1u << (k - 1)) - 1u)};
+}
+
+std::uint32_t DecodeBucket(std::uint32_t index, BitReader& reader) {
+  if (index < 4) return index;
+  const unsigned k = index / 2;
+  const std::uint32_t second = index & 1u;
+  const std::uint32_t extra = (k >= 1) ? reader.Read(k - 1) : 0;
+  return (1u << k) | (second << (k - 1)) | extra;
+}
+
+std::uint32_t Load32(const util::Byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint32_t HashAt(const util::Byte* p) {
+  return (Load32(p) * 2654435761u) >> (32 - kHashBits);
+}
+
+struct Token {
+  std::uint32_t literal_or_length;  // literal byte, or match length
+  std::uint32_t distance;           // 0 => literal token
+};
+
+// Length of the common prefix of a/b, capped at `limit`.
+std::size_t MatchLength(const util::Byte* a, const util::Byte* b,
+                        std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && a[n] == b[n]) ++n;
+  return n;
+}
+
+}  // namespace
+
+DeflateCodec::DeflateCodec(int level)
+    : level_(level), name_("gzip" + std::to_string(level)) {
+  if (level < 1 || level > 9) throw std::invalid_argument("deflate level");
+  // Effort schedule loosely following zlib's configuration table.
+  static constexpr unsigned kChains[10] = {0, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+  static constexpr unsigned kNice[10] = {0, 8, 16, 32, 32, 64, 128, 128, 258, 258};
+  max_chain_ = kChains[level];
+  nice_length_ = kNice[level];
+  lazy_ = level >= 4;
+}
+
+util::Bytes DeflateCodec::Compress(util::ByteSpan input) const {
+  // 1. LZ77 parse with a hash-chain match finder.
+  std::vector<Token> tokens;
+  tokens.reserve(input.size() / 4 + 16);
+
+  std::vector<std::int32_t> head(kHashSize, -1);
+  std::vector<std::int32_t> prev(input.size(), -1);
+  const util::Byte* data = input.data();
+  const std::size_t n = input.size();
+
+  auto find_match = [&](std::size_t pos, std::size_t& best_len,
+                        std::size_t& best_dist) {
+    best_len = 0;
+    best_dist = 0;
+    if (pos + kMinMatch > n) return;
+    const std::size_t limit = std::min(kMaxMatch, n - pos);
+    std::int32_t candidate = head[HashAt(data + pos)];
+    unsigned chain = max_chain_;
+    while (candidate >= 0 && chain-- > 0) {
+      const std::size_t len =
+          MatchLength(data + candidate, data + pos, limit);
+      if (len > best_len) {
+        best_len = len;
+        best_dist = pos - static_cast<std::size_t>(candidate);
+        if (len >= nice_length_) break;
+      }
+      candidate = prev[candidate];
+    }
+    if (best_len < kMinMatch) best_len = 0;
+  };
+
+  auto insert = [&](std::size_t pos) {
+    if (pos + 4 > n) return;
+    const std::uint32_t h = HashAt(data + pos);
+    prev[pos] = head[h];
+    head[h] = static_cast<std::int32_t>(pos);
+  };
+
+  std::size_t pos = 0;
+  while (pos < n) {
+    std::size_t len, dist;
+    find_match(pos, len, dist);
+
+    if (lazy_ && len > 0 && len < nice_length_ && pos + 1 < n) {
+      // One-step lazy evaluation: emit a literal if the next position has a
+      // strictly better match.
+      insert(pos);
+      std::size_t next_len, next_dist;
+      find_match(pos + 1, next_len, next_dist);
+      if (next_len > len) {
+        tokens.push_back({data[pos], 0});
+        ++pos;
+        len = next_len;
+        dist = next_dist;
+      }
+    } else if (len > 0) {
+      insert(pos);
+    }
+
+    if (len == 0) {
+      insert(pos);
+      tokens.push_back({data[pos], 0});
+      ++pos;
+      continue;
+    }
+    tokens.push_back({static_cast<std::uint32_t>(len),
+                      static_cast<std::uint32_t>(dist)});
+    // Register the skipped positions so later matches can reference them.
+    for (std::size_t i = 1; i < len; ++i) insert(pos + i);
+    pos += len;
+  }
+
+  // 2. Histogram the symbol streams.
+  std::vector<std::uint64_t> litlen_freq(kLitLenSymbols, 0);
+  std::vector<std::uint64_t> dist_freq(kDistSymbols, 0);
+  for (const Token& t : tokens) {
+    if (t.distance == 0) {
+      ++litlen_freq[t.literal_or_length];
+    } else {
+      ++litlen_freq[kLengthBase +
+                    EncodeBucket(t.literal_or_length - kMinMatch).index];
+      ++dist_freq[EncodeBucket(t.distance - 1).index];
+    }
+  }
+  ++litlen_freq[kEob];
+
+  const auto litlen_lengths = BuildCodeLengths(litlen_freq);
+  const auto dist_lengths = BuildCodeLengths(dist_freq);
+  const HuffmanEncoder litlen_enc(litlen_lengths);
+  const HuffmanEncoder dist_enc(dist_lengths);
+
+  // 3. Emit the container.
+  BitWriter writer;
+  writer.Write(1, 8);  // mode = huffman
+  WriteCodeLengths(writer, litlen_lengths);
+  WriteCodeLengths(writer, dist_lengths);
+  for (const Token& t : tokens) {
+    if (t.distance == 0) {
+      litlen_enc.Encode(writer, t.literal_or_length);
+      continue;
+    }
+    const Bucket lb = EncodeBucket(t.literal_or_length - kMinMatch);
+    litlen_enc.Encode(writer, kLengthBase + lb.index);
+    if (lb.extra_bits > 0) writer.Write(lb.extra_value, lb.extra_bits);
+    const Bucket db = EncodeBucket(t.distance - 1);
+    dist_enc.Encode(writer, db.index);
+    if (db.extra_bits > 0) writer.Write(db.extra_value, db.extra_bits);
+  }
+  litlen_enc.Encode(writer, kEob);
+  util::Bytes packed = writer.Finish();
+
+  if (packed.size() >= input.size() + 1) {
+    // Incompressible: fall back to stored mode.
+    util::Bytes stored;
+    stored.reserve(input.size() + 1);
+    stored.push_back(0);
+    stored.insert(stored.end(), input.begin(), input.end());
+    return stored;
+  }
+  return packed;
+}
+
+util::Bytes DeflateCodec::Decompress(util::ByteSpan input,
+                                     std::size_t expected_size) const {
+  if (input.empty()) throw std::runtime_error("deflate: empty payload");
+  const std::uint8_t mode = input[0];
+  if (mode == 0) {
+    if (input.size() - 1 != expected_size) {
+      throw std::runtime_error("deflate: stored size mismatch");
+    }
+    return util::Bytes(input.begin() + 1, input.end());
+  }
+  if (mode != 1) throw std::runtime_error("deflate: bad mode byte");
+
+  // The mode byte occupied exactly the first 8 bits of the writer's stream,
+  // so the remainder is byte-aligned at offset 1.
+  BitReader reader(input.subspan(1));
+  const auto litlen_lengths = ReadCodeLengths(reader, kLitLenSymbols);
+  const auto dist_lengths = ReadCodeLengths(reader, kDistSymbols);
+  const HuffmanDecoder litlen_dec(litlen_lengths);
+  const HuffmanDecoder dist_dec(dist_lengths);
+
+  util::Bytes out;
+  out.reserve(expected_size);
+  for (;;) {
+    const std::size_t sym = litlen_dec.Decode(reader);
+    if (sym == kEob) break;
+    if (sym < kEob) {
+      out.push_back(static_cast<util::Byte>(sym));
+      continue;
+    }
+    const std::uint32_t len =
+        DecodeBucket(static_cast<std::uint32_t>(sym - kLengthBase), reader) +
+        kMinMatch;
+    const std::size_t dsym = dist_dec.Decode(reader);
+    const std::uint32_t dist =
+        DecodeBucket(static_cast<std::uint32_t>(dsym), reader) + 1;
+    if (dist > out.size()) throw std::runtime_error("deflate: bad distance");
+    const std::size_t start = out.size() - dist;
+    for (std::uint32_t i = 0; i < len; ++i) {
+      out.push_back(out[start + i]);  // overlapping copies are intentional
+    }
+    if (out.size() > expected_size) {
+      throw std::runtime_error("deflate: output overrun");
+    }
+  }
+  if (out.size() != expected_size) {
+    throw std::runtime_error("deflate: output size mismatch");
+  }
+  return out;
+}
+
+CodecCost DeflateCodec::cost() const {
+  // Compression cost grows with search effort; decompression is level
+  // independent (same token stream structure).
+  return {8.0 + 4.0 * level_ * level_ / 3.0, 4.0};
+}
+
+}  // namespace squirrel::compress

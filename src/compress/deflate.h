@@ -1,0 +1,41 @@
+// Deflate-style codec: LZ77 with a hash-chain match finder followed by
+// canonical Huffman coding of literal/length and distance symbols.
+//
+// Effort levels 1..9 trade match-search depth (and lazy matching) for ratio,
+// mirroring gzip's levels. The container format is our own:
+//
+//   byte 0: mode (0 = stored, 1 = huffman)
+//   stored:  raw payload
+//   huffman: [litlen code lengths][dist code lengths][token bit stream]
+//
+// Distances cover the whole input (blocks are at most a few MiB), unlike
+// zlib's 32 KiB window — larger blocks therefore compress strictly better,
+// which is the block-size trend Figure 2 depends on.
+#pragma once
+
+#include "compress/codec.h"
+
+namespace squirrel::compress {
+
+class DeflateCodec final : public Codec {
+ public:
+  /// `level` in [1, 9].
+  explicit DeflateCodec(int level);
+
+  std::string_view name() const override { return name_; }
+  util::Bytes Compress(util::ByteSpan input) const override;
+  util::Bytes Decompress(util::ByteSpan input,
+                         std::size_t expected_size) const override;
+  CodecCost cost() const override;
+
+  int level() const { return level_; }
+
+ private:
+  int level_;
+  std::string name_;
+  unsigned max_chain_;   // match-finder chain depth
+  unsigned nice_length_; // stop searching once a match this long is found
+  bool lazy_;            // one-step lazy matching
+};
+
+}  // namespace squirrel::compress

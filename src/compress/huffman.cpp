@@ -1,0 +1,174 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace squirrel::compress {
+namespace {
+
+struct Node {
+  std::uint64_t freq;
+  int left = -1;   // index into node pool, -1 for leaf
+  int right = -1;
+  std::size_t symbol = 0;  // valid for leaves
+};
+
+// Computes the depth of every leaf of the Huffman tree rooted at `root`.
+void AssignDepths(const std::vector<Node>& pool, int root, unsigned depth,
+                  std::vector<std::uint8_t>& lengths, unsigned& max_depth) {
+  const Node& node = pool[root];
+  if (node.left < 0) {
+    lengths[node.symbol] = static_cast<std::uint8_t>(std::max(1u, depth));
+    max_depth = std::max(max_depth, std::max(1u, depth));
+    return;
+  }
+  AssignDepths(pool, node.left, depth + 1, lengths, max_depth);
+  AssignDepths(pool, node.right, depth + 1, lengths, max_depth);
+}
+
+bool TryBuild(const std::vector<std::uint64_t>& freqs,
+              std::vector<std::uint8_t>& lengths, unsigned& max_depth) {
+  lengths.assign(freqs.size(), 0);
+  max_depth = 0;
+
+  std::vector<Node> pool;
+  using Entry = std::pair<std::uint64_t, int>;  // (freq, pool index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t s = 0; s < freqs.size(); ++s) {
+    if (freqs[s] == 0) continue;
+    pool.push_back(Node{freqs[s], -1, -1, s});
+    heap.emplace(freqs[s], static_cast<int>(pool.size() - 1));
+  }
+  if (heap.empty()) return true;  // nothing used
+  if (heap.size() == 1) {
+    lengths[pool[heap.top().second].symbol] = 1;
+    max_depth = 1;
+    return true;
+  }
+  while (heap.size() > 1) {
+    const auto [fa, ia] = heap.top();
+    heap.pop();
+    const auto [fb, ib] = heap.top();
+    heap.pop();
+    pool.push_back(Node{fa + fb, ia, ib, 0});
+    heap.emplace(fa + fb, static_cast<int>(pool.size() - 1));
+  }
+  AssignDepths(pool, heap.top().second, 0, lengths, max_depth);
+  return max_depth <= kMaxCodeLength;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> BuildCodeLengths(const std::vector<std::uint64_t>& freqs) {
+  std::vector<std::uint64_t> damped = freqs;
+  std::vector<std::uint8_t> lengths;
+  unsigned max_depth = 0;
+  // Damp frequencies until the optimal tree fits the depth limit. Each pass
+  // halves the dynamic range, so this terminates quickly.
+  while (!TryBuild(damped, lengths, max_depth)) {
+    for (auto& f : damped) {
+      if (f > 0) f = (f + 1) / 2;
+    }
+  }
+  return lengths;
+}
+
+HuffmanEncoder::HuffmanEncoder(const std::vector<std::uint8_t>& lengths)
+    : lengths_(lengths), codes_(lengths.size(), 0) {
+  // Canonical assignment: symbols sorted by (length, index).
+  std::array<std::uint32_t, kMaxCodeLength + 2> count{};
+  for (auto len : lengths_) {
+    if (len > 0) ++count[len];
+  }
+  std::array<std::uint32_t, kMaxCodeLength + 2> next_code{};
+  std::uint32_t code = 0;
+  for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
+    code = (code + count[len - 1]) << 1;
+    next_code[len] = code;
+  }
+  for (std::size_t s = 0; s < lengths_.size(); ++s) {
+    if (lengths_[s] > 0) codes_[s] = next_code[lengths_[s]]++;
+  }
+}
+
+void HuffmanEncoder::Encode(BitWriter& writer, std::size_t symbol) const {
+  const unsigned len = lengths_[symbol];
+  assert(len > 0 && "encoding a symbol with no code");
+  const std::uint32_t code = codes_[symbol];
+  // Codes are canonical (MSB-first); emit them bit by bit so the decoder can
+  // walk the canonical ranges as bits arrive.
+  for (unsigned i = len; i-- > 0;) {
+    writer.Write((code >> i) & 1u, 1);
+  }
+}
+
+HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t>& lengths) {
+  for (auto len : lengths) {
+    if (len > kMaxCodeLength) throw std::runtime_error("invalid code length");
+    if (len > 0) ++count_[len];
+  }
+  std::uint32_t code = 0;
+  std::uint32_t offset = 0;
+  for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
+    code = (code + count_[len - 1]) << 1;
+    first_code_[len] = code;
+    symbol_offset_[len] = offset;
+    offset += count_[len];
+  }
+  sorted_symbols_.resize(offset);
+  std::array<std::uint32_t, kMaxCodeLength + 2> fill = symbol_offset_;
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) sorted_symbols_[fill[lengths[s]]++] = static_cast<std::uint32_t>(s);
+  }
+}
+
+std::size_t HuffmanDecoder::Decode(BitReader& reader) const {
+  std::uint32_t code = 0;
+  for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
+    code = (code << 1) | reader.ReadBit();
+    if (count_[len] != 0 && code >= first_code_[len] &&
+        code < first_code_[len] + count_[len]) {
+      return sorted_symbols_[symbol_offset_[len] + (code - first_code_[len])];
+    }
+  }
+  throw std::runtime_error("invalid Huffman code");
+}
+
+void WriteCodeLengths(BitWriter& writer, const std::vector<std::uint8_t>& lengths) {
+  // 4 bits per length; a zero is followed by a 6-bit run extension so long
+  // stretches of unused symbols stay cheap.
+  std::size_t i = 0;
+  while (i < lengths.size()) {
+    if (lengths[i] == 0) {
+      std::size_t run = 1;
+      while (i + run < lengths.size() && lengths[i + run] == 0 && run < 64) ++run;
+      writer.Write(0, 4);
+      writer.Write(static_cast<std::uint32_t>(run - 1), 6);
+      i += run;
+    } else {
+      writer.Write(lengths[i], 4);
+      ++i;
+    }
+  }
+}
+
+std::vector<std::uint8_t> ReadCodeLengths(BitReader& reader, std::size_t symbol_count) {
+  std::vector<std::uint8_t> lengths(symbol_count, 0);
+  std::size_t i = 0;
+  while (i < symbol_count) {
+    const std::uint32_t value = reader.Read(4);
+    if (value == 0) {
+      const std::size_t run = reader.Read(6) + 1;
+      if (i + run > symbol_count) throw std::runtime_error("code length overrun");
+      i += run;
+    } else {
+      lengths[i++] = static_cast<std::uint8_t>(value);
+    }
+  }
+  return lengths;
+}
+
+}  // namespace squirrel::compress

@@ -1,0 +1,56 @@
+// Canonical Huffman coding over a generic symbol alphabet.
+//
+// Code lengths are limited to kMaxCodeLength; the builder repeatedly damps
+// frequencies if the optimal tree exceeds that depth (the classic zlib-style
+// workaround, simpler than package-merge and near-optimal in practice).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "compress/bitio.h"
+
+namespace squirrel::compress {
+
+inline constexpr unsigned kMaxCodeLength = 15;
+
+/// Builds canonical code lengths for `freqs` (0-frequency symbols get length
+/// 0 and no code). If only one symbol is used it receives length 1.
+std::vector<std::uint8_t> BuildCodeLengths(const std::vector<std::uint64_t>& freqs);
+
+/// Canonical encoder: maps symbol -> (code bits, length).
+class HuffmanEncoder {
+ public:
+  explicit HuffmanEncoder(const std::vector<std::uint8_t>& lengths);
+
+  void Encode(BitWriter& writer, std::size_t symbol) const;
+  std::uint8_t length(std::size_t symbol) const { return lengths_[symbol]; }
+
+ private:
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint32_t> codes_;
+};
+
+/// Canonical decoder built from the same code-length vector.
+class HuffmanDecoder {
+ public:
+  explicit HuffmanDecoder(const std::vector<std::uint8_t>& lengths);
+
+  /// Decodes one symbol; throws std::runtime_error on invalid codes.
+  std::size_t Decode(BitReader& reader) const;
+
+ private:
+  // first_code_[len] / first_symbol_[len] give the canonical decode walk.
+  std::array<std::uint32_t, kMaxCodeLength + 2> first_code_{};
+  std::array<std::uint32_t, kMaxCodeLength + 2> count_{};
+  std::array<std::uint32_t, kMaxCodeLength + 2> symbol_offset_{};
+  std::vector<std::uint32_t> sorted_symbols_;
+};
+
+/// Serializes code lengths compactly (4 bits per symbol, with a simple
+/// zero-run escape) and reads them back.
+void WriteCodeLengths(BitWriter& writer, const std::vector<std::uint8_t>& lengths);
+std::vector<std::uint8_t> ReadCodeLengths(BitReader& reader, std::size_t symbol_count);
+
+}  // namespace squirrel::compress

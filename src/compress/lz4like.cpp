@@ -1,0 +1,137 @@
+#include "compress/lz4like.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace squirrel::compress {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr unsigned kHashBits = 13;
+
+std::uint32_t Load32(const util::Byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint32_t HashAt(const util::Byte* p) {
+  return (Load32(p) * 2654435761u) >> (32 - kHashBits);
+}
+
+void WriteVarRun(util::Bytes& out, std::size_t value) {
+  // 255-escape continuation, as in LZ4's length encoding.
+  while (value >= 255) {
+    out.push_back(255);
+    value -= 255;
+  }
+  out.push_back(static_cast<util::Byte>(value));
+}
+
+std::size_t ReadVarRun(util::ByteSpan input, std::size_t& pos, std::size_t base) {
+  std::size_t value = base;
+  if (base != 15 && base != 255) return value;  // no continuation needed
+  for (;;) {
+    if (pos >= input.size()) throw std::runtime_error("lz4: truncated run");
+    const util::Byte b = input[pos++];
+    value += b;
+    if (b != 255) return value;
+  }
+}
+
+}  // namespace
+
+util::Bytes Lz4LikeCodec::Compress(util::ByteSpan input) const {
+  util::Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  const util::Byte* data = input.data();
+  const std::size_t n = input.size();
+
+  std::vector<std::int32_t> table(1u << kHashBits, -1);
+
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+
+  auto emit_sequence = [&](std::size_t match_len, std::size_t offset) {
+    const std::size_t literals = pos - literal_start;
+    const std::size_t lit_nibble = std::min<std::size_t>(literals, 15);
+    const std::size_t match_code = match_len - kMinMatch;
+    const std::size_t match_nibble = std::min<std::size_t>(match_code, 15);
+    out.push_back(static_cast<util::Byte>((lit_nibble << 4) | match_nibble));
+    if (lit_nibble == 15) WriteVarRun(out, literals - 15);
+    out.insert(out.end(), data + literal_start, data + pos);
+    out.push_back(static_cast<util::Byte>(offset & 0xff));
+    out.push_back(static_cast<util::Byte>(offset >> 8));
+    if (match_nibble == 15) WriteVarRun(out, match_code - 15);
+  };
+
+  while (pos + kMinMatch <= n) {
+    const std::uint32_t h = HashAt(data + pos);
+    const std::int32_t candidate = table[h];
+    table[h] = static_cast<std::int32_t>(pos);
+    if (candidate >= 0 && pos - candidate <= kMaxOffset &&
+        Load32(data + candidate) == Load32(data + pos)) {
+      std::size_t len = kMinMatch;
+      const std::size_t limit = n - pos;
+      while (len < limit && data[candidate + len] == data[pos + len]) ++len;
+      const std::size_t offset = pos - static_cast<std::size_t>(candidate);
+      emit_sequence(len, offset);
+      // Index a couple of positions inside the match for future references.
+      for (std::size_t i = 1; i < len && i < 4; ++i) {
+        if (pos + i + 4 <= n) table[HashAt(data + pos + i)] =
+            static_cast<std::int32_t>(pos + i);
+      }
+      pos += len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+
+  // Trailing literal run, marked by a token with match nibble 0 and offset 0.
+  pos = n;
+  const std::size_t literals = pos - literal_start;
+  const std::size_t lit_nibble = std::min<std::size_t>(literals, 15);
+  out.push_back(static_cast<util::Byte>(lit_nibble << 4));
+  if (lit_nibble == 15) WriteVarRun(out, literals - 15);
+  out.insert(out.end(), data + literal_start, data + pos);
+  out.push_back(0);
+  out.push_back(0);
+  return out;
+}
+
+util::Bytes Lz4LikeCodec::Decompress(util::ByteSpan input,
+                                     std::size_t expected_size) const {
+  util::Bytes out;
+  out.reserve(expected_size);
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    const util::Byte token = input[pos++];
+    const std::size_t lit_base = token >> 4;
+    const std::size_t match_base = token & 0xf;
+    const std::size_t literals = ReadVarRun(input, pos, lit_base);
+    if (pos + literals > input.size()) {
+      throw std::runtime_error("lz4: truncated literals");
+    }
+    out.insert(out.end(), input.begin() + pos, input.begin() + pos + literals);
+    pos += literals;
+    if (pos + 2 > input.size()) throw std::runtime_error("lz4: truncated offset");
+    const std::size_t offset = input[pos] | (input[pos + 1] << 8);
+    pos += 2;
+    if (offset == 0) break;  // end-of-stream marker
+    const std::size_t match_len =
+        ReadVarRun(input, pos, match_base) + kMinMatch;
+    if (offset > out.size()) throw std::runtime_error("lz4: bad offset");
+    const std::size_t start = out.size() - offset;
+    for (std::size_t i = 0; i < match_len; ++i) out.push_back(out[start + i]);
+    if (out.size() > expected_size) throw std::runtime_error("lz4: overrun");
+  }
+  if (out.size() != expected_size) {
+    throw std::runtime_error("lz4: output size mismatch");
+  }
+  return out;
+}
+
+}  // namespace squirrel::compress

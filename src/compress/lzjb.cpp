@@ -1,0 +1,110 @@
+#include "compress/lzjb.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace squirrel::compress {
+namespace {
+
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMatchBits = 6;
+constexpr std::size_t kMaxMatch = (1u << kMatchBits) + kMinMatch - 1;  // 66
+constexpr std::size_t kOffsetMask = (1u << (16 - kMatchBits)) - 1;     // 1023
+constexpr std::size_t kTableSize = 1024;
+
+std::size_t Hash3(const util::Byte* p) {
+  return ((std::size_t(p[0]) << 16) ^ (std::size_t(p[1]) << 8) ^ p[2]) *
+             0x9e3779b1u >>
+         20 & (kTableSize - 1);
+}
+
+}  // namespace
+
+util::Bytes LzjbCodec::Compress(util::ByteSpan input) const {
+  util::Bytes out;
+  out.reserve(input.size() + input.size() / 8 + 16);
+  std::vector<std::int32_t> table(kTableSize, -1);
+
+  const util::Byte* data = input.data();
+  const std::size_t n = input.size();
+  std::size_t pos = 0;
+  std::size_t control_index = 0;
+  util::Byte control_bit = 0;
+
+  while (pos < n) {
+    if (control_bit == 0) {
+      control_index = out.size();
+      out.push_back(0);
+      control_bit = 1;
+    }
+    bool emitted_match = false;
+    if (pos + kMinMatch <= n) {
+      const std::size_t h = Hash3(data + pos);
+      const std::int32_t candidate = table[h];
+      table[h] = static_cast<std::int32_t>(pos);
+      if (candidate >= 0) {
+        const std::size_t offset = pos - static_cast<std::size_t>(candidate);
+        if (offset > 0 && offset <= kOffsetMask &&
+            data[candidate] == data[pos] &&
+            data[candidate + 1] == data[pos + 1] &&
+            data[candidate + 2] == data[pos + 2]) {
+          std::size_t len = kMinMatch;
+          const std::size_t limit = std::min(kMaxMatch, n - pos);
+          while (len < limit && data[candidate + len] == data[pos + len]) ++len;
+          const std::uint16_t token = static_cast<std::uint16_t>(
+              ((len - kMinMatch) << (16 - kMatchBits)) | offset);
+          out[control_index] |= control_bit;
+          out.push_back(static_cast<util::Byte>(token >> 8));
+          out.push_back(static_cast<util::Byte>(token & 0xff));
+          pos += len;
+          emitted_match = true;
+        }
+      }
+    }
+    if (!emitted_match) {
+      out.push_back(data[pos]);
+      ++pos;
+    }
+    control_bit = static_cast<util::Byte>(control_bit << 1);
+  }
+  return out;
+}
+
+util::Bytes LzjbCodec::Decompress(util::ByteSpan input,
+                                  std::size_t expected_size) const {
+  util::Bytes out;
+  out.reserve(expected_size);
+  std::size_t pos = 0;
+  util::Byte control = 0;
+  util::Byte control_bit = 0;
+
+  while (out.size() < expected_size) {
+    if (control_bit == 0) {
+      if (pos >= input.size()) throw std::runtime_error("lzjb: truncated");
+      control = input[pos++];
+      control_bit = 1;
+    }
+    if (control & control_bit) {
+      if (pos + 2 > input.size()) throw std::runtime_error("lzjb: truncated match");
+      const std::uint16_t token =
+          static_cast<std::uint16_t>((input[pos] << 8) | input[pos + 1]);
+      pos += 2;
+      const std::size_t len = (token >> (16 - kMatchBits)) + kMinMatch;
+      const std::size_t offset = token & kOffsetMask;
+      if (offset == 0 || offset > out.size()) {
+        throw std::runtime_error("lzjb: bad offset");
+      }
+      const std::size_t start = out.size() - offset;
+      for (std::size_t i = 0; i < len && out.size() < expected_size; ++i) {
+        out.push_back(out[start + i]);
+      }
+    } else {
+      if (pos >= input.size()) throw std::runtime_error("lzjb: truncated literal");
+      out.push_back(input[pos++]);
+    }
+    control_bit = static_cast<util::Byte>(control_bit << 1);
+  }
+  return out;
+}
+
+}  // namespace squirrel::compress

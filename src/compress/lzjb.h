@@ -1,0 +1,22 @@
+// LZJB-style codec: the simple LZ scheme ZFS uses for `compression=lzjb`.
+//
+// A control byte precedes every 8 items; each control bit selects either one
+// literal byte or a 2-byte match token (6-bit length-3, 10-bit offset) found
+// through a tiny 3-byte-hash table. The 1 KiB offset window and 66-byte max
+// match are why its ratio trails lz4 in Figure 3.
+#pragma once
+
+#include "compress/codec.h"
+
+namespace squirrel::compress {
+
+class LzjbCodec final : public Codec {
+ public:
+  std::string_view name() const override { return "lzjb"; }
+  util::Bytes Compress(util::ByteSpan input) const override;
+  util::Bytes Decompress(util::ByteSpan input,
+                         std::size_t expected_size) const override;
+  CodecCost cost() const override { return {3.5, 1.2}; }
+};
+
+}  // namespace squirrel::compress

@@ -1,0 +1,73 @@
+#include "compress/zle.h"
+
+#include <stdexcept>
+
+namespace squirrel::compress {
+
+util::Bytes ZleCodec::Compress(util::ByteSpan input) const {
+  util::Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+
+  auto flush_literals = [&](std::size_t end) {
+    std::size_t start = literal_start;
+    while (start < end) {
+      const std::size_t take = std::min(kMaxLiterals, end - start);
+      out.push_back(static_cast<util::Byte>(take - 1));
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(start),
+                 input.begin() + static_cast<std::ptrdiff_t>(start + take));
+      start += take;
+    }
+  };
+
+  while (pos < input.size()) {
+    if (input[pos] == 0) {
+      std::size_t run = 1;
+      while (pos + run < input.size() && input[pos + run] == 0 &&
+             run < kMaxRun) {
+        ++run;
+      }
+      if (run >= kMinRun) {
+        flush_literals(pos);
+        out.push_back(static_cast<util::Byte>(128 + run - kMinRun));
+        pos += run;
+        literal_start = pos;
+        continue;
+      }
+      pos += run;  // short zero run stays literal
+    } else {
+      ++pos;
+    }
+  }
+  flush_literals(input.size());
+  return out;
+}
+
+util::Bytes ZleCodec::Decompress(util::ByteSpan input,
+                                 std::size_t expected_size) const {
+  util::Bytes out;
+  out.reserve(expected_size);
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    const util::Byte token = input[pos++];
+    if (token < 128) {
+      const std::size_t take = std::size_t(token) + 1;
+      if (pos + take > input.size()) {
+        throw std::runtime_error("zle: truncated literals");
+      }
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(pos),
+                 input.begin() + static_cast<std::ptrdiff_t>(pos + take));
+      pos += take;
+    } else {
+      out.insert(out.end(), std::size_t(token) - 128 + kMinRun, 0);
+    }
+    if (out.size() > expected_size) throw std::runtime_error("zle: overrun");
+  }
+  if (out.size() != expected_size) {
+    throw std::runtime_error("zle: output size mismatch");
+  }
+  return out;
+}
+
+}  // namespace squirrel::compress

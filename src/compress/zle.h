@@ -1,0 +1,30 @@
+// ZLE-style codec: ZFS's "zero length encoding", the cheapest compressor in
+// its arsenal — it only collapses runs of zero bytes and copies everything
+// else verbatim. Useful as a near-free baseline for mostly-binary content
+// with embedded zero padding.
+//
+// Format: a stream of tokens. Token byte t:
+//   t < 128  -> copy t+1 literal bytes that follow
+//   t >= 128 -> a run of (t - 128 + kMinRun) zero bytes
+// Zero runs shorter than kMinRun are emitted as literals (matching ZLE's
+// "only worth it past a threshold" behaviour).
+#pragma once
+
+#include "compress/codec.h"
+
+namespace squirrel::compress {
+
+class ZleCodec final : public Codec {
+ public:
+  static constexpr std::size_t kMinRun = 4;
+  static constexpr std::size_t kMaxRun = 127 + kMinRun;
+  static constexpr std::size_t kMaxLiterals = 128;
+
+  std::string_view name() const override { return "zle"; }
+  util::Bytes Compress(util::ByteSpan input) const override;
+  util::Bytes Decompress(util::ByteSpan input,
+                         std::size_t expected_size) const override;
+  CodecCost cost() const override { return {0.4, 0.3}; }
+};
+
+}  // namespace squirrel::compress

@@ -1,0 +1,204 @@
+#include "core/squirrel.h"
+
+#include <stdexcept>
+
+namespace squirrel::core {
+namespace {
+
+std::string SnapshotName(std::uint64_t counter) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "reg-%06llu",
+                static_cast<unsigned long long>(counter));
+  return buf;
+}
+
+}  // namespace
+
+SquirrelCluster::SquirrelCluster(SquirrelConfig config,
+                                 std::uint32_t compute_count,
+                                 sim::NetworkConfig net_config)
+    : config_(config),
+      sc_volume_(config.volume),
+      network_(compute_count + 1, net_config) {
+  compute_nodes_.reserve(compute_count);
+  for (std::uint32_t i = 0; i < compute_count; ++i) {
+    compute_nodes_.push_back(std::make_unique<ComputeNode>(i, config.volume));
+  }
+}
+
+RegistrationReport SquirrelCluster::Register(
+    const std::string& image_id, const util::DataSource& cache_content,
+    std::uint64_t now) {
+  if (sc_volume_.HasFile(CacheFileName(image_id))) {
+    throw std::invalid_argument("image already registered: " + image_id);
+  }
+
+  RegistrationReport report;
+  report.image_id = image_id;
+
+  // 1. The registration boot on the storage node produces the cache content
+  //    copy-on-read; we ingest its final state directly (§3.2 step 1-2).
+  const std::string previous_snapshot =
+      sc_volume_.LatestSnapshot() ? sc_volume_.LatestSnapshot()->name : "";
+  sc_volume_.WriteFile(CacheFileName(image_id), cache_content);
+  report.total_seconds += config_.registration_boot_seconds;
+
+  // 2. Snapshot the scVolume for this registration (§3.2 step 3).
+  report.snapshot_name = SnapshotName(++registration_counter_);
+  sc_volume_.CreateSnapshot(report.snapshot_name, now);
+  report.total_seconds += config_.snapshot_seconds;
+
+  // 3. Incremental diff against the previous snapshot, multicast to every
+  //    online compute node (§3.2 step 4).
+  const zvol::SendStream stream =
+      sc_volume_.Send(previous_snapshot, report.snapshot_name);
+  const util::Bytes wire = stream.Serialize();
+  report.diff_wire_bytes = wire.size();
+  report.total_seconds += static_cast<double>(wire.size()) /
+                          config_.stream_processing_bytes_per_second;
+
+  std::vector<std::uint32_t> receivers;
+  for (const auto& node : compute_nodes_) {
+    if (node->online()) receivers.push_back(node->id() + 1);
+  }
+  double distribution_ns = 0.0;
+  switch (config_.propagation) {
+    case PropagationStrategy::kMulticast:
+      distribution_ns = network_.Multicast(0, receivers, wire.size());
+      break;
+    case PropagationStrategy::kUnicast:
+      distribution_ns = network_.UnicastAll(0, receivers, wire.size());
+      break;
+    case PropagationStrategy::kPipeline:
+      distribution_ns = network_.Pipeline(0, receivers, wire.size());
+      break;
+  }
+  report.total_seconds += distribution_ns / 1e9;
+
+  const zvol::SendStream parsed = zvol::SendStream::Deserialize(wire);
+  for (const auto& node : compute_nodes_) {
+    if (!node->online()) continue;
+    if (node->volume().LatestSnapshot() == nullptr && parsed.incremental) {
+      // A node that joined after earlier registrations but was never synced
+      // cannot apply an incremental diff; it catches up on its next boot.
+      continue;
+    }
+    try {
+      node->volume().Receive(parsed);
+      ++report.receivers;
+    } catch (const zvol::StreamMismatchError&) {
+      // Stale replica (missed earlier diffs); resolved by SyncNode later.
+    }
+  }
+
+  // Cache accounting for the report.
+  report.cache_logical_bytes = 0;
+  const std::string file = CacheFileName(image_id);
+  for (std::uint64_t b = 0; b < sc_volume_.FileBlockCount(file); ++b) {
+    const zvol::BlockPtr& ptr = sc_volume_.FileBlock(file, b);
+    if (!ptr.hole) report.cache_logical_bytes += ptr.logical_size;
+  }
+
+  registered_.push_back(image_id);
+  return report;
+}
+
+void SquirrelCluster::Deregister(const std::string& image_id, std::uint64_t) {
+  const std::string file = CacheFileName(image_id);
+  if (!sc_volume_.HasFile(file)) {
+    throw std::invalid_argument("image not registered: " + image_id);
+  }
+  sc_volume_.DeleteFile(file);
+  std::erase(registered_, image_id);
+  // No snapshot here (§3.4): the deletion reaches ccVolumes with the next
+  // registration's snapshot, and the blocks stay pinned by old snapshots
+  // until garbage collection prunes them.
+}
+
+SyncReport SquirrelCluster::SyncNode(std::uint32_t compute_node,
+                                     std::uint64_t now) {
+  (void)now;
+  ComputeNode& node = *compute_nodes_.at(compute_node);
+  SyncReport report;
+
+  const zvol::Snapshot* sc_latest = sc_volume_.LatestSnapshot();
+  if (sc_latest == nullptr) return report;  // nothing registered yet
+
+  const zvol::Snapshot* local = node.volume().LatestSnapshot();
+  if (local != nullptr && local->id == sc_latest->id) return report;
+
+  const bool have_base =
+      local != nullptr && sc_volume_.FindSnapshot(local->name) != nullptr &&
+      sc_volume_.FindSnapshot(local->name)->id == local->id;
+
+  zvol::SendStream stream;
+  if (have_base) {
+    stream = sc_volume_.Send(local->name, sc_latest->name);
+  } else {
+    // §3.5 scenario 2: offline longer than the retention window (or a brand
+    // new node) — replicate the entire scVolume.
+    report.full_resync = true;
+    stream = sc_volume_.Send("", sc_latest->name);
+  }
+
+  const util::Bytes wire = stream.Serialize();
+  report.wire_bytes = wire.size();
+  report.seconds += network_.Transfer(0, compute_node + 1, wire.size()) / 1e9;
+  report.seconds += static_cast<double>(wire.size()) /
+                    config_.stream_processing_bytes_per_second;
+
+  const zvol::SendStream parsed = zvol::SendStream::Deserialize(wire);
+  const std::uint64_t before =
+      node.volume().LatestSnapshot() ? node.volume().LatestSnapshot()->id : 0;
+  if (report.full_resync) {
+    node.volume().ReceiveFull(parsed);
+  } else {
+    node.volume().Receive(parsed);
+  }
+  report.snapshots_advanced = static_cast<std::uint32_t>(
+      node.volume().LatestSnapshot()->id - before);
+  return report;
+}
+
+void SquirrelCluster::RunGc(std::uint64_t now) {
+  sc_volume_.PruneSnapshots(config_.retention_seconds, now);
+  for (const auto& node : compute_nodes_) {
+    if (node->online()) {
+      node->volume().PruneSnapshots(config_.retention_seconds, now);
+    }
+  }
+}
+
+BootReport SquirrelCluster::Boot(std::uint32_t compute_node,
+                                 const std::string& image_id,
+                                 const util::DataSource& base_image,
+                                 const std::vector<vmi::BootRead>& trace,
+                                 sim::IoContext& io,
+                                 const sim::BootSimConfig& boot_config,
+                                 const std::vector<vmi::BootRead>* writes,
+                                 sim::RemoteImageDevice::AllocationMap allocation) {
+  ComputeNode& node = *compute_nodes_.at(compute_node);
+  const std::string file = CacheFileName(image_id);
+  if (!node.volume().HasFile(file)) {
+    throw std::invalid_argument("ccVolume has no cache for " + image_id +
+                                " — sync the node first");
+  }
+
+  const std::uint64_t net_before = network_.bytes_in(compute_node + 1);
+
+  // §3.3: empty CoW overlay -> ccVolume cache file -> base VMI.
+  cow::QcowOverlay overlay(base_image.size(), cow::kDefaultClusterSize);
+  sim::VolumeFileDevice cache(&node.volume(), file, &io,
+                              /*device_id=*/0x1000 + compute_node);
+  sim::RemoteImageDevice base(&base_image, &io, &network_, compute_node + 1,
+                              std::move(allocation));
+  // The ccVolume is read-only to VMs: copy-on-read happened at registration.
+  cow::Chain chain(&overlay, &cache, &base, /*copy_on_read=*/false);
+
+  BootReport report;
+  report.result = sim::SimulateBoot(chain, trace, io, boot_config, writes);
+  report.network_bytes = network_.bytes_in(compute_node + 1) - net_before;
+  return report;
+}
+
+}  // namespace squirrel::core

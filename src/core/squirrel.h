@@ -1,0 +1,168 @@
+// Squirrel: fully replicated scatter-hoarded storage of VMI caches
+// (Section 3).
+//
+// One storage-side cache volume (scVolume) holds the deduplicated,
+// compressed boot caches of every registered VMI. Every compute node holds a
+// ccVolume — a full replica kept in sync through ZFS-style incremental
+// snapshot streams:
+//
+//   register(image):   boot once near the storage node to produce the cache,
+//                      store it in the scVolume, snapshot, and multicast the
+//                      snapshot diff to all online compute nodes (§3.2).
+//   boot(node, image): chain an empty CoW overlay over the node's ccVolume
+//                      cache file over the (remote) base VMI; a warm replica
+//                      serves every boot read locally (§3.3).
+//   deregister(image): delete the cache (no snapshot; the deletion
+//                      propagates with the next registration) (§3.4).
+//   sync(node):        on node boot, catch up from its latest local snapshot;
+//                      if the storage side already pruned that snapshot, fall
+//                      back to full replication (§3.5).
+//   gc():              daily cron — prune snapshots older than the retention
+//                      window, always keeping the latest (§3.4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cow/chain.h"
+#include "sim/boot_sim.h"
+#include "sim/devices.h"
+#include "sim/io_context.h"
+#include "sim/network.h"
+#include "util/source.h"
+#include "zvol/volume.h"
+
+namespace squirrel::core {
+
+/// How a registration diff reaches the compute nodes (§3.2 discusses IP
+/// multicast; §5.2 the peer-to-peer / LANTorrent-style alternatives).
+enum class PropagationStrategy {
+  kMulticast,  // one stream on the wire, all online nodes receive (default)
+  kUnicast,    // one stream per node — storage-node egress scales with n
+  kPipeline,   // LANTorrent-style chain: each node receives and forwards once
+};
+
+struct SquirrelConfig {
+  zvol::VolumeConfig volume{};  // 64 KiB, gzip6, dedup — the paper's choice
+  PropagationStrategy propagation = PropagationStrategy::kMulticast;
+  /// Offline-propagation window `n` (§3.4/§3.5), in simulated seconds.
+  std::uint64_t retention_seconds = 7ull * 24 * 3600;
+  /// Time one registration boot takes on the storage node (the paper
+  /// measured < 20 s average for the dataset).
+  double registration_boot_seconds = 20.0;
+  /// Snapshot creation cost (read-only snapshots are cheap).
+  double snapshot_seconds = 0.1;
+  /// Throughput of generating/apply a send stream, bytes/s.
+  double stream_processing_bytes_per_second = 200e6;
+};
+
+struct RegistrationReport {
+  std::string image_id;
+  std::string snapshot_name;
+  std::uint64_t cache_logical_bytes = 0;  // nonzero cache content written
+  std::uint64_t diff_wire_bytes = 0;      // incremental stream size
+  std::uint32_t receivers = 0;            // online compute nodes updated
+  double total_seconds = 0.0;             // §3.2: should be well under a minute
+};
+
+struct SyncReport {
+  bool full_resync = false;
+  std::uint64_t wire_bytes = 0;
+  std::uint32_t snapshots_advanced = 0;
+  double seconds = 0.0;
+};
+
+struct BootReport {
+  sim::BootResult result;
+  std::uint64_t network_bytes = 0;  // base-VMI bytes pulled over the network
+};
+
+/// One compute node: its ccVolume and availability state.
+class ComputeNode {
+ public:
+  ComputeNode(std::uint32_t id, const zvol::VolumeConfig& config)
+      : id_(id), volume_(config) {}
+
+  std::uint32_t id() const { return id_; }
+  bool online() const { return online_; }
+  void set_online(bool online) { online_ = online; }
+
+  zvol::Volume& volume() { return volume_; }
+  const zvol::Volume& volume() const { return volume_; }
+
+ private:
+  std::uint32_t id_;
+  bool online_ = true;
+  zvol::Volume volume_;
+};
+
+class SquirrelCluster {
+ public:
+  /// Node ids: 0 is the storage node; compute nodes are 1..compute_count.
+  SquirrelCluster(SquirrelConfig config, std::uint32_t compute_count,
+                  sim::NetworkConfig net_config = {});
+
+  // --- workflows -----------------------------------------------------------
+
+  /// Registers a VMI: `cache_content` is the boot working set view of the
+  /// image (what the registration boot writes copy-on-read). Creates the
+  /// scVolume snapshot and multicasts the diff to all online nodes.
+  RegistrationReport Register(const std::string& image_id,
+                              const util::DataSource& cache_content,
+                              std::uint64_t now);
+
+  /// Deletes the cache from the scVolume. No snapshot (§3.4); ccVolumes
+  /// learn about it with the next registration's snapshot.
+  void Deregister(const std::string& image_id, std::uint64_t now);
+
+  /// Brings one node's ccVolume up to date (the node-boot path, §3.5).
+  SyncReport SyncNode(std::uint32_t compute_node, std::uint64_t now);
+
+  /// Daily garbage collection on the scVolume and every online ccVolume.
+  void RunGc(std::uint64_t now);
+
+  /// Boots a VM on a compute node from its local ccVolume replica, chained
+  /// over the remote base image. Returns boot timing and the network bytes
+  /// the boot consumed (zero when the replica is warm). `writes` optionally
+  /// replays the boot's write trace into the VM's CoW overlay; `allocation`
+  /// exposes the base image's sparse map so copy-on-write fills of
+  /// unallocated ranges stay off the network.
+  BootReport Boot(std::uint32_t compute_node, const std::string& image_id,
+                  const util::DataSource& base_image,
+                  const std::vector<vmi::BootRead>& trace, sim::IoContext& io,
+                  const sim::BootSimConfig& boot_config = {},
+                  const std::vector<vmi::BootRead>* writes = nullptr,
+                  sim::RemoteImageDevice::AllocationMap allocation = {});
+
+  // --- introspection ---------------------------------------------------------
+
+  zvol::Volume& storage_volume() { return sc_volume_; }
+  ComputeNode& compute_node(std::uint32_t i) { return *compute_nodes_.at(i); }
+  std::uint32_t compute_count() const {
+    return static_cast<std::uint32_t>(compute_nodes_.size());
+  }
+  sim::NetworkAccountant& network() { return network_; }
+  const SquirrelConfig& config() const { return config_; }
+
+  /// Registered image ids, in registration order.
+  const std::vector<std::string>& registered_images() const {
+    return registered_;
+  }
+
+  static std::string CacheFileName(const std::string& image_id) {
+    return "cache/" + image_id;
+  }
+
+ private:
+  SquirrelConfig config_;
+  zvol::Volume sc_volume_;
+  std::vector<std::unique_ptr<ComputeNode>> compute_nodes_;
+  sim::NetworkAccountant network_;
+  std::vector<std::string> registered_;
+  std::uint64_t registration_counter_ = 0;
+};
+
+}  // namespace squirrel::core

@@ -1,0 +1,113 @@
+#include "cow/chain.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace squirrel::cow {
+
+Chain::Chain(QcowOverlay* cow, WritableDevice* cache, Device* base,
+             bool copy_on_read)
+    : cow_(cow), cache_(cache), base_(base), copy_on_read_(copy_on_read) {
+  if (cow_ == nullptr || base_ == nullptr) {
+    throw std::invalid_argument("chain requires a CoW overlay and a base");
+  }
+}
+
+ReadSource Chain::FetchClusterFromBelow(std::uint64_t cluster_index,
+                                        util::MutableByteSpan out) {
+  const std::uint64_t cluster_start =
+      cluster_index * cow_->cluster_size();
+  if (cache_ != nullptr && cache_->Present(cluster_start)) {
+    cache_->ReadAt(cluster_start, out);
+    cache_bytes_read_ += out.size();
+    if (observer_) {
+      observer_(ReadEvent{ReadSource::kCache, cluster_start,
+                          static_cast<std::uint32_t>(out.size()), false});
+    }
+    return ReadSource::kCache;
+  }
+
+  if (!base_->Allocated(cluster_start, out.size())) {
+    // Unallocated backing range: zero-fill locally, no I/O (QCOW2 semantics).
+    std::memset(out.data(), 0, out.size());
+    return ReadSource::kBase;
+  }
+  base_->ReadAt(cluster_start, out);
+  base_bytes_read_ += out.size();
+  bool filled = false;
+  if (cache_ != nullptr && copy_on_read_) {
+    cache_->WriteAt(cluster_start, util::ByteSpan(out.data(), out.size()));
+    filled = true;
+  }
+  if (observer_) {
+    observer_(ReadEvent{ReadSource::kBase, cluster_start,
+                        static_cast<std::uint32_t>(out.size()), filled});
+  }
+  return ReadSource::kBase;
+}
+
+util::Bytes Chain::Read(std::uint64_t offset, std::uint64_t length) {
+  if (offset + length > size()) throw std::out_of_range("chain read past end");
+  util::Bytes out(length);
+  const std::uint32_t cluster_size = cow_->cluster_size();
+
+  std::uint64_t pos = 0;
+  util::Bytes cluster_buffer(cluster_size);
+  while (pos < length) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t index = abs / cluster_size;
+    const std::uint64_t within = abs % cluster_size;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(cluster_size - within, length - pos);
+
+    if (cow_->ClusterPresent(index)) {
+      cow_->ReadAt(abs, util::MutableByteSpan(out.data() + pos, take));
+      if (observer_) {
+        observer_(ReadEvent{ReadSource::kCowOverlay, abs,
+                            static_cast<std::uint32_t>(take), false});
+      }
+    } else {
+      // Lower layers serve whole clusters (QCOW2 request shaping).
+      const std::uint64_t cluster_start = index * cluster_size;
+      const std::uint64_t cluster_len = std::min<std::uint64_t>(
+          cluster_size, size() - cluster_start);
+      util::MutableByteSpan cluster(cluster_buffer.data(), cluster_len);
+      FetchClusterFromBelow(index, cluster);
+      std::memcpy(out.data() + pos, cluster.data() + within, take);
+    }
+    pos += take;
+  }
+  return out;
+}
+
+void Chain::Write(std::uint64_t offset, util::ByteSpan data) {
+  if (offset + data.size() > size()) {
+    throw std::out_of_range("chain write past end");
+  }
+  const std::uint32_t cluster_size = cow_->cluster_size();
+  std::uint64_t pos = 0;
+  util::Bytes cluster_buffer(cluster_size);
+  while (pos < data.size()) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t index = abs / cluster_size;
+    const std::uint64_t within = abs % cluster_size;
+    const std::uint64_t take = std::min<std::uint64_t>(
+        cluster_size - within, data.size() - pos);
+
+    if (!cow_->ClusterPresent(index)) {
+      // Copy-on-write: bring the full cluster up before overwriting part.
+      const std::uint64_t cluster_start = index * cluster_size;
+      const std::uint64_t cluster_len = std::min<std::uint64_t>(
+          cluster_size, size() - cluster_start);
+      util::MutableByteSpan cluster(cluster_buffer.data(), cluster_len);
+      FetchClusterFromBelow(index, cluster);
+      cow_->InstallCluster(index, cluster);
+    }
+    cow_->WriteAt(abs, data.subspan(pos, take));
+    pos += take;
+  }
+}
+
+}  // namespace squirrel::cow

@@ -1,0 +1,73 @@
+// Image chain: CoW overlay -> optional VMI cache (copy-on-read) -> base VMI.
+//
+// This reproduces Figure 1's three configurations:
+//   * original copy-on-write:  Chain(cow, nullptr, base)
+//   * cold cache (CoR):        Chain(cow, cache, base) with an empty cache
+//   * warm cache:              Chain(cow, cache, base) with the cache
+//                              populated from a previous boot / registration
+//
+// Lower-layer reads are issued in whole QCOW2 clusters, as real QCOW2 does —
+// the request from the guest may be smaller, but the overlay's backing reads
+// are (offset, cluster) shaped. This read amplification is what feeds the
+// host page cache with soon-to-be-needed boot data (Section 4.2.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cow/device.h"
+#include "cow/qcow.h"
+
+namespace squirrel::cow {
+
+/// Which layer ultimately served a cluster.
+enum class ReadSource { kCowOverlay, kCache, kBase };
+
+struct ReadEvent {
+  ReadSource source;
+  std::uint64_t offset;       // cluster-aligned for cache/base reads
+  std::uint32_t length;       // full cluster length for cache/base reads
+  bool cor_fill = false;      // this cluster was also written into the cache
+};
+
+using ReadObserver = std::function<void(const ReadEvent&)>;
+
+class Chain {
+ public:
+  /// `cache` may be null (plain CoW). `base` must not be null. Ownership
+  /// stays with the caller. `copy_on_read` controls whether base reads
+  /// populate the cache.
+  Chain(QcowOverlay* cow, WritableDevice* cache, Device* base,
+        bool copy_on_read);
+
+  std::uint64_t size() const { return base_->size(); }
+
+  /// Guest read. Each touched cluster is served by the topmost layer that
+  /// holds it; base reads optionally populate the cache (CoR).
+  util::Bytes Read(std::uint64_t offset, std::uint64_t length);
+
+  /// Guest write: copy-on-write into the overlay (fills the cluster from
+  /// the lower layers first).
+  void Write(std::uint64_t offset, util::ByteSpan data);
+
+  void set_observer(ReadObserver observer) { observer_ = std::move(observer); }
+
+  std::uint64_t base_bytes_read() const { return base_bytes_read_; }
+  std::uint64_t cache_bytes_read() const { return cache_bytes_read_; }
+
+ private:
+  /// Reads one whole cluster from cache/base into `out` (cluster_size bytes,
+  /// or less for the image tail). Returns the serving source.
+  ReadSource FetchClusterFromBelow(std::uint64_t cluster_index,
+                                   util::MutableByteSpan out);
+
+  QcowOverlay* cow_;
+  WritableDevice* cache_;
+  Device* base_;
+  bool copy_on_read_;
+  ReadObserver observer_;
+  std::uint64_t base_bytes_read_ = 0;
+  std::uint64_t cache_bytes_read_ = 0;
+};
+
+}  // namespace squirrel::cow

@@ -1,0 +1,45 @@
+// Block-device abstraction for image chains.
+//
+// A chain layer (CoW image, VMI cache, base VMI) exposes presence at byte
+// offsets and cluster-wise reads. Devices are not const-read: reads may
+// update internal accounting or simulated caches.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace squirrel::cow {
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  virtual std::uint64_t size() const = 0;
+
+  /// True if this layer can serve the byte at `offset` itself.
+  virtual bool Present(std::uint64_t offset) const = 0;
+
+  /// Reads [offset, offset+out.size()); caller guarantees the range is
+  /// present (chains check Present first, the bottom layer is always
+  /// present).
+  virtual void ReadAt(std::uint64_t offset, util::MutableByteSpan out) = 0;
+
+  /// True if any byte of [offset, offset+length) is backed by real data.
+  /// QCOW2 reads unallocated backing ranges as zeros without any I/O; the
+  /// chain consults this before fetching from the base. Default: allocated
+  /// (raw, fully-allocated devices).
+  virtual bool Allocated(std::uint64_t offset, std::uint64_t length) const {
+    (void)offset;
+    (void)length;
+    return true;
+  }
+};
+
+/// A device that also accepts writes (CoW top layers, CoR cache layers).
+class WritableDevice : public Device {
+ public:
+  virtual void WriteAt(std::uint64_t offset, util::ByteSpan data) = 0;
+};
+
+}  // namespace squirrel::cow

@@ -1,0 +1,65 @@
+#include "cow/qcow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace squirrel::cow {
+
+QcowOverlay::QcowOverlay(std::uint64_t logical_size, std::uint32_t cluster_size)
+    : logical_size_(logical_size), cluster_size_(cluster_size) {
+  if (cluster_size == 0) throw std::invalid_argument("cluster_size");
+}
+
+bool QcowOverlay::Present(std::uint64_t offset) const {
+  return clusters_.contains(offset / cluster_size_);
+}
+
+void QcowOverlay::ReadAt(std::uint64_t offset, util::MutableByteSpan out) {
+  assert(offset + out.size() <= logical_size_);
+  std::uint64_t pos = 0;
+  while (pos < out.size()) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t index = abs / cluster_size_;
+    const std::uint64_t within = abs % cluster_size_;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(cluster_size_ - within, out.size() - pos);
+    const auto it = clusters_.find(index);
+    if (it == clusters_.end()) {
+      throw std::logic_error("reading unallocated cluster");
+    }
+    std::memcpy(out.data() + pos, it->second.data() + within, take);
+    pos += take;
+  }
+}
+
+void QcowOverlay::WriteAt(std::uint64_t offset, util::ByteSpan data) {
+  assert(offset + data.size() <= logical_size_);
+  std::uint64_t pos = 0;
+  while (pos < data.size()) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t index = abs / cluster_size_;
+    const std::uint64_t within = abs % cluster_size_;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(cluster_size_ - within, data.size() - pos);
+    auto it = clusters_.find(index);
+    if (it == clusters_.end()) {
+      // The chain is responsible for copy-on-write fills; a direct write
+      // allocates a zero-filled cluster (tail clusters stay full-sized for
+      // simplicity; the logical size bounds reads).
+      it = clusters_.emplace(index, util::Bytes(cluster_size_, 0)).first;
+    }
+    std::memcpy(it->second.data() + within, data.data() + pos, take);
+    pos += take;
+  }
+}
+
+void QcowOverlay::InstallCluster(std::uint64_t index, util::ByteSpan data) {
+  assert(data.size() <= cluster_size_);
+  util::Bytes cluster(cluster_size_, 0);
+  std::memcpy(cluster.data(), data.data(), data.size());
+  clusters_[index] = std::move(cluster);
+}
+
+}  // namespace squirrel::cow

@@ -1,0 +1,51 @@
+// QCOW2-like cluster-mapped overlay image.
+//
+// The guest-visible address space is divided into clusters (64 KiB by
+// default, QCOW2's cluster size). A cluster is either unallocated (reads
+// fall through to the backing chain) or allocated in this overlay. Writes
+// allocate the target cluster, first filling it from below (copy-on-write).
+//
+// The same structure doubles as the copy-on-read cache layer: the chain
+// populates whole clusters into it as they are read from the base.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cow/device.h"
+
+namespace squirrel::cow {
+
+inline constexpr std::uint32_t kDefaultClusterSize = 64 * 1024;
+
+class QcowOverlay final : public WritableDevice {
+ public:
+  QcowOverlay(std::uint64_t logical_size, std::uint32_t cluster_size);
+
+  std::uint64_t size() const override { return logical_size_; }
+  bool Present(std::uint64_t offset) const override;
+  void ReadAt(std::uint64_t offset, util::MutableByteSpan out) override;
+  void WriteAt(std::uint64_t offset, util::ByteSpan data) override;
+
+  std::uint32_t cluster_size() const { return cluster_size_; }
+  std::uint64_t allocated_clusters() const { return clusters_.size(); }
+  std::uint64_t allocated_bytes() const {
+    return allocated_clusters() * cluster_size_;
+  }
+
+  bool ClusterPresent(std::uint64_t index) const {
+    return clusters_.contains(index);
+  }
+
+  /// Installs a full cluster (copy-on-read population). `data` must be
+  /// exactly one cluster, except for the final tail cluster of the image.
+  void InstallCluster(std::uint64_t index, util::ByteSpan data);
+
+ private:
+  std::uint64_t logical_size_;
+  std::uint32_t cluster_size_;
+  std::unordered_map<std::uint64_t, util::Bytes> clusters_;
+};
+
+}  // namespace squirrel::cow

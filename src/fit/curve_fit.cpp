@@ -1,0 +1,244 @@
+#include "fit/curve_fit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/stats.h"
+
+namespace squirrel::fit {
+namespace {
+
+double SumOfSquares(const FittedCurve& shape, const std::vector<double>& params,
+                    std::span<const double> x, std::span<const double> y) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double predicted = shape.eval(x[i], params);
+    if (!std::isfinite(predicted)) return 1e300;
+    const double err = predicted - y[i];
+    total += err * err;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<double> NelderMead(
+    const std::function<double(const std::vector<double>&)>& objective,
+    std::vector<double> initial, double initial_step, int max_iterations,
+    double tolerance) {
+  const std::size_t n = initial.size();
+  assert(n >= 1);
+
+  // Build the initial simplex: the start point plus n perturbed vertices.
+  std::vector<std::vector<double>> simplex;
+  simplex.push_back(initial);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> vertex = initial;
+    const double step = vertex[i] != 0.0 ? std::abs(vertex[i]) * initial_step
+                                         : initial_step;
+    vertex[i] += step;
+    simplex.push_back(std::move(vertex));
+  }
+  std::vector<double> values(simplex.size());
+  for (std::size_t i = 0; i < simplex.size(); ++i) {
+    values[i] = objective(simplex[i]);
+  }
+
+  constexpr double kAlpha = 1.0;   // reflection
+  constexpr double kGamma = 2.0;   // expansion
+  constexpr double kRho = 0.5;     // contraction
+  constexpr double kSigma = 0.5;   // shrink
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Order vertices by objective value.
+    std::vector<std::size_t> order(simplex.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second_worst = order[order.size() - 2];
+
+    if (std::abs(values[worst] - values[best]) <=
+        tolerance * (std::abs(values[best]) + tolerance)) {
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i : order) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double factor) {
+      std::vector<double> point(n);
+      for (std::size_t d = 0; d < n; ++d) {
+        point[d] = centroid[d] + factor * (centroid[d] - simplex[worst][d]);
+      }
+      return point;
+    };
+
+    const std::vector<double> reflected = blend(kAlpha);
+    const double reflected_value = objective(reflected);
+
+    if (reflected_value < values[best]) {
+      const std::vector<double> expanded = blend(kGamma);
+      const double expanded_value = objective(expanded);
+      if (expanded_value < reflected_value) {
+        simplex[worst] = expanded;
+        values[worst] = expanded_value;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = reflected_value;
+      }
+    } else if (reflected_value < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = reflected_value;
+    } else {
+      const std::vector<double> contracted = blend(-kRho);
+      const double contracted_value = objective(contracted);
+      if (contracted_value < values[worst]) {
+        simplex[worst] = contracted;
+        values[worst] = contracted_value;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i < simplex.size(); ++i) {
+          if (i == best) continue;
+          for (std::size_t d = 0; d < n; ++d) {
+            simplex[i][d] = simplex[best][d] +
+                            kSigma * (simplex[i][d] - simplex[best][d]);
+          }
+          values[i] = objective(simplex[i]);
+        }
+      }
+    }
+  }
+
+  const std::size_t best = static_cast<std::size_t>(
+      std::min_element(values.begin(), values.end()) - values.begin());
+  return simplex[best];
+}
+
+FittedCurve FitLinear(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size() && x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  const double b = denom != 0.0 ? (n * sxy - sx * sy) / denom : 0.0;
+  const double a = (sy - b * sx) / n;
+
+  FittedCurve curve;
+  curve.name = "linear";
+  curve.params = {a, b};
+  curve.eval = [](double xv, const std::vector<double>& p) {
+    return p[0] + p[1] * xv;
+  };
+  return curve;
+}
+
+FittedCurve FitMmf(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size() && x.size() >= 4);
+  FittedCurve curve;
+  curve.name = "MMF";
+  curve.eval = [](double xv, const std::vector<double>& p) {
+    const double a = p[0], b = p[1], c = p[2], d = p[3];
+    if (b <= 0.0 || xv < 0.0) return std::numeric_limits<double>::quiet_NaN();
+    const double xd = std::pow(xv, d);
+    return (a * b + c * xd) / (b + xd);
+  };
+
+  // Data-driven start: a = y at x->0, c = asymptote (~1.5x last value),
+  // b scales the transition, d the sharpness.
+  const double y0 = y.front();
+  const double y_end = y.back();
+  const double x_mid = x[x.size() / 2];
+  std::vector<double> initial = {y0, std::pow(std::max(x_mid, 1.0), 1.1),
+                                 std::max(y_end * 1.5, y0 + 1.0), 1.1};
+  auto objective = [&](const std::vector<double>& params) {
+    return SumOfSquares(curve, params, x, y);
+  };
+  curve.params = NelderMead(objective, std::move(initial), 0.4, 6000);
+  return curve;
+}
+
+FittedCurve FitHoerl(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size() && x.size() >= 3);
+  FittedCurve curve;
+  curve.name = "hoerl";
+  curve.eval = [](double xv, const std::vector<double>& p) {
+    const double a = p[0], b = p[1], c = p[2];
+    if (xv <= 0.0 || b <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+    return a * std::pow(b, xv) * std::pow(xv, c);
+  };
+
+  // Linearized start via log-least-squares: log y = log a + x log b + c log x
+  // (only over positive y).
+  std::vector<double> lx, ly, lxx;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0 && y[i] > 0.0) {
+      lx.push_back(x[i]);
+      lxx.push_back(std::log(x[i]));
+      ly.push_back(std::log(y[i]));
+    }
+  }
+  std::vector<double> initial = {std::max(y.front(), 1e-6), 1.0001, 0.5};
+  if (lx.size() >= 3) {
+    // Solve the 3x3 normal equations for [log a, log b, c].
+    double m[3][4] = {};
+    for (std::size_t i = 0; i < lx.size(); ++i) {
+      const double row[3] = {1.0, lx[i], lxx[i]};
+      for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) m[r][c] += row[r] * row[c];
+        m[r][3] += row[r] * ly[i];
+      }
+    }
+    // Gaussian elimination with partial pivoting.
+    bool ok = true;
+    for (int col = 0; col < 3 && ok; ++col) {
+      int pivot = col;
+      for (int r = col + 1; r < 3; ++r) {
+        if (std::abs(m[r][col]) > std::abs(m[pivot][col])) pivot = r;
+      }
+      if (std::abs(m[pivot][col]) < 1e-12) {
+        ok = false;
+        break;
+      }
+      std::swap(m[pivot], m[col]);
+      for (int r = 0; r < 3; ++r) {
+        if (r == col) continue;
+        const double factor = m[r][col] / m[col][col];
+        for (int c = col; c < 4; ++c) m[r][c] -= factor * m[col][c];
+      }
+    }
+    if (ok) {
+      const double log_a = m[0][3] / m[0][0];
+      const double log_b = m[1][3] / m[1][1];
+      const double c = m[2][3] / m[2][2];
+      initial = {std::exp(log_a), std::exp(log_b), c};
+    }
+  }
+  auto objective = [&](const std::vector<double>& params) {
+    return SumOfSquares(curve, params, x, y);
+  };
+  curve.params = NelderMead(objective, std::move(initial), 0.2, 6000);
+  return curve;
+}
+
+double CurveRmse(const FittedCurve& curve, std::span<const double> x,
+                 std::span<const double> y) {
+  std::vector<double> predicted(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) predicted[i] = curve(x[i]);
+  return util::Rmse(predicted, y);
+}
+
+}  // namespace squirrel::fit

@@ -1,0 +1,52 @@
+// Curve fitting for the scalability extrapolations (Section 4.3.2).
+//
+// The paper's protocol: train candidate models — linear regression,
+// Morgan-Mercer-Flodin (MMF) and Hoerl — on the first half of the measured
+// series, score RMSE on all points (Tables 3 and 4), then retrain the best
+// model on every point and extrapolate (Figures 15 and 17).
+//
+//   linear(x) = a + b x
+//   MMF(x)    = (a b + c x^d) / (b + x^d)
+//   hoerl(x)  = a b^x x^c
+//
+// Nonlinear models are fitted by Nelder-Mead simplex over sum-of-squares,
+// started from data-driven initial guesses.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace squirrel::fit {
+
+/// A fitted model: evaluable, named, with its coefficient vector.
+struct FittedCurve {
+  std::string name;
+  std::vector<double> params;
+  std::function<double(double, const std::vector<double>&)> eval;
+
+  double operator()(double x) const { return eval(x, params); }
+};
+
+/// Ordinary least squares, closed form. y = a + b x.
+FittedCurve FitLinear(std::span<const double> x, std::span<const double> y);
+
+/// MMF(x) = (a*b + c*x^d) / (b + x^d), fitted by Nelder-Mead.
+FittedCurve FitMmf(std::span<const double> x, std::span<const double> y);
+
+/// hoerl(x) = a * b^x * x^c, fitted by Nelder-Mead (x must be > 0).
+FittedCurve FitHoerl(std::span<const double> x, std::span<const double> y);
+
+/// RMSE of `curve` against all (x, y) points.
+double CurveRmse(const FittedCurve& curve, std::span<const double> x,
+                 std::span<const double> y);
+
+/// Generic Nelder-Mead minimizer (exposed for tests and other models).
+/// Returns the best parameter vector found.
+std::vector<double> NelderMead(
+    const std::function<double(const std::vector<double>&)>& objective,
+    std::vector<double> initial, double initial_step = 0.1,
+    int max_iterations = 4000, double tolerance = 1e-12);
+
+}  // namespace squirrel::fit

@@ -1,0 +1,112 @@
+#include "sim/arc_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace squirrel::sim {
+
+ArcCache::ArcCache(std::size_t capacity_blocks) : capacity_(capacity_blocks) {}
+
+bool ArcCache::Lookup(std::uint64_t device, std::uint64_t block) {
+  if (capacity_ == 0) {
+    ++misses_;
+    return false;
+  }
+  const Key key{device, block};
+  auto it = index_.find(key);
+  if (it == index_.end() || it->second.list == ListId::kB1 ||
+      it->second.list == ListId::kB2) {
+    ++misses_;
+    return false;
+  }
+  // Case I: hit in T1 or T2 — promote to MRU of T2.
+  Entry& entry = it->second;
+  Lru& from = entry.list == ListId::kT1 ? t1_ : t2_;
+  t2_.splice(t2_.begin(), from, entry.position);
+  entry.list = ListId::kT2;
+  entry.position = t2_.begin();
+  ++hits_;
+  return true;
+}
+
+void ArcCache::DropLru(Lru& list) {
+  assert(!list.empty());
+  index_.erase(list.back());
+  list.pop_back();
+}
+
+void ArcCache::EvictFrom(Lru& list, ListId, Lru& ghost, ListId ghost_id) {
+  assert(!list.empty());
+  const Key victim = list.back();
+  list.pop_back();
+  ghost.push_front(victim);
+  Entry& entry = index_.at(victim);
+  entry.list = ghost_id;
+  entry.position = ghost.begin();
+}
+
+void ArcCache::Replace(bool hit_in_b2) {
+  // REPLACE from the ARC paper: evict from T1 if it exceeds the target p
+  // (or ties while the request came from B2), else from T2.
+  if (!t1_.empty() &&
+      (t1_.size() > p_ || (hit_in_b2 && t1_.size() == p_))) {
+    EvictFrom(t1_, ListId::kT1, b1_, ListId::kB1);
+  } else if (!t2_.empty()) {
+    EvictFrom(t2_, ListId::kT2, b2_, ListId::kB2);
+  } else if (!t1_.empty()) {
+    EvictFrom(t1_, ListId::kT1, b1_, ListId::kB1);
+  }
+}
+
+void ArcCache::Insert(std::uint64_t device, std::uint64_t block) {
+  if (capacity_ == 0) return;
+  const Key key{device, block};
+  auto it = index_.find(key);
+
+  if (it != index_.end() && it->second.list == ListId::kB1) {
+    // Case II: ghost hit in B1 — grow the recency target.
+    const std::size_t delta =
+        std::max<std::size_t>(1, b2_.size() / std::max<std::size_t>(1, b1_.size()));
+    p_ = std::min(capacity_, p_ + delta);
+    Replace(false);
+    b1_.erase(it->second.position);
+    t2_.push_front(key);
+    it->second = Entry{ListId::kT2, t2_.begin()};
+    return;
+  }
+  if (it != index_.end() && it->second.list == ListId::kB2) {
+    // Case III: ghost hit in B2 — grow the frequency target.
+    const std::size_t delta =
+        std::max<std::size_t>(1, b1_.size() / std::max<std::size_t>(1, b2_.size()));
+    p_ = p_ > delta ? p_ - delta : 0;
+    Replace(true);
+    b2_.erase(it->second.position);
+    t2_.push_front(key);
+    it->second = Entry{ListId::kT2, t2_.begin()};
+    return;
+  }
+  if (it != index_.end()) {
+    return;  // already resident (Insert after a racing Lookup hit)
+  }
+
+  // Case IV: brand-new key.
+  const std::size_t l1 = t1_.size() + b1_.size();
+  if (l1 == capacity_) {
+    if (t1_.size() < capacity_) {
+      DropLru(b1_);
+      Replace(false);
+    } else {
+      DropLru(t1_);
+    }
+  } else if (l1 < capacity_ &&
+             t1_.size() + t2_.size() + b1_.size() + b2_.size() >= capacity_) {
+    if (t1_.size() + t2_.size() + b1_.size() + b2_.size() == 2 * capacity_) {
+      DropLru(b2_);
+    }
+    Replace(false);
+  }
+  t1_.push_front(key);
+  index_[key] = Entry{ListId::kT1, t1_.begin()};
+}
+
+}  // namespace squirrel::sim

@@ -1,0 +1,52 @@
+#include "sim/boot_sim.h"
+
+#include "util/rng.h"
+
+namespace squirrel::sim {
+
+BootResult SimulateBoot(cow::Chain& chain,
+                        const std::vector<vmi::BootRead>& trace,
+                        IoContext& io, const BootSimConfig& config,
+                        const std::vector<vmi::BootRead>* writes) {
+  BootResult result;
+  const double start_ns = io.elapsed_ns();
+  const std::uint64_t hits0 = io.page_cache().hits();
+  const std::uint64_t misses0 = io.page_cache().misses();
+  const std::uint64_t base0 = chain.base_bytes_read();
+  const std::uint64_t cache0 = chain.cache_bytes_read();
+
+  for (const vmi::BootRead& read : trace) {
+    const std::uint64_t len =
+        std::min<std::uint64_t>(read.length, chain.size() - read.offset);
+    if (len == 0) continue;
+    chain.Read(read.offset, len);
+    io.ChargeNs(config.guest_ns_per_byte * static_cast<double>(len));
+    result.bytes_read += len;
+  }
+
+  if (writes != nullptr) {
+    util::Rng rng(0xb007);  // log content; bytes are irrelevant, size is not
+    util::Bytes buffer;
+    for (const vmi::BootRead& write : *writes) {
+      if (write.offset + write.length > chain.size()) continue;
+      buffer.resize(write.length);
+      rng.Fill(buffer);
+      chain.Write(write.offset, buffer);
+      // Writes are absorbed by the overlay and flushed in the background;
+      // charge only the guest-side CPU.
+      io.ChargeNs(config.guest_ns_per_byte * static_cast<double>(write.length));
+      result.bytes_written += write.length;
+    }
+  }
+
+  result.io_seconds =
+      (io.elapsed_ns() - start_ns) / 1e9 * config.io_time_multiplier;
+  result.seconds = config.os_cpu_seconds + result.io_seconds;
+  result.base_bytes_read = chain.base_bytes_read() - base0;
+  result.cache_bytes_read = chain.cache_bytes_read() - cache0;
+  result.page_cache_hits = io.page_cache().hits() - hits0;
+  result.page_cache_misses = io.page_cache().misses() - misses0;
+  return result;
+}
+
+}  // namespace squirrel::sim

@@ -1,0 +1,248 @@
+#include "sim/devices.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace squirrel::sim {
+namespace {
+
+// XFS-like layout perturbation: extent e of a file lands at
+// disk_base + e * extent + jitter(e), keeping extents internally contiguous.
+constexpr std::uint64_t kFileExtentBytes = 8ull << 20;
+
+std::uint64_t ExtentJitter(std::uint64_t device_id, std::uint64_t extent) {
+  // Deterministic, small (0..3 MiB), varies per extent.
+  const std::uint64_t h =
+      (device_id * 0x9e3779b97f4a7c15ULL) ^ (extent * 0xff51afd7ed558ccdULL);
+  return (h >> 17) % (3ull << 20);
+}
+
+}  // namespace
+
+// --- LocalFileDevice ---------------------------------------------------------
+
+LocalFileDevice::LocalFileDevice(const util::DataSource* content,
+                                 IoContext* io, std::uint64_t device_id,
+                                 std::uint64_t disk_base,
+                                 std::uint32_t io_block)
+    : content_(content),
+      io_(io),
+      device_id_(device_id),
+      disk_base_(disk_base),
+      io_block_(io_block) {}
+
+std::uint64_t LocalFileDevice::PhysicalOffset(std::uint64_t logical) const {
+  const std::uint64_t extent = logical / kFileExtentBytes;
+  return disk_base_ + extent * (kFileExtentBytes + (3ull << 20)) +
+         ExtentJitter(device_id_, extent) + logical % kFileExtentBytes;
+}
+
+void LocalFileDevice::ReadAt(std::uint64_t offset, util::MutableByteSpan out) {
+  content_->Read(offset, out);
+  if (io_ == nullptr) return;
+  // Charge page-cache-aware block I/O.
+  const std::uint64_t first = offset / io_block_;
+  const std::uint64_t last = (offset + out.size() - 1) / io_block_;
+  for (std::uint64_t b = first; b <= last; ++b) {
+    if (io_->page_cache().Lookup(device_id_, b)) continue;
+    const std::uint64_t block_start = b * io_block_;
+    const std::uint64_t len =
+        std::min<std::uint64_t>(io_block_, content_->size() - block_start);
+    io_->ChargeDiskRead(PhysicalOffset(block_start), len);
+    io_->page_cache().Insert(device_id_, b, static_cast<std::uint32_t>(len));
+  }
+}
+
+void LocalFileDevice::WriteAt(std::uint64_t, util::ByteSpan) {
+  // The content source is immutable; local-file writes only occur on CoR
+  // cache devices (LocalCacheDevice) or CoW overlays.
+  throw std::logic_error("LocalFileDevice is read-only");
+}
+
+// --- LocalCacheDevice --------------------------------------------------------
+
+LocalCacheDevice::LocalCacheDevice(std::uint64_t logical_size,
+                                   std::uint32_t cluster_size, IoContext* io,
+                                   std::uint64_t device_id,
+                                   std::uint64_t disk_base)
+    : logical_size_(logical_size),
+      cluster_size_(cluster_size),
+      io_(io),
+      device_id_(device_id),
+      disk_base_(disk_base) {}
+
+bool LocalCacheDevice::Present(std::uint64_t offset) const {
+  return clusters_.contains(offset / cluster_size_);
+}
+
+void LocalCacheDevice::ReadAt(std::uint64_t offset, util::MutableByteSpan out) {
+  std::uint64_t pos = 0;
+  while (pos < out.size()) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t index = abs / cluster_size_;
+    const std::uint64_t within = abs % cluster_size_;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(cluster_size_ - within, out.size() - pos);
+    const auto it = clusters_.find(index);
+    if (it == clusters_.end()) {
+      throw std::logic_error("reading unpopulated cache cluster");
+    }
+    std::memcpy(out.data() + pos, it->second.data() + within, take);
+    if (io_ != nullptr) {
+      if (!io_->page_cache().Lookup(device_id_, index)) {
+        io_->ChargeDiskRead(disk_base_ + physical_.at(index), it->second.size());
+        io_->page_cache().Insert(device_id_, index,
+                                 static_cast<std::uint32_t>(it->second.size()));
+      }
+    }
+    pos += take;
+  }
+}
+
+void LocalCacheDevice::WriteAt(std::uint64_t offset, util::ByteSpan data) {
+  std::uint64_t pos = 0;
+  while (pos < data.size()) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t index = abs / cluster_size_;
+    const std::uint64_t within = abs % cluster_size_;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(cluster_size_ - within, data.size() - pos);
+    auto it = clusters_.find(index);
+    if (it == clusters_.end()) {
+      it = clusters_.emplace(index, util::Bytes(cluster_size_, 0)).first;
+      physical_.emplace(index, alloc_cursor_);
+      alloc_cursor_ += cluster_size_;
+      populated_bytes_ += cluster_size_;
+    }
+    std::memcpy(it->second.data() + within, data.data() + pos, take);
+    // CoR writes are buffered and flushed in the background; the page cache
+    // absorbs them, so no synchronous latency is charged.
+    if (io_ != nullptr) {
+      io_->page_cache().Insert(device_id_, index, cluster_size_);
+    }
+    pos += take;
+  }
+}
+
+void LocalCacheDevice::Warm(
+    const util::DataSource& content,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& ranges) {
+  util::Bytes buffer(cluster_size_);
+  for (const auto& [offset, length] : ranges) {
+    const std::uint64_t first = offset / cluster_size_;
+    const std::uint64_t last = (offset + length - 1) / cluster_size_;
+    for (std::uint64_t c = first; c <= last; ++c) {
+      if (clusters_.contains(c)) continue;
+      const std::uint64_t start = c * cluster_size_;
+      const std::uint64_t len =
+          std::min<std::uint64_t>(cluster_size_, logical_size_ - start);
+      util::MutableByteSpan span(buffer.data(), len);
+      content.Read(start, span);
+      util::Bytes cluster(cluster_size_, 0);
+      std::memcpy(cluster.data(), buffer.data(), len);
+      clusters_.emplace(c, std::move(cluster));
+      physical_.emplace(c, alloc_cursor_);
+      alloc_cursor_ += cluster_size_;
+      populated_bytes_ += cluster_size_;
+    }
+  }
+}
+
+// --- VolumeFileDevice --------------------------------------------------------
+
+VolumeFileDevice::VolumeFileDevice(zvol::Volume* volume, std::string file,
+                                   IoContext* io, std::uint64_t device_id,
+                                   std::uint32_t presence_window)
+    : volume_(volume),
+      file_(std::move(file)),
+      io_(io),
+      device_id_(device_id),
+      presence_window_(presence_window) {}
+
+std::uint64_t VolumeFileDevice::size() const {
+  return volume_->FileSize(file_);
+}
+
+bool VolumeFileDevice::Present(std::uint64_t offset) const {
+  const std::uint32_t block_size = volume_->config().block_size;
+  const std::uint64_t window_start =
+      offset / presence_window_ * presence_window_;
+  const std::uint64_t window_end =
+      std::min<std::uint64_t>(window_start + presence_window_,
+                              volume_->FileSize(file_));
+  const std::uint64_t block_count = volume_->FileBlockCount(file_);
+  for (std::uint64_t pos = window_start; pos < window_end; pos += block_size) {
+    const std::uint64_t block = pos / block_size;
+    if (block >= block_count) break;
+    if (!volume_->FileBlock(file_, block).hole) return true;
+  }
+  return false;
+}
+
+void VolumeFileDevice::ReadAt(std::uint64_t offset, util::MutableByteSpan out) {
+  const util::Bytes data = volume_->ReadRange(file_, offset, out.size());
+  std::memcpy(out.data(), data.data(), out.size());
+  if (io_ == nullptr) return;
+
+  const std::uint32_t block_size = volume_->config().block_size;
+  const store::BlockStore& store = volume_->block_store();
+  const std::uint64_t first = offset / block_size;
+  const std::uint64_t last = (offset + out.size() - 1) / block_size;
+  for (std::uint64_t b = first; b <= last; ++b) {
+    if (b >= volume_->FileBlockCount(file_)) break;
+    const zvol::BlockPtr& ptr = volume_->FileBlock(file_, b);
+    if (ptr.hole) continue;  // holes are free
+    // Every block access walks the dedup table.
+    io_->ChargeDdtLookup(store.stats().unique_blocks);
+    if (io_->page_cache().Lookup(device_id_, b)) continue;
+    // Physical read at the block's scattered pool offset + decompression.
+    const std::uint64_t physical = store.DiskOffset(ptr.digest);
+    const std::uint32_t stored = store.PhysicalSize(ptr.digest);
+    io_->ChargeDiskRead(physical, stored);
+    io_->ChargeNs(store.codec().cost().decompress_ns_per_byte *
+                  static_cast<double>(ptr.logical_size));
+    io_->page_cache().Insert(device_id_, b, ptr.logical_size);
+  }
+}
+
+void VolumeFileDevice::WriteAt(std::uint64_t offset, util::ByteSpan data) {
+  volume_->WriteRange(file_, offset, data);
+  if (io_ != nullptr) {
+    // Hashing (~1 ns/B) and compression CPU; the allocation itself is
+    // flushed lazily by the transaction group, so no disk latency here.
+    io_->ChargeNs((1.0 + volume_->block_store().codec().cost().compress_ns_per_byte) *
+                  static_cast<double>(data.size()));
+  }
+}
+
+// --- RemoteImageDevice -------------------------------------------------------
+
+RemoteImageDevice::RemoteImageDevice(const util::DataSource* content,
+                                     IoContext* io,
+                                     NetworkAccountant* network,
+                                     std::uint32_t node_id,
+                                     AllocationMap allocation)
+    : content_(content),
+      io_(io),
+      network_(network),
+      node_id_(node_id),
+      allocation_(std::move(allocation)) {}
+
+void RemoteImageDevice::ReadAt(std::uint64_t offset,
+                               util::MutableByteSpan out) {
+  content_->Read(offset, out);
+  bytes_fetched_ += out.size();
+  if (network_ != nullptr) {
+    // Served by the parallel file system; the caller decided which storage
+    // node backs this image when it created the accountant mapping. Node 0
+    // of the accountant range is used when no finer mapping is configured.
+    const double ns = network_->Transfer(/*from=*/0, node_id_, out.size());
+    if (io_ != nullptr) io_->ChargeNs(ns);
+  } else if (io_ != nullptr) {
+    // No network model: charge a nominal remote latency.
+    io_->ChargeNs(200e3 + static_cast<double>(out.size()) / 0.125);
+  }
+}
+
+}  // namespace squirrel::sim

@@ -1,0 +1,145 @@
+// Chain devices bound to the simulation substrate.
+//
+// Each device implements cow::Device (or WritableDevice) and, when given an
+// IoContext, charges the simulated costs of serving reads:
+//
+//   LocalFileDevice   a file on the node's local (XFS) file system: mostly
+//                     sequential physical layout, page-cached reads.
+//   VolumeFileDevice  a file inside a zvol::Volume (the ccVolume): per-block
+//                     DDT lookup, page cache keyed by volume block, disk
+//                     reads at the block's *physical* (scattered) offset,
+//                     decompression CPU.
+//   RemoteImageDevice the base VMI behind the parallel file system: charges
+//                     network transfer and counts the bytes Figure 18 plots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cow/device.h"
+#include "sim/io_context.h"
+#include "sim/network.h"
+#include "util/source.h"
+#include "zvol/volume.h"
+
+namespace squirrel::sim {
+
+/// A file on the node's local file system. The physical layout is modelled
+/// as `disk_base + fragmentation`-perturbed logical offsets: extents of
+/// `extent_bytes` stay contiguous, successive extents land a pseudo-random
+/// short distance apart (XFS allocation groups).
+class LocalFileDevice final : public cow::WritableDevice {
+ public:
+  LocalFileDevice(const util::DataSource* content, IoContext* io,
+                  std::uint64_t device_id, std::uint64_t disk_base,
+                  std::uint32_t io_block = 64 * 1024);
+
+  std::uint64_t size() const override { return content_->size(); }
+  bool Present(std::uint64_t) const override { return true; }
+  void ReadAt(std::uint64_t offset, util::MutableByteSpan out) override;
+  void WriteAt(std::uint64_t offset, util::ByteSpan data) override;
+
+ private:
+  std::uint64_t PhysicalOffset(std::uint64_t logical) const;
+
+  const util::DataSource* content_;
+  IoContext* io_;  // may be null (functional mode)
+  std::uint64_t device_id_;
+  std::uint64_t disk_base_;
+  std::uint32_t io_block_;
+};
+
+/// A sparse cache file on the local file system, populated by copy-on-read.
+/// Present() consults the populated-cluster bitmap; contents are buffered in
+/// memory (the simulation does not need them on disk).
+class LocalCacheDevice final : public cow::WritableDevice {
+ public:
+  LocalCacheDevice(std::uint64_t logical_size, std::uint32_t cluster_size,
+                   IoContext* io, std::uint64_t device_id,
+                   std::uint64_t disk_base);
+
+  std::uint64_t size() const override { return logical_size_; }
+  bool Present(std::uint64_t offset) const override;
+  void ReadAt(std::uint64_t offset, util::MutableByteSpan out) override;
+  void WriteAt(std::uint64_t offset, util::ByteSpan data) override;
+
+  std::uint64_t populated_bytes() const { return populated_bytes_; }
+
+  /// Pre-populates from another device (a warm cache on plain XFS).
+  void Warm(const util::DataSource& content,
+            const std::vector<std::pair<std::uint64_t, std::uint64_t>>& ranges);
+
+ private:
+  std::uint64_t logical_size_;
+  std::uint32_t cluster_size_;
+  IoContext* io_;
+  std::uint64_t device_id_;
+  std::uint64_t disk_base_;
+  std::unordered_map<std::uint64_t, util::Bytes> clusters_;
+  std::uint64_t populated_bytes_ = 0;
+  // Physical placement follows population order (CoR appends), which is why
+  // a warm XFS cache reads back nearly sequentially.
+  std::unordered_map<std::uint64_t, std::uint64_t> physical_;
+  std::uint64_t alloc_cursor_ = 0;
+};
+
+/// A file stored in a zvol::Volume (Squirrel's ccVolume).
+///
+/// Presence is evaluated at `presence_window` granularity (the QCOW2 cluster
+/// size by default): a cluster counts as cached when any volume block inside
+/// it is materialized. Cache files are populated cluster-wise by
+/// copy-on-read, so a cluster whose leading blocks happen to be zeros (file
+/// system slack before a misaligned package) is still present; the zvol
+/// stores those zeros as holes.
+class VolumeFileDevice final : public cow::WritableDevice {
+ public:
+  VolumeFileDevice(zvol::Volume* volume, std::string file, IoContext* io,
+                   std::uint64_t device_id,
+                   std::uint32_t presence_window = 64 * 1024);
+
+  std::uint64_t size() const override;
+  bool Present(std::uint64_t offset) const override;
+  void ReadAt(std::uint64_t offset, util::MutableByteSpan out) override;
+  void WriteAt(std::uint64_t offset, util::ByteSpan data) override;
+
+ private:
+  zvol::Volume* volume_;
+  std::string file_;
+  IoContext* io_;
+  std::uint64_t device_id_;
+  std::uint32_t presence_window_;
+};
+
+/// The base VMI served by the storage nodes over the data-center network.
+class RemoteImageDevice final : public cow::Device {
+ public:
+  /// Reports whether a byte range of the backing image holds real data; a
+  /// QCOW2-backed image exposes its allocation map, so reading unallocated
+  /// ranges costs no network I/O. Leave unset for raw (fully allocated)
+  /// backing files.
+  using AllocationMap = std::function<bool(std::uint64_t, std::uint64_t)>;
+
+  RemoteImageDevice(const util::DataSource* content, IoContext* io,
+                    NetworkAccountant* network, std::uint32_t node_id,
+                    AllocationMap allocation = {});
+
+  std::uint64_t size() const override { return content_->size(); }
+  bool Present(std::uint64_t) const override { return true; }
+  void ReadAt(std::uint64_t offset, util::MutableByteSpan out) override;
+  bool Allocated(std::uint64_t offset, std::uint64_t length) const override {
+    return !allocation_ || allocation_(offset, length);
+  }
+
+  std::uint64_t bytes_fetched() const { return bytes_fetched_; }
+
+ private:
+  const util::DataSource* content_;
+  IoContext* io_;
+  NetworkAccountant* network_;
+  std::uint32_t node_id_;
+  AllocationMap allocation_;
+  std::uint64_t bytes_fetched_ = 0;
+};
+
+}  // namespace squirrel::sim

@@ -1,0 +1,27 @@
+#include "sim/disk_model.h"
+
+namespace squirrel::sim {
+
+double DiskModel::Read(std::uint64_t offset, std::uint64_t length) {
+  const std::uint64_t distance =
+      offset > head_ ? offset - head_ : head_ - offset;
+  double cost = 0.0;
+  if (distance == 0) {
+    // Sequential continuation: no positioning cost.
+  } else if (distance < config_.track_distance) {
+    cost += config_.track_seek_ns;
+    ++seeks_;
+  } else if (distance < config_.short_distance) {
+    cost += config_.short_seek_ns;
+    ++seeks_;
+  } else {
+    cost += config_.long_seek_ns;
+    ++seeks_;
+  }
+  cost += static_cast<double>(length) / config_.sequential_bytes_per_ns;
+  head_ = offset + length;
+  bytes_read_ += length;
+  return cost;
+}
+
+}  // namespace squirrel::sim

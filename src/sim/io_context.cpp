@@ -1,0 +1,15 @@
+#include "sim/io_context.h"
+
+#include <bit>
+
+namespace squirrel::sim {
+
+void IoContext::ChargeDdtLookup(std::uint64_t table_entries) {
+  const double log2_entries =
+      table_entries == 0 ? 0.0
+                         : static_cast<double>(std::bit_width(table_entries));
+  clock_ns_ += config_.ddt_lookup_base_ns +
+               config_.ddt_lookup_per_log2_entry_ns * log2_entries;
+}
+
+}  // namespace squirrel::sim

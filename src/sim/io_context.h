@@ -1,0 +1,71 @@
+// Shared I/O simulation state for one compute node: a simulated clock, the
+// node's local disk, its page cache, and CPU cost accounting.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/disk_model.h"
+#include "sim/page_cache.h"
+
+namespace squirrel::sim {
+
+struct IoContextConfig {
+  DiskModelConfig disk{};
+  /// Page cache budget available to the boot path. DAS-4 nodes have 24 GB,
+  /// but a loaded compute node leaves far less for one VM's backing reads.
+  std::uint64_t page_cache_bytes = 2ull << 30;
+  /// Dedup-table lookup cost: base plus a term growing with table size
+  /// (hash-walk plus the chance of an ARC miss on a cold DDT leaf).
+  double ddt_lookup_base_ns = 2000.0;
+  double ddt_lookup_per_log2_entry_ns = 400.0;
+};
+
+/// Adapts the I/O cost model to a linearly downscaled dataset: a byte
+/// distance of d between scaled offsets corresponds to d / dataset_scale on
+/// the real disk, so the seek-distance tiers (and the page-cache budget)
+/// shrink by the same factor. Offsets themselves stay in scaled space, which
+/// preserves contiguity of adjacent blocks.
+inline IoContextConfig ScaledIoConfig(double dataset_scale,
+                                      IoContextConfig config = {}) {
+  config.disk.track_distance = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(config.disk.track_distance) * dataset_scale));
+  config.disk.short_distance = std::max<std::uint64_t>(
+      config.disk.track_distance + 1,
+      static_cast<std::uint64_t>(
+          static_cast<double>(config.disk.short_distance) * dataset_scale));
+  config.page_cache_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(config.page_cache_bytes) * dataset_scale);
+  return config;
+}
+
+class IoContext {
+ public:
+  explicit IoContext(IoContextConfig config = {})
+      : config_(config), disk_(config.disk), page_cache_(config.page_cache_bytes) {}
+
+  DiskModel& disk() { return disk_; }
+  PageCache& page_cache() { return page_cache_; }
+  const IoContextConfig& config() const { return config_; }
+
+  void ChargeNs(double ns) { clock_ns_ += ns; }
+  void ChargeDiskRead(std::uint64_t offset, std::uint64_t length) {
+    clock_ns_ += disk_.Read(offset, length);
+  }
+  void ChargeDiskWrite(std::uint64_t offset, std::uint64_t length) {
+    clock_ns_ += disk_.Write(offset, length);
+  }
+  void ChargeDdtLookup(std::uint64_t table_entries);
+
+  double elapsed_ns() const { return clock_ns_; }
+  double elapsed_seconds() const { return clock_ns_ / 1e9; }
+
+ private:
+  IoContextConfig config_;
+  DiskModel disk_;
+  PageCache page_cache_;
+  double clock_ns_ = 0.0;
+};
+
+}  // namespace squirrel::sim

@@ -1,0 +1,60 @@
+#include "sim/network.h"
+
+#include <stdexcept>
+
+namespace squirrel::sim {
+
+NetworkAccountant::NetworkAccountant(std::uint32_t node_count,
+                                     NetworkConfig config)
+    : config_(config), in_(node_count, 0), out_(node_count, 0) {}
+
+double NetworkAccountant::Transfer(std::uint32_t from, std::uint32_t to,
+                                   std::uint64_t bytes) {
+  out_.at(from) += bytes;
+  in_.at(to) += bytes;
+  return config_.message_overhead_ns +
+         static_cast<double>(bytes) / config_.bandwidth_bytes_per_ns;
+}
+
+double NetworkAccountant::Multicast(std::uint32_t from,
+                                    const std::vector<std::uint32_t>& to,
+                                    std::uint64_t bytes) {
+  out_.at(from) += bytes;  // sent once on the wire
+  for (std::uint32_t node : to) in_.at(node) += bytes;
+  return config_.message_overhead_ns +
+         static_cast<double>(bytes) / config_.bandwidth_bytes_per_ns;
+}
+
+double NetworkAccountant::UnicastAll(std::uint32_t from,
+                                     const std::vector<std::uint32_t>& to,
+                                     std::uint64_t bytes) {
+  double total_ns = 0.0;
+  for (std::uint32_t node : to) total_ns += Transfer(from, node, bytes);
+  return total_ns;
+}
+
+double NetworkAccountant::Pipeline(std::uint32_t from,
+                                   const std::vector<std::uint32_t>& to,
+                                   std::uint64_t bytes) {
+  if (to.empty()) return 0.0;
+  std::uint32_t previous = from;
+  for (std::uint32_t node : to) {
+    out_.at(previous) += bytes;
+    in_.at(node) += bytes;
+    previous = node;
+  }
+  // Streaming overlaps hops: wall time is one transfer plus one per-hop
+  // store-and-forward latency.
+  return static_cast<double>(bytes) / config_.bandwidth_bytes_per_ns +
+         static_cast<double>(to.size()) * config_.message_overhead_ns;
+}
+
+std::uint64_t NetworkAccountant::TotalBytesIn(std::uint32_t first,
+                                              std::uint32_t last) const {
+  if (last > in_.size()) throw std::out_of_range("node range");
+  std::uint64_t total = 0;
+  for (std::uint32_t n = first; n < last; ++n) total += in_[n];
+  return total;
+}
+
+}  // namespace squirrel::sim

@@ -1,0 +1,100 @@
+#include "sim/p2p.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace squirrel::sim {
+
+P2pResult SimulateSwarm(std::uint64_t image_bytes, std::uint64_t boot_set_bytes,
+                        std::uint32_t peer_count, const P2pConfig& config) {
+  P2pResult result;
+  if (peer_count == 0) return result;
+
+  const std::uint32_t total_chunks = static_cast<std::uint32_t>(
+      util::CeilDiv(image_bytes, config.chunk_size));
+  const std::uint32_t boot_chunks = std::min(
+      total_chunks, static_cast<std::uint32_t>(
+                        util::CeilDiv(boot_set_bytes, config.chunk_size)));
+  const std::uint32_t need_chunks =
+      config.mode == P2pMode::kFullImage ? total_chunks : boot_chunks;
+
+  // Peers fetch chunks in index order (boot-working-set chunks occupy the
+  // low indices, so streaming mode gets them first automatically). The
+  // swarm effect is captured by the upload-capacity model: once a chunk has
+  // peer replicas, serving capacity grows with the swarm, which is what
+  // makes P2P scale while a lone seed does not.
+  std::vector<std::uint32_t> next_chunk(peer_count, 0);   // chunks held so far
+  std::vector<std::uint32_t> replicas(total_chunks, 1);   // the seed's copy
+  result.time_to_boot_seconds.assign(peer_count, 0.0);
+  std::vector<bool> done(peer_count, false);
+
+  const double round_seconds =
+      static_cast<double>(config.chunk_size) * config.upload_slots /
+      config.bandwidth_bytes_per_second;
+
+  util::Rng rng(peer_count * 7919ull + total_chunks);
+  std::uint32_t done_count = 0;
+  std::uint32_t finished_peers = 0;
+  double clock = 0.0;
+
+  while (done_count < peer_count && result.rounds < (1u << 22)) {
+    ++result.rounds;
+    clock += round_seconds;
+
+    // Upload capacity this round: the seed plus every peer holding data.
+    std::uint32_t capacity = config.upload_slots;
+    for (std::uint32_t p = 0; p < peer_count; ++p) {
+      if (next_chunk[p] > 0) capacity += config.upload_slots;
+    }
+
+    // Receivers in deterministic-random order, one chunk per capacity unit.
+    std::vector<std::uint32_t> order(peer_count);
+    for (std::uint32_t p = 0; p < peer_count; ++p) order[p] = p;
+    for (std::uint32_t p = peer_count; p > 1; --p) {
+      std::swap(order[p - 1], order[rng.Below(p)]);
+    }
+    // Each receiver's download link admits at most `upload_slots` chunks per
+    // round (symmetric links); keep draining capacity until neither side
+    // can move more.
+    std::vector<std::uint32_t> received(peer_count, 0);
+    bool progress = true;
+    while (capacity > 0 && progress) {
+      progress = false;
+      for (std::uint32_t receiver : order) {
+        if (capacity == 0) break;
+        if (received[receiver] >= config.upload_slots) continue;
+        if (next_chunk[receiver] == total_chunks) continue;
+        const std::uint32_t chunk = next_chunk[receiver]++;
+        ++replicas[chunk];
+        --capacity;
+        ++received[receiver];
+        progress = true;
+        result.network_bytes += config.chunk_size;
+        if (replicas[chunk] == 2) {
+          // First copy beyond the seed: the seed served it.
+          result.seed_bytes += config.chunk_size;
+        }
+        if (!done[receiver] && next_chunk[receiver] >= need_chunks) {
+          done[receiver] = true;
+          result.time_to_boot_seconds[receiver] = clock;
+          ++done_count;
+        }
+        if (next_chunk[receiver] == total_chunks) ++finished_peers;
+      }
+    }
+    if (finished_peers == peer_count) break;
+  }
+
+  double total = 0.0;
+  for (double t : result.time_to_boot_seconds) {
+    total += t;
+    result.max_time_to_boot = std::max(result.max_time_to_boot, t);
+  }
+  result.mean_time_to_boot = total / static_cast<double>(peer_count);
+  return result;
+}
+
+}  // namespace squirrel::sim

@@ -1,0 +1,53 @@
+// Peer-to-peer VMI distribution model (the §5.2.1 comparators: BitTorrent
+// provisioning, VMTorrent's on-demand streaming).
+//
+// A swarm distributes one VMI's chunk set from a seed (the storage node) to
+// n peers (compute nodes booting the same image). The model is round-based:
+// in each round every node uploads at most `upload_slots` chunks to peers
+// that lack them (rarest-first), bounded by link bandwidth. Two modes:
+//
+//   * kFullImage  — classic BitTorrent provisioning: a VM boots only after
+//                   its peer holds ALL chunks (tens of minutes at VMI size).
+//   * kStreaming  — VMTorrent: the VM starts immediately; boot reads block
+//                   until their chunk arrives, with boot-working-set chunks
+//                   prioritized.
+//
+// The bench compares time-to-boot and network bytes against Squirrel's
+// zero-transfer warm replicas.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace squirrel::sim {
+
+enum class P2pMode { kFullImage, kStreaming };
+
+struct P2pConfig {
+  P2pMode mode = P2pMode::kStreaming;
+  std::uint32_t chunk_size = 256 * 1024;
+  /// Concurrent uploads per node per round.
+  std::uint32_t upload_slots = 4;
+  /// Link bandwidth per node, bytes/second (1 GbE duplex by default).
+  double bandwidth_bytes_per_second = 125e6;
+};
+
+struct P2pResult {
+  /// Per-peer time until the VM can finish booting, seconds.
+  std::vector<double> time_to_boot_seconds;
+  double mean_time_to_boot = 0.0;
+  double max_time_to_boot = 0.0;
+  /// Total bytes that crossed the network (all links).
+  std::uint64_t network_bytes = 0;
+  /// Bytes served by the seed (storage node) — its egress load.
+  std::uint64_t seed_bytes = 0;
+  std::uint32_t rounds = 0;
+};
+
+/// Simulates distributing one image of `image_bytes` (of which
+/// `boot_set_bytes` are needed to finish booting) from one seed to
+/// `peer_count` peers that all boot the same VMI concurrently.
+P2pResult SimulateSwarm(std::uint64_t image_bytes, std::uint64_t boot_set_bytes,
+                        std::uint32_t peer_count, const P2pConfig& config);
+
+}  // namespace squirrel::sim

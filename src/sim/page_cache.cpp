@@ -1,0 +1,45 @@
+#include "sim/page_cache.h"
+
+namespace squirrel::sim {
+
+bool PageCache::Lookup(std::uint64_t device, std::uint64_t block) {
+  if (capacity_ == 0) {
+    ++misses_;
+    return false;
+  }
+  const Key key{device, block};
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  ++hits_;
+  return true;
+}
+
+void PageCache::Insert(std::uint64_t device, std::uint64_t block,
+                       std::uint32_t bytes) {
+  if (capacity_ == 0 || bytes > capacity_) return;
+  const Key key{device, block};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    resident_ -= it->second.bytes;
+    it->second.bytes = bytes;
+    resident_ += bytes;
+  } else {
+    lru_.push_front(key);
+    map_.emplace(key, Entry{bytes, lru_.begin()});
+    resident_ += bytes;
+  }
+  while (resident_ > capacity_ && !lru_.empty()) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    auto vit = map_.find(victim);
+    resident_ -= vit->second.bytes;
+    map_.erase(vit);
+  }
+}
+
+}  // namespace squirrel::sim

@@ -1,0 +1,58 @@
+// Host page cache model: an LRU over (device, block) keys with a byte
+// capacity.
+//
+// The simulator uses it for both the Linux page cache over local files and
+// the ZFS ARC over volume blocks; the interesting behaviour (Section 4.2.3's
+// "free prefetching") comes from QCOW2's cluster-shaped lower reads landing
+// in this cache before the guest asks for the rest of the cluster.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace squirrel::sim {
+
+class PageCache {
+ public:
+  /// `capacity_bytes` == 0 disables caching entirely.
+  explicit PageCache(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// True (and refreshed to MRU) if (device, block) is resident.
+  bool Lookup(std::uint64_t device, std::uint64_t block);
+
+  /// Inserts an entry of `bytes`; evicts LRU entries to fit.
+  void Insert(std::uint64_t device, std::uint64_t block, std::uint32_t bytes);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t resident_bytes() const { return resident_; }
+  std::size_t entry_count() const { return map_.size(); }
+
+ private:
+  struct Key {
+    std::uint64_t device;
+    std::uint64_t block;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHasher {
+    std::size_t operator()(const Key& k) const noexcept {
+      return static_cast<std::size_t>(
+          (k.device * 0x9e3779b97f4a7c15ULL) ^ (k.block * 0xff51afd7ed558ccdULL));
+    }
+  };
+  struct Entry {
+    std::uint32_t bytes;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  std::uint64_t capacity_;
+  std::uint64_t resident_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::list<Key> lru_;  // front = MRU
+  std::unordered_map<Key, Entry, KeyHasher> map_;
+};
+
+}  // namespace squirrel::sim

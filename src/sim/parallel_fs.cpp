@@ -1,0 +1,58 @@
+#include "sim/parallel_fs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace squirrel::sim {
+
+ParallelFs::ParallelFs(ParallelFsConfig config) : config_(std::move(config)) {
+  if (config_.nodes.size() !=
+      static_cast<std::size_t>(config_.stripe_count) * config_.replica_count) {
+    throw std::invalid_argument("parallel fs node list size mismatch");
+  }
+  served_.assign(config_.nodes.size(), 0);
+}
+
+std::uint32_t ParallelFs::ServingNode(std::uint64_t offset,
+                                      std::uint64_t read_sequence) const {
+  const std::uint64_t unit = offset / config_.stripe_unit;
+  const std::uint32_t group =
+      static_cast<std::uint32_t>(unit % config_.stripe_count);
+  const std::uint32_t replica =
+      static_cast<std::uint32_t>(read_sequence % config_.replica_count);
+  return config_.nodes[group * config_.replica_count + replica];
+}
+
+double ParallelFs::Read(NetworkAccountant& network, std::uint32_t client,
+                        std::uint64_t offset, std::uint64_t length) {
+  double total_ns = 0.0;
+  std::uint64_t pos = offset;
+  const std::uint64_t end = offset + length;
+  while (pos < end) {
+    const std::uint64_t unit_end =
+        (pos / config_.stripe_unit + 1) * config_.stripe_unit;
+    const std::uint64_t take = std::min(unit_end, end) - pos;
+    const std::uint64_t seq = sequence_++;
+    const std::uint32_t node = ServingNode(pos, seq);
+    // Account which slot in the node list served it.
+    for (std::size_t i = 0; i < config_.nodes.size(); ++i) {
+      if (config_.nodes[i] == node) {
+        served_[i] += take;
+        break;
+      }
+    }
+    total_ns += network.Transfer(node, client, take);
+    pos += take;
+  }
+  return total_ns;
+}
+
+std::uint64_t ParallelFs::bytes_served(std::uint32_t storage_node) const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < config_.nodes.size(); ++i) {
+    if (config_.nodes[i] == storage_node) total += served_[i];
+  }
+  return total;
+}
+
+}  // namespace squirrel::sim

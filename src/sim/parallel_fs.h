@@ -1,0 +1,52 @@
+// Off-the-shelf parallel file system model (the glusterfs deployment of
+// Section 4.4: 4 storage nodes, two levels of striping and two of
+// replication).
+//
+// The model maps byte ranges of a file to storage nodes: the address space
+// is cut into stripe units assigned round-robin across `stripe_count`
+// groups; each group is `replica_count` nodes wide and reads alternate
+// between replicas. The Figure 18 bench uses it to attribute every base-VMI
+// read to a serving storage node and to account network transfer toward the
+// requesting compute node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace squirrel::sim {
+
+struct ParallelFsConfig {
+  std::uint32_t stripe_count = 2;
+  std::uint32_t replica_count = 2;
+  std::uint32_t stripe_unit = 128 * 1024;
+  /// Storage node ids, stripe-major: group g replica r is
+  /// nodes[g * replica_count + r]. Size must equal stripe_count * replica_count.
+  std::vector<std::uint32_t> nodes = {0, 1, 2, 3};
+};
+
+class ParallelFs {
+ public:
+  explicit ParallelFs(ParallelFsConfig config);
+
+  /// Storage node serving the stripe unit containing `offset` for the
+  /// `read_sequence`-th read (alternates replicas for load balancing).
+  std::uint32_t ServingNode(std::uint64_t offset, std::uint64_t read_sequence) const;
+
+  /// Accounts a read of [offset, offset+length) of a file by compute node
+  /// `client`, splitting it across stripe units; returns simulated ns.
+  double Read(NetworkAccountant& network, std::uint32_t client,
+              std::uint64_t offset, std::uint64_t length);
+
+  std::uint64_t bytes_served(std::uint32_t storage_node) const;
+  const ParallelFsConfig& config() const { return config_; }
+
+ private:
+  ParallelFsConfig config_;
+  std::vector<std::uint64_t> served_;  // indexed by position in config_.nodes
+  std::uint64_t sequence_ = 0;
+};
+
+}  // namespace squirrel::sim

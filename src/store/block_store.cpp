@@ -1,0 +1,165 @@
+#include "store/block_store.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace squirrel::store {
+namespace {
+
+// ZFS keeps a compressed copy only when it saves at least 12.5%.
+bool WorthKeeping(std::size_t compressed, std::size_t raw) {
+  return compressed + raw / 8 <= raw;
+}
+
+}  // namespace
+
+BlockStore::BlockStore(BlockStoreConfig config)
+    : config_(std::move(config)), codec_(compress::FindCodec(config_.codec)) {
+  if (codec_ == nullptr) {
+    throw std::invalid_argument("unknown codec: " + config_.codec);
+  }
+}
+
+PutResult BlockStore::Put(util::ByteSpan raw) {
+  assert(!raw.empty());
+  assert(!util::IsAllZero(raw) && "holes must be elided by the volume layer");
+
+  util::Digest digest;
+  if (config_.dedup) {
+    if (config_.fast_hash) {
+      const util::Fast128 h = util::FastHash128(raw);
+      std::memcpy(digest.bytes.data(), &h.lo, 8);
+      std::memcpy(digest.bytes.data() + 8, &h.hi, 8);
+    } else {
+      digest = util::HashBlock(raw);
+    }
+    auto it = entries_.find(digest);
+    if (it != entries_.end()) {
+      ++it->second.refcount;
+      ++stats_.total_refs;
+      stats_.logical_referenced_bytes += it->second.logical_size;
+      return {digest, true, it->second.logical_size, 0};
+    }
+  } else {
+    // Dedup disabled: synthesize a unique key so every write allocates.
+    const std::uint64_t id = fake_digest_counter_++;
+    std::memcpy(digest.bytes.data(), &id, sizeof(id));
+  }
+
+  Entry entry;
+  entry.logical_size = static_cast<std::uint32_t>(raw.size());
+  entry.refcount = 1;
+  util::Bytes compressed = codec_->Compress(raw);
+  if (config_.codec != "null" && WorthKeeping(compressed.size(), raw.size())) {
+    entry.payload = std::move(compressed);
+    entry.compressed = true;
+  } else {
+    entry.payload.assign(raw.begin(), raw.end());
+    entry.compressed = false;
+  }
+  // Allocations occupy whole sectors (ZFS asize vs psize).
+  entry.physical_size = static_cast<std::uint32_t>(
+      util::AlignUp(entry.payload.size(), kSectorBytes));
+  entry.disk_offset = space_map_.Allocate(entry.physical_size);
+
+  stats_.unique_blocks += 1;
+  stats_.total_refs += 1;
+  stats_.logical_unique_bytes += entry.logical_size;
+  stats_.logical_referenced_bytes += entry.logical_size;
+  stats_.physical_data_bytes += entry.physical_size;
+  if (config_.dedup) {
+    stats_.ddt_disk_bytes += kDdtDiskBytesPerEntry;
+    stats_.ddt_core_bytes += kDdtCoreBytesPerEntry;
+  }
+
+  const PutResult result{digest, false, entry.logical_size, entry.physical_size};
+  entries_.emplace(digest, std::move(entry));
+  return result;
+}
+
+void BlockStore::Ref(const util::Digest& digest) {
+  Entry& entry = entries_.at(digest);
+  ++entry.refcount;
+  ++stats_.total_refs;
+  stats_.logical_referenced_bytes += entry.logical_size;
+}
+
+void BlockStore::Unref(const util::Digest& digest) {
+  auto it = entries_.find(digest);
+  if (it == entries_.end()) throw std::out_of_range("unref of unknown block");
+  Entry& entry = it->second;
+  assert(entry.refcount > 0);
+  --entry.refcount;
+  --stats_.total_refs;
+  stats_.logical_referenced_bytes -= entry.logical_size;
+  if (entry.refcount == 0) {
+    space_map_.Free(entry.disk_offset, entry.physical_size);
+    stats_.unique_blocks -= 1;
+    stats_.logical_unique_bytes -= entry.logical_size;
+    stats_.physical_data_bytes -= entry.physical_size;
+    if (config_.dedup) {
+      stats_.ddt_disk_bytes -= kDdtDiskBytesPerEntry;
+      stats_.ddt_core_bytes -= kDdtCoreBytesPerEntry;
+    }
+    entries_.erase(it);
+  }
+}
+
+util::Bytes BlockStore::Get(const util::Digest& digest) const {
+  const Entry& entry = entries_.at(digest);
+  if (!entry.compressed) return entry.payload;
+  return codec_->Decompress(entry.payload, entry.logical_size);
+}
+
+bool BlockStore::Contains(const util::Digest& digest) const {
+  return entries_.contains(digest);
+}
+
+std::uint32_t BlockStore::RefCount(const util::Digest& digest) const {
+  auto it = entries_.find(digest);
+  return it == entries_.end() ? 0 : it->second.refcount;
+}
+
+bool BlockStore::Verify(const util::Digest& digest) const {
+  const auto it = entries_.find(digest);
+  if (it == entries_.end()) return false;
+  if (!config_.dedup) return true;  // synthetic digests carry no content hash
+  const Entry& entry = it->second;
+  util::Bytes raw;
+  if (entry.compressed) {
+    try {
+      raw = codec_->Decompress(entry.payload, entry.logical_size);
+    } catch (const std::runtime_error&) {
+      return false;  // corruption broke the compressed framing
+    }
+  } else {
+    raw = entry.payload;
+  }
+  util::Digest actual;
+  if (config_.fast_hash) {
+    const util::Fast128 h = util::FastHash128(raw);
+    std::memcpy(actual.bytes.data(), &h.lo, 8);
+    std::memcpy(actual.bytes.data() + 8, &h.hi, 8);
+  } else {
+    actual = util::HashBlock(raw);
+  }
+  return actual == digest;
+}
+
+bool BlockStore::CorruptPayloadForTesting(const util::Digest& digest) {
+  auto it = entries_.find(digest);
+  if (it == entries_.end() || it->second.payload.empty()) return false;
+  it->second.payload[it->second.payload.size() / 2] ^= 0x40;
+  return true;
+}
+
+std::uint64_t BlockStore::DiskOffset(const util::Digest& digest) const {
+  return entries_.at(digest).disk_offset;
+}
+
+std::uint32_t BlockStore::PhysicalSize(const util::Digest& digest) const {
+  return entries_.at(digest).physical_size;
+}
+
+}  // namespace squirrel::store

@@ -1,0 +1,140 @@
+#include "store/cdc.h"
+
+#include <array>
+#include <bit>
+#include <stdexcept>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace squirrel::store {
+namespace {
+
+// Gear table: 256 deterministic pseudo-random 64-bit values. The gear hash
+// h' = (h << 1) + gear[b] keeps an effective window of 64 bytes; boundary
+// decisions use the top bits, which depend on the most recent bytes only.
+const std::array<std::uint64_t, 256>& GearTable() {
+  static const std::array<std::uint64_t, 256> table = [] {
+    std::array<std::uint64_t, 256> t{};
+    util::Rng rng(0x9eaf9eaf);
+    for (auto& v : t) v = rng.Next();
+    return t;
+  }();
+  return table;
+}
+
+std::uint64_t BoundaryMask(std::uint32_t avg_size) {
+  if (avg_size == 0 || (avg_size & (avg_size - 1)) != 0) {
+    throw std::invalid_argument("cdc avg_size must be a power of two");
+  }
+  // Use the high bits of the gear hash (better mixed than the low bits).
+  const unsigned bits = std::bit_width(avg_size) - 1;
+  return ((1ull << bits) - 1) << (64 - bits);
+}
+
+}  // namespace
+
+std::vector<CdcChunk> ChunkBuffer(util::ByteSpan data, const CdcConfig& config) {
+  if (config.min_size == 0 || config.min_size > config.avg_size ||
+      config.avg_size > config.max_size) {
+    throw std::invalid_argument("cdc sizes must satisfy min <= avg <= max");
+  }
+  const std::uint64_t mask = BoundaryMask(config.avg_size);
+  const auto& gear = GearTable();
+
+  std::vector<CdcChunk> chunks;
+  std::uint64_t start = 0;
+  std::uint64_t h = 0;
+  for (std::uint64_t i = 0; i < data.size(); ++i) {
+    h = (h << 1) + gear[data[i]];
+    const std::uint64_t len = i + 1 - start;
+    if ((len >= config.min_size && (h & mask) == 0) || len >= config.max_size) {
+      chunks.push_back({start, static_cast<std::uint32_t>(len)});
+      start = i + 1;
+      h = 0;
+    }
+  }
+  if (start < data.size()) {
+    chunks.push_back({start, static_cast<std::uint32_t>(data.size() - start)});
+  }
+  return chunks;
+}
+
+std::vector<CdcChunk> ChunkSource(const util::DataSource& source,
+                                  const CdcConfig& config) {
+  // Process in large windows; carry the partial chunk across reads by
+  // re-reading from the chunk start (simple, and bounded by max_size).
+  std::vector<CdcChunk> chunks;
+  const std::uint64_t size = source.size();
+  const std::uint64_t window = 4ull << 20;
+  util::Bytes buffer;
+  std::uint64_t pos = 0;
+  while (pos < size) {
+    const std::uint64_t len = std::min(window, size - pos);
+    buffer.resize(len);
+    source.Read(pos, buffer);
+    auto piece = ChunkBuffer(buffer, config);
+    if (pos + len < size && piece.size() > 1) {
+      // Drop the trailing partial chunk; resume from its start.
+      piece.pop_back();
+    }
+    std::uint64_t consumed = 0;
+    for (CdcChunk& chunk : piece) {
+      chunk.offset += pos;
+      consumed = chunk.offset + chunk.length - pos;
+      chunks.push_back(chunk);
+    }
+    if (consumed == 0) {
+      // Window smaller than one max chunk at the tail — take it whole.
+      chunks.push_back({pos, static_cast<std::uint32_t>(len)});
+      consumed = len;
+    }
+    pos += consumed;
+  }
+  return chunks;
+}
+
+CdcAnalyzer::CdcAnalyzer(CdcConfig config) : config_(config) {}
+
+void CdcAnalyzer::AddFile(const util::DataSource& file) {
+  ++file_counter_;
+  const std::vector<CdcChunk> file_chunks = ChunkSource(file, config_);
+  util::Bytes buffer(config_.max_size);
+  std::uint64_t file_unique = 0;
+  for (const CdcChunk& chunk : file_chunks) {
+    ++result_.total_chunks;
+    util::MutableByteSpan span(buffer.data(), chunk.length);
+    file.Read(chunk.offset, span);
+    if (util::IsAllZero(span)) continue;
+    ++result_.nonzero_chunks;
+    result_.nonzero_bytes += chunk.length;
+
+    const util::Fast128 h = util::FastHash128(span);
+    auto [it, inserted] = chunks_.emplace(Key{h.lo, h.hi}, ChunkInfo{});
+    ChunkInfo& info = it->second;
+    if (inserted) {
+      ++result_.unique_chunks;
+      result_.unique_bytes += chunk.length;
+    }
+    if (info.last_file != file_counter_) {
+      if (info.last_file != 0) {
+        result_.repetition_sum += (info.file_count == 1) ? 2 : 1;
+      }
+      ++info.file_count;
+      info.last_file = file_counter_;
+      ++file_unique;
+    }
+  }
+  result_.per_file_unique_sum += file_unique;
+}
+
+CdcAnalyzer::Result CdcAnalyzer::Finish() {
+  result_.mean_chunk_size =
+      result_.nonzero_chunks == 0
+          ? 0.0
+          : static_cast<double>(result_.nonzero_bytes) /
+                static_cast<double>(result_.nonzero_chunks);
+  return result_;
+}
+
+}  // namespace squirrel::store

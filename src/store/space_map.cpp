@@ -1,0 +1,61 @@
+#include "store/space_map.h"
+
+#include <cassert>
+
+namespace squirrel::store {
+
+std::uint64_t SpaceMap::Allocate(std::uint64_t size) {
+  assert(size > 0);
+  // First fit from the free list.
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second >= size) {
+      const std::uint64_t offset = it->first;
+      const std::uint64_t remaining = it->second - size;
+      free_.erase(it);
+      if (remaining > 0) free_.emplace(offset + size, remaining);
+      hole_bytes_ -= size;
+      allocated_ += size;
+      return offset;
+    }
+  }
+  const std::uint64_t offset = bump_;
+  bump_ += size;
+  allocated_ += size;
+  return offset;
+}
+
+void SpaceMap::Free(std::uint64_t offset, std::uint64_t size) {
+  assert(size > 0);
+  allocated_ -= size;
+  hole_bytes_ += size;
+
+  auto [it, inserted] = free_.emplace(offset, size);
+  assert(inserted && "double free");
+
+  // Coalesce with the following extent.
+  auto next = std::next(it);
+  if (next != free_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_.erase(next);
+  }
+  // Coalesce with the preceding extent.
+  if (it != free_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_.erase(it);
+      it = prev;
+    }
+  }
+  // Shrink the pool when the last extent touches the high-water mark.
+  if (!free_.empty()) {
+    auto last = std::prev(free_.end());
+    if (last->first + last->second == bump_) {
+      bump_ = last->first;
+      hole_bytes_ -= last->second;
+      free_.erase(last);
+    }
+  }
+}
+
+}  // namespace squirrel::store

@@ -1,0 +1,41 @@
+// Disk-extent allocator for the simulated pool.
+//
+// Allocation is bump-pointer with a first-fit free list (coalescing on free),
+// which reproduces the behaviour Figure 11 depends on: as blocks are written,
+// freed and deduplicated over time, logically-adjacent file blocks end up at
+// scattered physical offsets, turning sequential file reads into random disk
+// accesses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace squirrel::store {
+
+class SpaceMap {
+ public:
+  /// Allocates `size` bytes, returns the pool offset.
+  std::uint64_t Allocate(std::uint64_t size);
+
+  /// Returns an extent to the free list; coalesces with neighbours.
+  void Free(std::uint64_t offset, std::uint64_t size);
+
+  std::uint64_t allocated_bytes() const { return allocated_; }
+
+  /// High-water mark of the pool (bump pointer position).
+  std::uint64_t pool_size() const { return bump_; }
+
+  /// Bytes sitting in free-list holes below the high-water mark.
+  std::uint64_t free_hole_bytes() const { return hole_bytes_; }
+
+  /// Number of discontiguous free extents — a fragmentation proxy.
+  std::size_t free_extent_count() const { return free_.size(); }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> free_;  // offset -> size
+  std::uint64_t bump_ = 0;
+  std::uint64_t allocated_ = 0;
+  std::uint64_t hole_bytes_ = 0;
+};
+
+}  // namespace squirrel::store

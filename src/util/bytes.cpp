@@ -1,0 +1,44 @@
+#include "util/bytes.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace squirrel::util {
+
+std::string FormatBytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  int unit = 0;
+  double value = bytes;
+  while (value >= 1024.0 && unit < 5) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f B", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::uint64_t ParseBytes(const std::string& text) {
+  if (text.empty()) return 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0) return 0;
+  std::uint64_t multiplier = 1;
+  if (*end != '\0') {
+    switch (std::toupper(static_cast<unsigned char>(*end))) {
+      case 'K': multiplier = kKiB; break;
+      case 'M': multiplier = kMiB; break;
+      case 'G': multiplier = kGiB; break;
+      case 'T': multiplier = kTiB; break;
+      default: return 0;
+    }
+  }
+  return static_cast<std::uint64_t>(value * static_cast<double>(multiplier));
+}
+
+}  // namespace squirrel::util

@@ -1,0 +1,80 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+#include "util/sha256.h"
+
+namespace squirrel::util {
+
+std::string Digest::ToHex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+std::uint64_t Digest::Prefix64() const {
+  std::uint64_t value = 0;
+  std::memcpy(&value, bytes.data(), sizeof(value));
+  return value;
+}
+
+Digest HashBlock(ByteSpan data) {
+  Sha256Context ctx;
+  ctx.Update(data);
+  const auto full = ctx.Finish();
+  Digest digest;
+  std::memcpy(digest.bytes.data(), full.data(), digest.bytes.size());
+  return digest;
+}
+
+std::array<std::uint8_t, 32> Sha256(ByteSpan data) {
+  Sha256Context ctx;
+  ctx.Update(data);
+  return ctx.Finish();
+}
+
+std::uint64_t Fnv1a64(ByteSpan data, std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (Byte b : data) {
+    hash ^= b;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Fast128 FastHash128(ByteSpan data, std::uint64_t seed) {
+  std::uint64_t a = 0x9e3779b97f4a7c15ULL ^ seed;
+  std::uint64_t b = 0xc2b2ae3d27d4eb4fULL + seed;
+  std::size_t i = 0;
+  while (i + 16 <= data.size()) {
+    std::uint64_t w0, w1;
+    std::memcpy(&w0, data.data() + i, 8);
+    std::memcpy(&w1, data.data() + i + 8, 8);
+    a = (a ^ w0) * 0xff51afd7ed558ccdULL;
+    b = (b ^ w1) * 0xc4ceb9fe1a85ec53ULL;
+    a ^= a >> 29;
+    b ^= b >> 31;
+    i += 16;
+  }
+  while (i < data.size()) {
+    a = (a ^ data[i]) * 0x100000001b3ULL;
+    ++i;
+  }
+  // Final avalanche with cross-mixing so lo/hi are independent.
+  a ^= b * 0x9e3779b97f4a7c15ULL;
+  a ^= a >> 33;
+  a *= 0xff51afd7ed558ccdULL;
+  a ^= a >> 33;
+  b ^= a * 0xc4ceb9fe1a85ec53ULL;
+  b ^= b >> 29;
+  b *= 0x94d049bb133111ebULL;
+  b ^= b >> 32;
+  return {a, b};
+}
+
+}  // namespace squirrel::util

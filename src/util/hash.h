@@ -1,0 +1,59 @@
+// Content hashing used by the deduplication table.
+//
+// The dedup key is a 128-bit truncation of SHA-256 over the (raw, uncompressed)
+// block payload, mirroring ZFS's use of a cryptographic checksum for
+// `dedup=on`. FNV-1a is provided for cheap non-cryptographic hashing
+// (hash-chain match finders in the compressors, test fixtures).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace squirrel::util {
+
+/// 128-bit content digest (truncated SHA-256). Collision probability is
+/// negligible at any realistic volume size, so the store treats equal digests
+/// as equal content, as ZFS does with `dedup=on` (no verify).
+struct Digest {
+  std::array<std::uint8_t, 16> bytes{};
+
+  auto operator<=>(const Digest&) const = default;
+
+  /// Lowercase hex rendering, for logs and test failure messages.
+  std::string ToHex() const;
+
+  /// First 8 bytes as an integer; convenient as a pre-hashed map key.
+  std::uint64_t Prefix64() const;
+};
+
+/// SHA-256 of `data`, truncated to 128 bits.
+Digest HashBlock(ByteSpan data);
+
+/// Full SHA-256, for the send-stream integrity trailer.
+std::array<std::uint8_t, 32> Sha256(ByteSpan data);
+
+/// FNV-1a 64-bit, seedable. Non-cryptographic.
+std::uint64_t Fnv1a64(ByteSpan data, std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Fast 128-bit non-cryptographic content hash (8 bytes per round of
+/// multiply-xor mixing across two lanes). Used by the dataset analyzer and
+/// the fast-hash block-store mode, where throughput matters and adversarial
+/// collisions are not a concern.
+struct Fast128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+Fast128 FastHash128(ByteSpan data, std::uint64_t seed = 0);
+
+struct DigestHasher {
+  std::size_t operator()(const Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.Prefix64());
+  }
+};
+
+}  // namespace squirrel::util

@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation.
+//
+// All synthetic content in the VMI generator is derived from seeds through
+// this generator (xoshiro256**), so datasets are bit-reproducible across runs
+// and platforms — a requirement for the reproduction harness, where a figure
+// must regenerate the same series every time.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace squirrel::util {
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, good statistical quality,
+/// deterministic across platforms (unlike std::mt19937 distributions).
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from a single seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  std::uint64_t Next();
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t Below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  std::uint64_t Between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool Chance(double p);
+
+  /// Derives an independent child generator; used to give every image /
+  /// region its own stream so content does not depend on generation order.
+  Rng Fork(std::uint64_t salt);
+
+  /// Fills `out` with random bytes.
+  void Fill(MutableByteSpan out);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Zipf-distributed rank sampler over {0, .., n-1} with exponent s.
+/// Used for package popularity and image boot-frequency skew.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t Sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // normalized cumulative weights
+};
+
+}  // namespace squirrel::util

@@ -1,0 +1,28 @@
+// Minimal from-scratch SHA-256 (FIPS 180-4). Streaming interface so the
+// send/receive code can checksum without buffering whole streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace squirrel::util {
+
+class Sha256Context {
+ public:
+  Sha256Context();
+
+  void Update(ByteSpan data);
+  std::array<std::uint8_t, 32> Finish();
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace squirrel::util

@@ -1,0 +1,37 @@
+// Small statistics helpers used by the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace squirrel::util {
+
+/// Welford running mean/variance accumulator.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  // sample variance; 0 if count < 2
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Root-mean-square error between predictions and observations
+/// (sizes must match and be nonzero).
+double Rmse(std::span<const double> predicted, std::span<const double> observed);
+
+/// p-th percentile (0..100) by linear interpolation; copies and sorts.
+double Percentile(std::span<const double> values, double p);
+
+}  // namespace squirrel::util

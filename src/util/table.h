@@ -1,0 +1,28 @@
+// Plain-text table rendering for the benchmark harnesses. Every bench binary
+// prints the rows/series of the paper table or figure it reproduces through
+// this printer so output is uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace squirrel::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` fractional digits.
+  static std::string Num(double value, int precision = 2);
+
+  /// Renders with column alignment and a header underline.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace squirrel::util

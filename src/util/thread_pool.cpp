@@ -1,0 +1,103 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace squirrel::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+
+  // All state the enqueued tasks touch is owned by this shared block: a
+  // queued task may start only after the caller has already finished every
+  // iteration and returned, so it must not reference the caller's stack.
+  struct SharedState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> remaining;
+    std::atomic<bool> first_error{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t count;
+    const std::function<void(std::size_t)>* fn;  // valid while remaining > 0
+  };
+  auto state = std::make_shared<SharedState>();
+  state->remaining = count;
+  state->count = count;
+  state->fn = &fn;
+
+  // Dynamic self-scheduling: workers pull the next index until exhausted.
+  auto body = [state] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1);
+      if (i >= state->count) break;
+      try {
+        if (!state->first_error.load(std::memory_order_relaxed)) {
+          (*state->fn)(i);
+        }
+      } catch (...) {
+        bool expected = false;
+        if (state->first_error.compare_exchange_strong(expected, true)) {
+          std::lock_guard lock(state->error_mutex);
+          state->error = std::current_exception();
+        }
+      }
+      if (state->remaining.fetch_sub(1) == 1) {
+        std::lock_guard lock(state->done_mutex);
+        state->done_cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t shards = std::min(count, workers_.size());
+  {
+    std::lock_guard lock(mutex_);
+    // Enqueue one pulling task per worker (they share the atomic counter).
+    for (std::size_t s = 0; s + 1 < shards; ++s) tasks_.push(body);
+  }
+  cv_.notify_all();
+  body();  // The calling thread participates too.
+
+  {
+    std::unique_lock lock(state->done_mutex);
+    state->done_cv.wait(lock, [&] { return state->remaining.load() == 0; });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace squirrel::util

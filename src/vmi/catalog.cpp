@@ -1,0 +1,200 @@
+#include "vmi/catalog.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace squirrel::vmi {
+namespace {
+
+struct FamilyPlan {
+  OsFamily family;
+  const char* name;
+  int azure_count;
+  std::uint32_t release_count;
+};
+
+// Table 2 (Azure column) plus a plausible release spread per family.
+constexpr FamilyPlan kFamilies[] = {
+    {OsFamily::kUbuntu, "Ubuntu", 579, 10},
+    {OsFamily::kRhelCentos, "RedHat/CentOS", 17, 6},
+    {OsFamily::kSuse, "OpenSuse/Suse Ent.", 5, 4},
+    {OsFamily::kDebian, "Debian", 3, 3},
+    {OsFamily::kOtherLinux, "Unidentified Linux", 3, 3},
+};
+constexpr int kAzureTotal = 607;
+
+}  // namespace
+
+std::vector<OsDiversityRow> AzureEc2OsDiversity() {
+  return {
+      {"Ubuntu", 579, 5720},
+      {"RedHat/CentOS", 17, 847},
+      {"OpenSuse/Suse Ent.", 5, 8},
+      {"Debian", 3, 30},
+      {"Windows", 0, 531},
+      {"Unidentified Linux", 3, 2654},
+  };
+}
+
+std::string FamilyName(OsFamily family) {
+  for (const FamilyPlan& plan : kFamilies) {
+    if (plan.family == family) return plan.name;
+  }
+  return "Unknown";
+}
+
+Catalog Catalog::AzureCommunity(const CatalogConfig& config) {
+  Catalog catalog;
+  catalog.config_ = config;
+  util::Rng rng(config.seed);
+
+  // --- releases and package pools per family ------------------------------
+  const std::uint64_t base_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(config.ScaledNonzero()) * config.base_fraction);
+  // Adjacent releases share `release_share` of their base; the shift must be
+  // a 1 MiB multiple so shared ranges keep their block alignment.
+  const std::uint64_t release_shift = util::AlignUp(
+      std::max<std::uint64_t>(
+          util::kMiB, static_cast<std::uint64_t>(
+                          static_cast<double>(base_bytes) *
+                          (1.0 - config.release_share))),
+      util::kMiB);
+
+  catalog.packages_.resize(std::size(kFamilies));
+  catalog.package_corpus_seeds_.resize(std::size(kFamilies));
+
+  for (std::size_t f = 0; f < std::size(kFamilies); ++f) {
+    const FamilyPlan& plan = kFamilies[f];
+    util::Rng family_rng = rng.Fork(f + 1);
+    const std::uint64_t family_base_seed = family_rng.Next();
+    catalog.package_corpus_seeds_[f] = family_rng.Next();
+
+    for (std::uint32_t r = 0; r < plan.release_count; ++r) {
+      Release release;
+      release.family = plan.family;
+      release.name = std::string(plan.name) + "-" + std::to_string(r + 1);
+      release.family_index = r;
+      release.base_corpus_seed = family_base_seed;
+      release.base_corpus_offset = r * release_shift;
+      release.boot_seed = family_rng.Next();
+      catalog.releases_.push_back(std::move(release));
+    }
+
+    // Package pool: log-uniform sizes in [min, max], 4 KiB-aligned, laid out
+    // back to back in the family package corpus. The corpus offset doubles
+    // as the package's release-standard *logical* offset inside the fixed
+    // package area, so "aligned" installs of the same package land at
+    // identical logical offsets in every image.
+    auto& pool = catalog.packages_[f];
+    pool.reserve(config.packages_per_family);
+    std::uint64_t cursor = 0;
+    for (std::uint32_t p = 0; p < config.packages_per_family; ++p) {
+      const double lo = std::log(static_cast<double>(config.package_min_bytes));
+      const double hi = std::log(static_cast<double>(config.package_max_bytes));
+      const double raw = std::exp(lo + (hi - lo) * family_rng.NextDouble());
+      const std::uint32_t size = static_cast<std::uint32_t>(
+          util::AlignUp(std::max<std::uint64_t>(4096, static_cast<std::uint64_t>(raw)),
+                        4096));
+      pool.push_back(Package{cursor, size});
+      cursor += size;
+    }
+  }
+
+  // --- images ---------------------------------------------------------------
+  // Family allocation proportional to Table 2; releases within a family are
+  // Zipf-popular (newer releases get more images).
+  std::vector<std::uint32_t> family_image_counts(std::size(kFamilies));
+  std::uint32_t assigned = 0;
+  for (std::size_t f = 0; f < std::size(kFamilies); ++f) {
+    const std::uint32_t n = static_cast<std::uint32_t>(std::max<std::int64_t>(
+        1, std::llround(static_cast<double>(kFamilies[f].azure_count) *
+                        config.image_count / kAzureTotal)));
+    family_image_counts[f] = n;
+    assigned += n;
+  }
+  // Adjust the largest family so the total matches exactly.
+  if (assigned != config.image_count) {
+    const std::int64_t diff =
+        static_cast<std::int64_t>(config.image_count) - assigned;
+    family_image_counts[0] = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(family_image_counts[0]) + diff));
+  }
+
+  const std::uint64_t package_budget = static_cast<std::uint64_t>(
+      static_cast<double>(config.ScaledNonzero()) * config.package_fraction);
+  const std::uint64_t user_bytes =
+      config.ScaledNonzero() >= base_bytes + package_budget
+          ? config.ScaledNonzero() - base_bytes - package_budget
+          : 0;
+
+  std::uint32_t release_base_index = 0;
+  std::uint32_t image_id = 0;
+  for (std::size_t f = 0; f < std::size(kFamilies); ++f) {
+    const FamilyPlan& plan = kFamilies[f];
+    const util::ZipfSampler release_pick(plan.release_count, 0.8);
+    const util::ZipfSampler package_pick(config.packages_per_family,
+                                         config.package_zipf);
+    util::Rng image_rng = rng.Fork(100 + f);
+
+    for (std::uint32_t i = 0; i < family_image_counts[f]; ++i) {
+      ImageSpec spec;
+      spec.id = image_id++;
+      spec.seed = image_rng.Next();
+      // Popular (low-rank) releases are the newest; name them accordingly.
+      const std::uint32_t release_rank =
+          static_cast<std::uint32_t>(release_pick.Sample(image_rng));
+      spec.release_index = release_base_index +
+                           (plan.release_count - 1 - release_rank);
+      spec.name = catalog.releases_[spec.release_index].name + "-user" +
+                  std::to_string(i);
+      spec.logical_size = config.ScaledLogical();
+      spec.base_bytes = base_bytes;
+      spec.user_bytes = user_bytes;
+
+      // Draw packages (without replacement) until the byte budget is spent.
+      std::uint64_t spent = 0;
+      const auto& pool = catalog.packages_[f];
+      while (spent < package_budget && spec.packages.size() < pool.size()) {
+        const std::uint32_t pick =
+            static_cast<std::uint32_t>(package_pick.Sample(image_rng));
+        if (std::find(spec.packages.begin(), spec.packages.end(), pick) !=
+            spec.packages.end()) {
+          continue;
+        }
+        spec.packages.push_back(pick);
+        spent += pool[pick].size;
+      }
+      catalog.images_.push_back(std::move(spec));
+    }
+    release_base_index += plan.release_count;
+  }
+  return catalog;
+}
+
+const std::vector<Package>& Catalog::family_packages(OsFamily family) const {
+  for (std::size_t f = 0; f < std::size(kFamilies); ++f) {
+    if (kFamilies[f].family == family) return packages_[f];
+  }
+  throw std::out_of_range("unknown family");
+}
+
+std::uint64_t Catalog::package_corpus_seed(OsFamily family) const {
+  for (std::size_t f = 0; f < std::size(kFamilies); ++f) {
+    if (kFamilies[f].family == family) return package_corpus_seeds_[f];
+  }
+  throw std::out_of_range("unknown family");
+}
+
+std::map<std::string, int> Catalog::FamilyCounts() const {
+  std::map<std::string, int> counts;
+  for (const ImageSpec& spec : images_) {
+    counts[FamilyName(releases_[spec.release_index].family)] += 1;
+  }
+  return counts;
+}
+
+}  // namespace squirrel::vmi

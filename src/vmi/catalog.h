@@ -1,0 +1,165 @@
+// Synthetic reproduction of the paper's VMI repository: the 607 Windows
+// Azure community images (Table 2), modelled as a catalog of image
+// specifications over shared content corpora.
+//
+// Structure knobs (CatalogConfig) control the sharing behaviour every
+// experiment depends on:
+//   * images of one release share an identical "distro base" at identical
+//     logical offsets, dirtied by small per-image delta patches (config
+//     edits) — the reason smaller blocks deduplicate better (Fig 2);
+//   * adjacent releases of a family share a fraction of their base corpus
+//     (shifted by a 1 MiB multiple, so alignment is preserved);
+//   * packages come from a per-family pool with Zipf popularity; system
+//     packages sit at release-standard offsets (aligned across images),
+//     user-installed ones at per-image offsets quantized to small powers of
+//     two — identical content at different alignments, which only small
+//     blocks can deduplicate;
+//   * user data is per-image, with a configurable internal-duplication
+//     fraction (file copies inside one image inflate dedup ratio without
+//     adding cross-image similarity).
+//
+// Sizes default to 1/96 of the paper's averages (27.6 GB logical /
+// 2.36 GB nonzero / 132 MB boot working set per image); every byte count
+// scales linearly through `size_scale` and all reported ratios are
+// scale-invariant.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace squirrel::vmi {
+
+enum class OsFamily { kUbuntu, kRhelCentos, kSuse, kDebian, kOtherLinux };
+
+/// Table 2 rows (plus the Windows row both providers report).
+struct OsDiversityRow {
+  std::string distribution;
+  int azure_count;
+  int ec2_count;
+};
+std::vector<OsDiversityRow> AzureEc2OsDiversity();
+
+struct Package {
+  std::uint64_t corpus_offset = 0;  // within the family package corpus
+  std::uint32_t size = 0;           // bytes, multiple of 4 KiB
+};
+
+struct Release {
+  OsFamily family = OsFamily::kUbuntu;
+  std::string name;
+  std::uint32_t family_index = 0;   // release number within the family
+  std::uint64_t base_corpus_seed = 0;
+  std::uint64_t base_corpus_offset = 0;  // 1 MiB-multiple shift per release
+  std::uint64_t boot_seed = 0;      // seeds the release's boot working set
+};
+
+/// One user-visible community image.
+struct ImageSpec {
+  std::uint32_t id = 0;
+  std::string name;
+  std::uint32_t release_index = 0;
+  std::uint64_t seed = 0;
+
+  std::uint64_t logical_size = 0;
+  std::uint64_t base_bytes = 0;
+  std::uint64_t user_bytes = 0;
+  /// User-installed package ids drawn from the family pool by popularity;
+  /// each is placed at a per-image offset (quantized misalignment).
+  std::vector<std::uint32_t> packages;
+};
+
+struct CatalogConfig {
+  std::uint32_t image_count = 607;
+  std::uint64_t seed = 2014;
+
+  /// Global linear size scale. 1.0 reproduces paper-scale byte counts
+  /// (2.36 GB nonzero per image); the default keeps full-catalog analysis
+  /// runs in CPU-seconds. Ratios do not depend on it.
+  double size_scale = 1.0 / 96.0;
+
+  // Paper-scale per-image byte budgets (before size_scale).
+  std::uint64_t logical_size = std::uint64_t(27.6 * 1024) * util::kMiB;
+  std::uint64_t nonzero_bytes = std::uint64_t(2.36 * 1024) * util::kMiB;
+  std::uint64_t cache_bytes = 132 * util::kMiB;
+
+  // Composition of nonzero bytes. The base includes the distro-installed
+  // system packages (whose identical install order is why images of one
+  // release share large aligned regions); `package_fraction` covers only
+  // user-installed packages, which land at per-image offsets.
+  double base_fraction = 0.50;
+  double package_fraction = 0.20;   // remainder is user data
+  double user_dup_fraction = 0.35;  // of user data duplicating itself
+
+  /// Layout mode. `true` (default) packs all content densely from offset 0
+  /// — correct for dedup/compression analysis at every block size (real
+  /// guest file systems pack files; sparse space sits at the end of the
+  /// disk). `false` scatters the post-kernel base across the whole virtual
+  /// disk — correct *seek geometry* for the boot-time experiments, at the
+  /// price of zero-diluted content islands at large analysis block sizes.
+  bool dense_layout = true;
+
+  // Delta patches: one small (256 B - 4 KiB) per-image edit per this many
+  // bytes of base content. Patches never land in the kernel reserve (the
+  // first `kernel_reserve_fraction` of the base): kernels and initrds are
+  // not user-edited, config files and logs are.
+  std::uint64_t patch_every = 192 * util::kKiB;
+  double kernel_reserve_fraction = 0.2;
+
+  // Cross-release base sharing: adjacent releases share this fraction.
+  double release_share = 0.55;
+
+  // Package pool. Package sizes are NOT scaled by size_scale — scaling
+  // shrinks the number of packages an image installs, not the size of a
+  // package, so the package-size/block-size relationship that drives the
+  // alignment effects stays realistic at any scale.
+  std::uint32_t packages_per_family = 256;
+  double package_zipf = 0.9;
+  std::uint64_t package_min_bytes = 64 * util::kKiB;
+  std::uint64_t package_max_bytes = 1 * util::kMiB;
+
+  // Boot working set composition (fractions of cache_bytes).
+  double boot_kernel_fraction = 0.45;  // sequential prefix of base
+  double boot_scatter_fraction = 0.35; // release-wide scattered base reads
+  double boot_service_fraction = 0.12; // popular package prefixes
+  // Remainder: per-image config reads (covers delta patches).
+
+  /// Per-image values after applying size_scale.
+  std::uint64_t ScaledLogical() const { return Scale(logical_size); }
+  std::uint64_t ScaledNonzero() const { return Scale(nonzero_bytes); }
+  std::uint64_t ScaledCache() const { return Scale(cache_bytes); }
+  std::uint64_t Scale(std::uint64_t paper_bytes) const {
+    return static_cast<std::uint64_t>(static_cast<double>(paper_bytes) * size_scale);
+  }
+};
+
+class Catalog {
+ public:
+  /// Builds the Azure community catalog: image counts per family follow
+  /// Table 2, scaled proportionally when `config.image_count != 607`.
+  static Catalog AzureCommunity(const CatalogConfig& config);
+
+  const CatalogConfig& config() const { return config_; }
+  const std::vector<Release>& releases() const { return releases_; }
+  const std::vector<ImageSpec>& images() const { return images_; }
+  const std::vector<Package>& family_packages(OsFamily family) const;
+  std::uint64_t package_corpus_seed(OsFamily family) const;
+
+  /// Image counts per family actually generated (the Table 2 bench prints
+  /// these next to the paper's numbers).
+  std::map<std::string, int> FamilyCounts() const;
+
+ private:
+  CatalogConfig config_;
+  std::vector<Release> releases_;
+  std::vector<ImageSpec> images_;
+  std::vector<std::vector<Package>> packages_;      // per family
+  std::vector<std::uint64_t> package_corpus_seeds_; // per family
+};
+
+std::string FamilyName(OsFamily family);
+
+}  // namespace squirrel::vmi

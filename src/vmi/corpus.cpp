@@ -1,0 +1,121 @@
+#include "vmi/corpus.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace squirrel::vmi {
+namespace {
+
+// Word table for text-class grains; drawn from common configuration/log
+// vocabulary so text grains have realistic letter statistics.
+constexpr std::array<const char*, 48> kWords = {
+    "the",     "kernel",  "module",  "loaded",  "service",  "started",
+    "config",  "default", "enabled", "disabled","interface","network",
+    "address", "static",  "dynamic", "mount",   "device",   "driver",
+    "version", "release", "package", "install", "update",   "depends",
+    "library", "shared",  "object",  "symbol",  "resolve",  "daemon",
+    "process", "thread",  "signal",  "handler", "timeout",  "retry",
+    "socket",  "listen",  "accept",  "buffer",  "cache",    "memory",
+    "volume",  "block",   "storage", "cluster", "replica",  "index"};
+
+enum class GrainClass { kText, kBinary, kRandom };
+
+GrainClass ClassifyGrain(std::uint64_t grain_seed) {
+  // 40% text, 40% binary, 20% random.
+  const std::uint64_t bucket = grain_seed % 10;
+  if (bucket < 4) return GrainClass::kText;
+  if (bucket < 8) return GrainClass::kBinary;
+  return GrainClass::kRandom;
+}
+
+void FillText(util::Rng& rng, util::MutableByteSpan out) {
+  // Dictionary words mixed with random hex identifiers (paths, uuids,
+  // addresses). The identifiers carry fresh entropy, so the compression
+  // ratio saturates instead of growing without bound at large block sizes.
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    if (rng.Chance(0.3)) {
+      const std::uint64_t value = rng.Next();
+      for (int i = 0; i < 10 && pos < out.size(); ++i) {
+        out[pos++] = static_cast<util::Byte>(kHex[(value >> (4 * i)) & 0xf]);
+      }
+    } else {
+      const char* word = kWords[rng.Below(kWords.size())];
+      const std::size_t len = std::strlen(word);
+      for (std::size_t i = 0; i < len && pos < out.size(); ++i) {
+        out[pos++] = static_cast<util::Byte>(word[i]);
+      }
+    }
+    if (pos < out.size()) {
+      out[pos++] = rng.Chance(0.12) ? '\n' : ' ';
+    }
+  }
+}
+
+void FillBinary(util::Rng& rng, util::MutableByteSpan out) {
+  // Fixed-layout 32-byte records: magic, an incrementing id, a few random
+  // fields and zero padding — typical ELF/metadata entropy.
+  std::uint32_t id = static_cast<std::uint32_t>(rng.Next());
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    util::Byte record[32] = {0x7f, 0x45, 0x4c, 0x46};  // repeating magic
+    std::memcpy(record + 4, &id, sizeof(id));
+    ++id;
+    // 16 bytes of random payload keep per-record entropy high enough that
+    // the class compresses ~2x regardless of window size.
+    const std::uint64_t payload0 = rng.Next();
+    const std::uint64_t payload1 = rng.Next();
+    std::memcpy(record + 8, &payload0, sizeof(payload0));
+    std::memcpy(record + 16, &payload1, sizeof(payload1));
+    // record[24..31] stays zero padding.
+    const std::size_t take = std::min<std::size_t>(32, out.size() - pos);
+    std::memcpy(out.data() + pos, record, take);
+    pos += take;
+  }
+}
+
+void FillGrain(std::uint64_t seed, std::uint64_t grain_index,
+               util::MutableByteSpan out) {
+  const std::uint64_t grain_seed =
+      (seed ^ (grain_index * 0x9e3779b97f4a7c15ULL)) * 0xbf58476d1ce4e5b9ULL;
+  util::Rng rng(grain_seed);
+  switch (ClassifyGrain(grain_seed)) {
+    case GrainClass::kText:
+      FillText(rng, out);
+      break;
+    case GrainClass::kBinary:
+      FillBinary(rng, out);
+      break;
+    case GrainClass::kRandom:
+      rng.Fill(out);
+      break;
+  }
+}
+
+}  // namespace
+
+void GenerateCorpus(std::uint64_t seed, std::uint64_t offset,
+                    util::MutableByteSpan out) {
+  std::uint64_t pos = 0;
+  util::Byte grain_buffer[kCorpusGrain];
+  while (pos < out.size()) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t grain_index = abs / kCorpusGrain;
+    const std::uint64_t within = abs % kCorpusGrain;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(kCorpusGrain - within, out.size() - pos);
+    if (within == 0 && take == kCorpusGrain) {
+      FillGrain(seed, grain_index, util::MutableByteSpan(out.data() + pos, kCorpusGrain));
+    } else {
+      FillGrain(seed, grain_index, util::MutableByteSpan(grain_buffer, kCorpusGrain));
+      std::memcpy(out.data() + pos, grain_buffer + within, take);
+    }
+    pos += take;
+  }
+}
+
+}  // namespace squirrel::vmi

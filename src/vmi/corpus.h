@@ -1,0 +1,28 @@
+// Deterministic synthetic content streams ("corpora").
+//
+// A corpus is an unbounded byte stream identified by a 64-bit seed. Content
+// is generated grain by grain (4 KiB grains); grain g of corpus s depends
+// only on (s, g), so any two images referencing the same corpus range read
+// identical bytes — that is what deduplication finds.
+//
+// Each grain is one of three content classes, chosen pseudo-randomly per
+// grain with a fixed mix, so aggregate compressibility resembles OS file
+// system content (the paper's gzip6 ratio of ~2-2.5):
+//   * text   — words from a fixed dictionary; compresses well (~4x)
+//   * binary — structured records with repeating layout (~2x)
+//   * random — incompressible (already-compressed payloads)
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace squirrel::vmi {
+
+inline constexpr std::uint64_t kCorpusGrain = 4096;
+
+/// Fills `out` with corpus `seed` content at [offset, offset + out.size()).
+void GenerateCorpus(std::uint64_t seed, std::uint64_t offset,
+                    util::MutableByteSpan out);
+
+}  // namespace squirrel::vmi

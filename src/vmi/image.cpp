@@ -1,0 +1,261 @@
+#include "vmi/image.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "util/rng.h"
+#include "vmi/corpus.h"
+
+namespace squirrel::vmi {
+namespace {
+
+// Gap quanta for user-installed (misaligned) packages. Each package gets a
+// per-image gap that is a multiple of one of these, so identical package
+// content dedups only once the volume block size drops to the quantum.
+constexpr std::uint64_t kGapQuanta[] = {1 * util::kKiB, 2 * util::kKiB,
+                                        4 * util::kKiB, 8 * util::kKiB,
+                                        16 * util::kKiB};
+
+}  // namespace
+
+VmImage::VmImage(const Catalog& catalog, const ImageSpec& spec)
+    : catalog_(&catalog),
+      spec_(&spec),
+      release_(&catalog.releases()[spec.release_index]) {
+  util::Rng rng(spec.seed);
+  const CatalogConfig& config = catalog.config();
+
+  // --- base -------------------------------------------------------------------
+  // Dense mode: the whole base (kernel + system userland) is one contiguous
+  // extent at offset 0 — distro installs lay files out identically for
+  // every image of a release. Scattered mode keeps only the kernel reserve
+  // contiguous and spreads the rest over the wide zone below.
+  kernel_reserve_ = util::AlignDown(
+      static_cast<std::uint64_t>(static_cast<double>(spec.base_bytes) *
+                                 config.kernel_reserve_fraction),
+      64 * util::kKiB);
+  const std::uint64_t contiguous_base =
+      config.dense_layout ? spec.base_bytes : kernel_reserve_;
+  extents_.push_back(Extent{0, contiguous_base, release_->base_corpus_seed,
+                            release_->base_corpus_offset});
+
+  // --- user-installed packages ------------------------------------------------
+  // Densely packed after the base with small per-image gaps quantized to
+  // 1-16 KiB — identical content at different block phases across images,
+  // which only small dedup blocks can match.
+  const auto& pool = catalog.family_packages(release_->family);
+  const std::uint64_t pkg_corpus = catalog.package_corpus_seed(release_->family);
+  std::uint64_t cursor = util::AlignUp(contiguous_base + util::kMiB, util::kMiB);
+  package_offsets_.reserve(spec.packages.size());
+  for (std::size_t i = 0; i < spec.packages.size(); ++i) {
+    const Package& pkg = pool[spec.packages[i]];
+    const std::uint64_t quantum = kGapQuanta[rng.Below(std::size(kGapQuanta))];
+    cursor += rng.Between(1, 15) * quantum;
+    package_offsets_.push_back(cursor);
+    extents_.push_back(Extent{cursor, pkg.size, pkg_corpus, pkg.corpus_offset});
+    cursor += pkg.size;
+  }
+
+  // --- user data ------------------------------------------------------------
+  // Composed of 256 KiB segments; a configured fraction of segments repeats
+  // an earlier segment of the same image (file copies), which raises the
+  // dedup ratio without adding any cross-image similarity.
+  const std::uint64_t user_seed = rng.Next();
+  const std::uint64_t segment = 256 * util::kKiB;
+  std::uint64_t user_cursor = util::AlignUp(cursor + util::kMiB, util::kMiB);
+  std::uint64_t remaining = spec.user_bytes;
+  std::uint64_t fresh_segments = 0;
+  while (remaining > 0) {
+    const std::uint64_t len = std::min(segment, remaining);
+    std::uint64_t corpus_offset;
+    if (fresh_segments > 0 && rng.Chance(config.user_dup_fraction)) {
+      corpus_offset = rng.Below(fresh_segments) * segment;  // repeat a copy
+    } else {
+      corpus_offset = fresh_segments * segment;
+      ++fresh_segments;
+    }
+    extents_.push_back(Extent{user_cursor, len, user_seed, corpus_offset});
+    user_cursor += len;
+    remaining -= len;
+  }
+
+  // Start of the wide zone. This must be identical for every image of a
+  // release (fragment positions are release-wide), so it is derived from
+  // catalog-level bounds only: the base, a generous allowance for the
+  // per-image package area, and the user area.
+  const std::uint64_t package_budget = static_cast<std::uint64_t>(
+      static_cast<double>(config.ScaledNonzero()) * config.package_fraction);
+  const std::uint64_t wide_start = util::AlignUp(
+      spec.base_bytes + 2 * (package_budget + 4 * util::kMiB) +
+          spec.user_bytes + 8 * util::kMiB,
+      util::kMiB);
+  const std::uint64_t dense_end = util::AlignUp(user_cursor, util::kMiB);
+  assert(dense_end <= wide_start && "dense zone overflowed its allowance");
+  // Dense layouts only need the dense zone; scattered layouts reserve room
+  // for the wide zone the base fragments spread over.
+  logical_size_ = config.dense_layout
+                      ? std::max(spec_->logical_size, dense_end)
+                      : std::max(spec_->logical_size, wide_start * 4);
+
+  // Boot-write scratch: [dense_end + 1 MiB, wide_start - 1 MiB) is free in
+  // both modes (dense layouts place nothing past dense_end; scattered
+  // layouts start their fragments at wide_start).
+  scratch_offset_ = dense_end + util::kMiB;
+  const std::uint64_t scratch_end = std::min(
+      logical_size_, config.dense_layout ? logical_size_ : wide_start - util::kMiB);
+  scratch_length_ =
+      scratch_end > scratch_offset_ ? scratch_end - scratch_offset_ : 0;
+
+  // --- base: scattered fragments over the wide zone --------------------------
+  // (Scattered mode only.) The remaining base content ([reserve,
+  // base_bytes) in content space) is split into fragments spread across the
+  // rest of the virtual disk, at 64 KiB-quantized positions identical for
+  // every image of the release.
+  const std::uint64_t scattered_base =
+      config.dense_layout
+          ? 0
+          : (spec.base_bytes > kernel_reserve_ ? spec.base_bytes - kernel_reserve_
+                                               : 0);
+  if (scattered_base > 0) {
+    constexpr std::uint64_t kQuantum = 64 * util::kKiB;
+    constexpr std::uint64_t kTargetFragments = 32;
+    fragment_length_ = util::AlignUp(
+        std::max<std::uint64_t>(util::CeilDiv(scattered_base, kTargetFragments),
+                                kQuantum),
+        kQuantum);
+    const std::uint64_t fragment_count =
+        util::CeilDiv(scattered_base, fragment_length_);
+    const std::uint64_t wide_size = logical_size_ - wide_start;
+    const std::uint64_t slot = wide_size / fragment_count;
+    util::Rng frag_rng(release_->boot_seed ^ 0xf4a6f4a6ULL);
+    for (std::uint64_t f = 0; f < fragment_count; ++f) {
+      const std::uint64_t content_start = kernel_reserve_ + f * fragment_length_;
+      const std::uint64_t len =
+          std::min(fragment_length_, spec.base_bytes - content_start);
+      const std::uint64_t jitter_room =
+          slot > fragment_length_ ? slot - fragment_length_ : 1;
+      const std::uint64_t offset =
+          wide_start + f * slot +
+          util::AlignDown(frag_rng.Below(jitter_room), kQuantum);
+      fragment_offsets_.push_back(offset);
+      extents_.push_back(Extent{offset, len, release_->base_corpus_seed,
+                                release_->base_corpus_offset + content_start});
+    }
+  } else {
+    // Dense mode: translation is the identity; give the fragment length a
+    // sentinel that keeps index math harmless.
+    fragment_length_ = std::max<std::uint64_t>(spec.base_bytes, 1);
+  }
+
+  std::sort(extents_.begin(), extents_.end(),
+            [](const Extent& a, const Extent& b) {
+              return a.logical_offset < b.logical_offset;
+            });
+  for (const Extent& e : extents_) nonzero_bytes_ += e.length;
+
+  // --- delta patches over the base -----------------------------------------
+  // Patches land only past the kernel reserve: kernel/initrd bytes are never
+  // user-edited, so the boot prefix stays release-identical. Generated in
+  // base-content space, stored at their translated logical positions
+  // (clamped to stay inside one fragment).
+  const std::uint64_t patchable =
+      spec.base_bytes > kernel_reserve_ ? spec.base_bytes - kernel_reserve_ : 0;
+  const std::uint64_t patch_count =
+      patchable / std::max<std::uint64_t>(1, config.patch_every);
+  patches_.reserve(patch_count);
+  for (std::uint64_t p = 0; p < patch_count; ++p) {
+    Patch patch;
+    patch.length = static_cast<std::uint32_t>(rng.Between(256, 4096));
+    std::uint64_t content = kernel_reserve_ + rng.Below(patchable);
+    // Keep the patch inside one contiguous region: its fragment in
+    // scattered mode, the base itself in dense mode.
+    const std::uint64_t frag_index =
+        (content - kernel_reserve_) / fragment_length_;
+    const std::uint64_t frag_content_end = std::min(
+        kernel_reserve_ + (frag_index + 1) * fragment_length_, spec.base_bytes);
+    if (content + patch.length > frag_content_end) {
+      content = frag_content_end > patch.length ? frag_content_end - patch.length
+                                                : frag_content_end - 1;
+    }
+    patch.logical_offset = BaseContentToLogical(content);
+    patch.seed = rng.Next();
+    patches_.push_back(patch);
+  }
+  std::sort(patches_.begin(), patches_.end(),
+            [](const Patch& a, const Patch& b) {
+              return a.logical_offset < b.logical_offset;
+            });
+}
+
+bool VmImage::RangeHasData(std::uint64_t offset, std::uint64_t length) const {
+  const std::uint64_t end = offset + length;
+  auto it = std::upper_bound(extents_.begin(), extents_.end(), offset,
+                             [](std::uint64_t off, const Extent& e) {
+                               return off < e.logical_offset;
+                             });
+  if (it != extents_.begin()) {
+    const Extent& prev = *std::prev(it);
+    if (prev.logical_offset + prev.length > offset) return true;
+  }
+  return it != extents_.end() && it->logical_offset < end;
+}
+
+std::uint64_t VmImage::BaseContentToLogical(std::uint64_t content_offset) const {
+  if (fragment_offsets_.empty()) return content_offset;  // dense layout
+  if (content_offset < kernel_reserve_) return content_offset;
+  const std::uint64_t scattered = content_offset - kernel_reserve_;
+  const std::uint64_t frag_index = scattered / fragment_length_;
+  assert(frag_index < fragment_offsets_.size());
+  return fragment_offsets_[frag_index] + scattered % fragment_length_;
+}
+
+void VmImage::Read(std::uint64_t offset, util::MutableByteSpan out) const {
+  assert(offset + out.size() <= logical_size_);
+  std::memset(out.data(), 0, out.size());
+  const std::uint64_t end = offset + out.size();
+
+  // Fill from extents overlapping [offset, end).
+  auto it = std::upper_bound(extents_.begin(), extents_.end(), offset,
+                             [](std::uint64_t off, const Extent& e) {
+                               return off < e.logical_offset;
+                             });
+  if (it != extents_.begin()) --it;
+  for (; it != extents_.end() && it->logical_offset < end; ++it) {
+    const std::uint64_t e_start = it->logical_offset;
+    const std::uint64_t e_end = e_start + it->length;
+    const std::uint64_t lo = std::max(offset, e_start);
+    const std::uint64_t hi = std::min(end, e_end);
+    if (lo >= hi) continue;
+    GenerateCorpus(it->corpus_seed, it->corpus_offset + (lo - e_start),
+                   util::MutableByteSpan(out.data() + (lo - offset), hi - lo));
+  }
+
+  // Apply per-image patches intersecting the range.
+  auto pit = std::upper_bound(patches_.begin(), patches_.end(), offset,
+                              [](std::uint64_t off, const Patch& p) {
+                                return off < p.logical_offset;
+                              });
+  // Patches are at most 4 KiB long; walk back far enough that every patch
+  // possibly overlapping `offset` is applied, in sorted order, so the bytes
+  // produced do not depend on the read boundaries.
+  while (pit != patches_.begin() &&
+         std::prev(pit)->logical_offset + 4096 > offset) {
+    --pit;
+  }
+  for (; pit != patches_.end() && pit->logical_offset < end; ++pit) {
+    const std::uint64_t p_start = pit->logical_offset;
+    const std::uint64_t p_end = p_start + pit->length;
+    const std::uint64_t lo = std::max(offset, p_start);
+    const std::uint64_t hi = std::min(end, p_end);
+    if (lo >= hi) continue;
+    // Regenerate the whole patch deterministically, then copy the slice.
+    util::Bytes content(pit->length);
+    util::Rng patch_rng(pit->seed);
+    patch_rng.Fill(content);
+    std::memcpy(out.data() + (lo - offset), content.data() + (lo - p_start),
+                hi - lo);
+  }
+}
+
+}  // namespace squirrel::vmi

@@ -1,0 +1,251 @@
+// Volume persistence: Serialize() / Deserialize() members of zvol::Volume.
+//
+// Image layout (all little-endian, SHA-256 trailer over the body):
+//   magic "SQVL", version
+//   config: block_size, codec, dedup, fast_hash
+//   next snapshot id
+//   block section: count, then per unique digest the raw payload
+//   table section: live table + each snapshot (id, name, created_at, files)
+//
+// Payloads are stored raw and recompressed on load — physical pool layout
+// is not part of the logical volume state.
+#include <cstring>
+#include <unordered_set>
+
+#include "util/sha256.h"
+#include "zvol/volume.h"
+
+namespace squirrel::zvol {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53515643;  // "SQVC"
+constexpr std::uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(v); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<util::Byte>(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<util::Byte>(v >> (8 * i)));
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void Blob(util::ByteSpan b) {
+    U32(static_cast<std::uint32_t>(b.size()));
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  util::Bytes Take() { return std::move(out_); }
+
+ private:
+  util::Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(util::ByteSpan data) : data_(data) {}
+  std::uint8_t U8() { return Raw(1)[0]; }
+  std::uint32_t U32() {
+    const auto* p = Raw(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t U64() {
+    const auto* p = Raw(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+  }
+  std::string Str() {
+    const std::uint32_t n = U32();
+    const auto* p = Raw(n);
+    return std::string(reinterpret_cast<const char*>(p), n);
+  }
+  util::Bytes Blob() {
+    const std::uint32_t n = U32();
+    const auto* p = Raw(n);
+    return util::Bytes(p, p + n);
+  }
+
+ private:
+  const util::Byte* Raw(std::size_t n) {
+    if (pos_ + n > data_.size()) throw std::runtime_error("volume image truncated");
+    const util::Byte* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+  util::ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+void WriteTable(Writer& w, const FileTable& table) {
+  w.U32(static_cast<std::uint32_t>(table.size()));
+  for (const auto& [name, meta] : table) {
+    w.Str(name);
+    w.U64(meta.logical_size);
+    w.U64(meta.blocks.size());
+    for (const BlockPtr& ptr : meta.blocks) {
+      w.U8(ptr.hole ? 1 : 0);
+      if (!ptr.hole) {
+        w.Blob(util::ByteSpan(ptr.digest.bytes.data(), ptr.digest.bytes.size()));
+        w.U32(ptr.logical_size);
+      }
+    }
+  }
+}
+
+FileTable ReadTable(Reader& r) {
+  FileTable table;
+  const std::uint32_t files = r.U32();
+  for (std::uint32_t f = 0; f < files; ++f) {
+    const std::string name = r.Str();
+    FileMeta meta;
+    meta.logical_size = r.U64();
+    const std::uint64_t blocks = r.U64();
+    meta.blocks.resize(blocks);
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const bool hole = r.U8() != 0;
+      if (!hole) {
+        const util::Bytes digest = r.Blob();
+        if (digest.size() != meta.blocks[b].digest.bytes.size()) {
+          throw std::runtime_error("volume image: bad digest size");
+        }
+        meta.blocks[b].hole = false;
+        std::memcpy(meta.blocks[b].digest.bytes.data(), digest.data(),
+                    digest.size());
+        meta.blocks[b].logical_size = r.U32();
+      }
+    }
+    table.emplace(name, std::move(meta));
+  }
+  return table;
+}
+
+}  // namespace
+
+util::Bytes Volume::Serialize() const {
+  Writer w;
+  w.U32(kMagic);
+  w.U32(kVersion);
+  w.U32(config_.block_size);
+  w.Str(config_.codec);
+  w.U8(config_.dedup ? 1 : 0);
+  w.U8(config_.fast_hash ? 1 : 0);
+  w.U64(next_snapshot_id_);
+
+  // Unique blocks, reachable from any table.
+  std::unordered_set<util::Digest, util::DigestHasher> digests;
+  auto collect = [&](const FileTable& table) {
+    for (const auto& [name, meta] : table) {
+      for (const BlockPtr& ptr : meta.blocks) {
+        if (!ptr.hole) digests.insert(ptr.digest);
+      }
+    }
+  };
+  collect(files_);
+  for (const auto& snap : snapshots_) collect(snap->files);
+
+  w.U64(digests.size());
+  for (const util::Digest& digest : digests) {
+    w.Blob(util::ByteSpan(digest.bytes.data(), digest.bytes.size()));
+    w.Blob(store_.Get(digest));
+  }
+
+  WriteTable(w, files_);
+  w.U32(static_cast<std::uint32_t>(snapshots_.size()));
+  for (const auto& snap : snapshots_) {
+    w.U64(snap->id);
+    w.Str(snap->name);
+    w.U64(snap->created_at);
+    WriteTable(w, snap->files);
+  }
+
+  util::Bytes body = w.Take();
+  const auto checksum = util::Sha256(body);
+  body.insert(body.end(), checksum.begin(), checksum.end());
+  return body;
+}
+
+std::unique_ptr<Volume> Volume::Deserialize(util::ByteSpan image) {
+  if (image.size() < 32) throw std::runtime_error("volume image too short");
+  const util::ByteSpan body = image.first(image.size() - 32);
+  const auto checksum = util::Sha256(body);
+  if (std::memcmp(checksum.data(), image.data() + body.size(), 32) != 0) {
+    throw std::runtime_error("volume image checksum mismatch");
+  }
+
+  Reader r(body);
+  if (r.U32() != kMagic) throw std::runtime_error("volume image bad magic");
+  if (r.U32() != kVersion) throw std::runtime_error("volume image bad version");
+
+  VolumeConfig config;
+  config.block_size = r.U32();
+  config.codec = r.Str();
+  config.dedup = r.U8() != 0;
+  config.fast_hash = r.U8() != 0;
+  auto volume = std::make_unique<Volume>(config);
+  volume->next_snapshot_id_ = r.U64();
+
+  // Insert every unique block once (artificial reference, dropped at the
+  // end once the tables hold their own references).
+  const std::uint64_t block_count = r.U64();
+  std::vector<util::Digest> inserted;
+  inserted.reserve(block_count);
+  // Without dedup the store mints fresh synthetic digests on load, so table
+  // pointers must be rewritten from the recorded ids to the new ones.
+  std::unordered_map<util::Digest, util::Digest, util::DigestHasher> remap;
+  for (std::uint64_t b = 0; b < block_count; ++b) {
+    const util::Bytes digest_bytes = r.Blob();
+    const util::Bytes payload = r.Blob();
+    util::Digest expected;
+    if (digest_bytes.size() != expected.bytes.size()) {
+      throw std::runtime_error("volume image: bad digest size");
+    }
+    std::memcpy(expected.bytes.data(), digest_bytes.data(), digest_bytes.size());
+    const store::PutResult put = volume->store_.Put(payload);
+    if (config.dedup && put.digest != expected) {
+      throw std::runtime_error("volume image: payload does not match digest");
+    }
+    if (!config.dedup) remap.emplace(expected, put.digest);
+    inserted.push_back(put.digest);
+  }
+
+  auto retain = [&](FileTable& table) {
+    for (auto& [name, meta] : table) {
+      for (BlockPtr& ptr : meta.blocks) {
+        if (ptr.hole) continue;
+        if (!config.dedup) {
+          const auto it = remap.find(ptr.digest);
+          if (it == remap.end()) {
+            throw std::runtime_error("volume image: unmapped block reference");
+          }
+          ptr.digest = it->second;
+        }
+        volume->store_.Ref(ptr.digest);
+      }
+    }
+  };
+
+  volume->files_ = ReadTable(r);
+  retain(volume->files_);
+  const std::uint32_t snapshot_count = r.U32();
+  for (std::uint32_t s = 0; s < snapshot_count; ++s) {
+    auto snap = std::make_unique<Snapshot>();
+    snap->id = r.U64();
+    snap->name = r.Str();
+    snap->created_at = r.U64();
+    snap->files = ReadTable(r);
+    retain(snap->files);
+    volume->snapshots_.push_back(std::move(snap));
+  }
+
+  // Drop the artificial per-block references.
+  for (const util::Digest& digest : inserted) volume->store_.Unref(digest);
+  return volume;
+}
+
+}  // namespace squirrel::zvol

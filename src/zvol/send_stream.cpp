@@ -1,0 +1,187 @@
+#include "zvol/send_stream.h"
+
+#include <cstring>
+
+#include "util/sha256.h"
+
+namespace squirrel::zvol {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53515353;  // "SQSS"
+
+class Writer {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(v); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<util::Byte>(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<util::Byte>(v >> (8 * i)));
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void Blob(util::ByteSpan b) {
+    U32(static_cast<std::uint32_t>(b.size()));
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  util::Bytes Take() { return std::move(out_); }
+
+ private:
+  util::Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(util::ByteSpan data) : data_(data) {}
+
+  std::uint8_t U8() { return Raw(1)[0]; }
+  std::uint32_t U32() {
+    const auto* p = Raw(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t U64() {
+    const auto* p = Raw(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+  }
+  std::string Str() {
+    const std::uint32_t n = U32();
+    const auto* p = Raw(n);
+    return std::string(reinterpret_cast<const char*>(p), n);
+  }
+  util::Bytes Blob() {
+    const std::uint32_t n = U32();
+    const auto* p = Raw(n);
+    return util::Bytes(p, p + n);
+  }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  const util::Byte* Raw(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw std::runtime_error("send stream truncated");
+    }
+    const util::Byte* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  util::ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Bytes SendStream::Serialize() const {
+  Writer w;
+  w.U32(kMagic);
+  w.U8(incremental ? 1 : 0);
+  w.U64(from_id);
+  w.Str(from_name);
+  w.U64(to_id);
+  w.Str(to_name);
+  w.U64(created_at);
+  w.U32(block_size);
+  w.Str(codec);
+
+  w.U32(static_cast<std::uint32_t>(deleted_files.size()));
+  for (const auto& name : deleted_files) w.Str(name);
+
+  w.U32(static_cast<std::uint32_t>(files.size()));
+  for (const FileRecord& f : files) {
+    w.Str(f.name);
+    w.U64(f.logical_size);
+    w.U8(f.whole_file ? 1 : 0);
+    w.U32(static_cast<std::uint32_t>(f.blocks.size()));
+    for (const BlockRecord& b : f.blocks) {
+      w.U64(b.index);
+      w.U8(static_cast<std::uint8_t>((b.hole ? 1 : 0) | (b.has_payload ? 2 : 0) |
+                                     (b.payload_compressed ? 4 : 0)));
+      w.Blob(util::ByteSpan(b.digest.bytes.data(), b.digest.bytes.size()));
+      w.U32(b.logical_size);
+      if (b.has_payload) {
+        w.Blob(b.payload);
+      }
+    }
+  }
+
+  util::Bytes body = w.Take();
+  const auto checksum = util::Sha256(body);
+  body.insert(body.end(), checksum.begin(), checksum.end());
+  return body;
+}
+
+SendStream SendStream::Deserialize(util::ByteSpan wire) {
+  if (wire.size() < 32) throw std::runtime_error("send stream too short");
+  const util::ByteSpan body = wire.first(wire.size() - 32);
+  const auto checksum = util::Sha256(body);
+  if (std::memcmp(checksum.data(), wire.data() + body.size(), 32) != 0) {
+    throw std::runtime_error("send stream checksum mismatch");
+  }
+
+  Reader r(body);
+  if (r.U32() != kMagic) throw std::runtime_error("send stream bad magic");
+
+  SendStream s;
+  s.incremental = r.U8() != 0;
+  s.from_id = r.U64();
+  s.from_name = r.Str();
+  s.to_id = r.U64();
+  s.to_name = r.Str();
+  s.created_at = r.U64();
+  s.block_size = r.U32();
+  s.codec = r.Str();
+
+  const std::uint32_t deleted = r.U32();
+  s.deleted_files.reserve(deleted);
+  for (std::uint32_t i = 0; i < deleted; ++i) s.deleted_files.push_back(r.Str());
+
+  const std::uint32_t file_count = r.U32();
+  s.files.reserve(file_count);
+  for (std::uint32_t i = 0; i < file_count; ++i) {
+    FileRecord f;
+    f.name = r.Str();
+    f.logical_size = r.U64();
+    f.whole_file = r.U8() != 0;
+    const std::uint32_t block_count = r.U32();
+    f.blocks.reserve(block_count);
+    for (std::uint32_t j = 0; j < block_count; ++j) {
+      BlockRecord b;
+      b.index = r.U64();
+      const std::uint8_t flags = r.U8();
+      b.hole = (flags & 1) != 0;
+      b.has_payload = (flags & 2) != 0;
+      b.payload_compressed = (flags & 4) != 0;
+      const util::Bytes digest = r.Blob();
+      if (digest.size() != b.digest.bytes.size()) {
+        throw std::runtime_error("send stream bad digest size");
+      }
+      std::memcpy(b.digest.bytes.data(), digest.data(), digest.size());
+      b.logical_size = r.U32();
+      if (b.has_payload) b.payload = r.Blob();
+      f.blocks.push_back(std::move(b));
+    }
+    s.files.push_back(std::move(f));
+  }
+  return s;
+}
+
+std::uint64_t SendStream::WireSize() const {
+  // Serialization is deterministic; size is measured, not estimated.
+  return Serialize().size();
+}
+
+std::uint64_t SendStream::PayloadBytes() const {
+  std::uint64_t total = 0;
+  for (const FileRecord& f : files) {
+    for (const BlockRecord& b : f.blocks) total += b.payload.size();
+  }
+  return total;
+}
+
+}  // namespace squirrel::zvol

@@ -1,0 +1,70 @@
+// Serialized snapshot-diff streams — the reproduction of `zfs send` /
+// `zfs send -i` used to propagate cache volumes (Sections 3.2 and 3.5).
+//
+// A stream carries: the identity of the base and target snapshots, the file
+// deletions and file (re)definitions between them, and the payloads of
+// exactly those blocks the receiver cannot already have. Integrity is
+// protected by a SHA-256 trailer; the failure-injection tests flip bits and
+// expect Deserialize to reject the stream.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/hash.h"
+
+namespace squirrel::zvol {
+
+struct BlockRecord {
+  std::uint64_t index = 0;       // block number within the file
+  bool hole = false;
+  util::Digest digest{};
+  std::uint32_t logical_size = 0;
+  bool has_payload = false;
+  bool payload_compressed = false;  // payload is codec-compressed (send -c)
+  util::Bytes payload;
+};
+
+struct FileRecord {
+  std::string name;
+  std::uint64_t logical_size = 0;
+  /// For new files: every block. For modified files: only changed indices.
+  std::vector<BlockRecord> blocks;
+  bool whole_file = false;       // true => replaces the file table entry
+};
+
+struct SendStream {
+  // Base snapshot (absent for full streams).
+  bool incremental = false;
+  std::uint64_t from_id = 0;
+  std::string from_name;
+
+  // Target snapshot identity, created on the receiver after applying.
+  std::uint64_t to_id = 0;
+  std::string to_name;
+  std::uint64_t created_at = 0;
+  std::uint32_t block_size = 0;  // receivers must match
+  std::string codec;             // codec of compressed payloads
+
+  std::vector<std::string> deleted_files;
+  std::vector<FileRecord> files;
+
+  /// Wire encoding with a SHA-256 integrity trailer.
+  util::Bytes Serialize() const;
+
+  /// Parses and verifies; throws std::runtime_error on truncation or
+  /// checksum mismatch.
+  static SendStream Deserialize(util::ByteSpan wire);
+
+  /// Size of the encoded stream in bytes — what registration actually pushes
+  /// over the network (the paper's "diff of O(10 MB)").
+  std::uint64_t WireSize() const;
+
+  /// Sum of carried payload bytes (the dominant component of WireSize).
+  std::uint64_t PayloadBytes() const;
+};
+
+}  // namespace squirrel::zvol

@@ -1,0 +1,556 @@
+#include "zvol/volume.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <unordered_set>
+
+namespace squirrel::zvol {
+namespace {
+
+using DigestSet = std::unordered_set<util::Digest, util::DigestHasher>;
+
+DigestSet ReachableDigests(const FileTable& table) {
+  DigestSet set;
+  for (const auto& [name, meta] : table) {
+    for (const BlockPtr& ptr : meta.blocks) {
+      if (!ptr.hole) set.insert(ptr.digest);
+    }
+  }
+  return set;
+}
+
+}  // namespace
+
+Volume::Volume(VolumeConfig config)
+    : config_(config),
+      store_(store::BlockStoreConfig{config.codec, config.dedup, config.fast_hash}) {
+  if (config_.block_size == 0) {
+    throw std::invalid_argument("block_size must be positive");
+  }
+}
+
+Volume::~Volume() = default;
+
+void Volume::ReleaseTable(const FileTable& table) {
+  for (const auto& [name, meta] : table) {
+    for (const BlockPtr& ptr : meta.blocks) {
+      if (!ptr.hole) store_.Unref(ptr.digest);
+    }
+  }
+}
+
+void Volume::RetainTable(const FileTable& table) {
+  for (const auto& [name, meta] : table) {
+    for (const BlockPtr& ptr : meta.blocks) {
+      if (!ptr.hole) store_.Ref(ptr.digest);
+    }
+  }
+}
+
+FileMeta Volume::IngestSource(const util::DataSource& data) {
+  FileMeta meta;
+  meta.logical_size = data.size();
+  const std::uint64_t block_count =
+      util::CeilDiv(meta.logical_size, config_.block_size);
+  meta.blocks.resize(block_count);
+
+  util::Bytes buffer(config_.block_size);
+  for (std::uint64_t i = 0; i < block_count; ++i) {
+    const std::uint64_t offset = i * config_.block_size;
+    const std::uint64_t len =
+        std::min<std::uint64_t>(config_.block_size, meta.logical_size - offset);
+    util::MutableByteSpan block(buffer.data(), len);
+    data.Read(offset, block);
+    if (util::IsAllZero(block)) continue;  // stays a hole
+    const store::PutResult put = store_.Put(block);
+    meta.blocks[i] = BlockPtr{false, put.digest, put.logical_size};
+  }
+  return meta;
+}
+
+void Volume::WriteFile(const std::string& name, const util::DataSource& data) {
+  FileMeta meta = IngestSource(data);
+  auto it = files_.find(name);
+  if (it != files_.end()) {
+    for (const BlockPtr& ptr : it->second.blocks) {
+      if (!ptr.hole) store_.Unref(ptr.digest);
+    }
+    it->second = std::move(meta);
+  } else {
+    files_.emplace(name, std::move(meta));
+  }
+}
+
+void Volume::CreateFile(const std::string& name, std::uint64_t logical_size) {
+  FileMeta meta;
+  meta.logical_size = logical_size;
+  meta.blocks.resize(util::CeilDiv(logical_size, config_.block_size));
+  auto it = files_.find(name);
+  if (it != files_.end()) {
+    for (const BlockPtr& ptr : it->second.blocks) {
+      if (!ptr.hole) store_.Unref(ptr.digest);
+    }
+    it->second = std::move(meta);
+  } else {
+    files_.emplace(name, std::move(meta));
+  }
+}
+
+void Volume::WriteRange(const std::string& name, std::uint64_t offset,
+                        util::ByteSpan data) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    throw std::out_of_range("no such file: " + name);
+  }
+  FileMeta& meta = it->second;
+  const std::uint64_t end = offset + data.size();
+  if (end > meta.logical_size) {
+    meta.logical_size = end;
+    meta.blocks.resize(util::CeilDiv(end, config_.block_size));
+  }
+
+  util::Bytes buffer(config_.block_size);
+  std::uint64_t cursor = offset;
+  while (cursor < end) {
+    const std::uint64_t block_index = cursor / config_.block_size;
+    const std::uint64_t block_start = block_index * config_.block_size;
+    const std::uint64_t block_len = std::min<std::uint64_t>(
+        config_.block_size, meta.logical_size - block_start);
+    const std::uint64_t write_from = cursor - block_start;
+    const std::uint64_t write_len =
+        std::min<std::uint64_t>(block_len - write_from, end - cursor);
+
+    // Read-modify-write: materialize the old block content (zeros for
+    // holes). A stored block can be SHORTER than block_len: it was the
+    // partial tail block before a later write grew the file — its implicit
+    // tail is zeros.
+    util::MutableByteSpan block(buffer.data(), block_len);
+    BlockPtr& ptr = meta.blocks[block_index];
+    std::memset(block.data(), 0, block.size());
+    if (!ptr.hole) {
+      const util::Bytes old = store_.Get(ptr.digest);
+      std::memcpy(block.data(), old.data(),
+                  std::min<std::uint64_t>(old.size(), block_len));
+    }
+    std::memcpy(block.data() + write_from, data.data() + (cursor - offset),
+                write_len);
+
+    if (!ptr.hole) store_.Unref(ptr.digest);
+    if (util::IsAllZero(block)) {
+      ptr = BlockPtr{};
+    } else {
+      const store::PutResult put = store_.Put(block);
+      ptr = BlockPtr{false, put.digest, put.logical_size};
+    }
+    cursor += write_len;
+  }
+}
+
+util::Bytes Volume::ReadRange(const std::string& name, std::uint64_t offset,
+                              std::uint64_t length) const {
+  const auto it = files_.find(name);
+  if (it == files_.end()) {
+    throw std::out_of_range("no such file: " + name);
+  }
+  const FileMeta& meta = it->second;
+  if (offset + length > meta.logical_size) {
+    throw std::out_of_range("read past end of " + name);
+  }
+
+  util::Bytes out(length, 0);
+  std::uint64_t cursor = offset;
+  while (cursor < offset + length) {
+    const std::uint64_t block_index = cursor / config_.block_size;
+    const std::uint64_t block_start = block_index * config_.block_size;
+    const std::uint64_t within = cursor - block_start;
+    const std::uint64_t block_len = std::min<std::uint64_t>(
+        config_.block_size, meta.logical_size - block_start);
+    const std::uint64_t take =
+        std::min<std::uint64_t>(block_len - within, offset + length - cursor);
+    const BlockPtr& ptr = meta.blocks[block_index];
+    if (!ptr.hole) {
+      // The stored block may be shorter than the in-file block length (a
+      // former tail block after the file grew); its logical tail is zeros.
+      const util::Bytes block = store_.Get(ptr.digest);
+      if (within < block.size()) {
+        const std::uint64_t copy =
+            std::min<std::uint64_t>(take, block.size() - within);
+        std::memcpy(out.data() + (cursor - offset), block.data() + within, copy);
+      }
+    }
+    cursor += take;
+  }
+  return out;
+}
+
+bool Volume::HasFile(const std::string& name) const {
+  return files_.contains(name);
+}
+
+std::uint64_t Volume::FileSize(const std::string& name) const {
+  return files_.at(name).logical_size;
+}
+
+std::vector<std::string> Volume::FileNames() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, meta] : files_) names.push_back(name);
+  return names;
+}
+
+void Volume::DeleteFile(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    throw std::out_of_range("no such file: " + name);
+  }
+  for (const BlockPtr& ptr : it->second.blocks) {
+    if (!ptr.hole) store_.Unref(ptr.digest);
+  }
+  files_.erase(it);
+}
+
+const BlockPtr& Volume::FileBlock(const std::string& name,
+                                  std::uint64_t index) const {
+  return files_.at(name).blocks.at(index);
+}
+
+std::uint64_t Volume::FileBlockCount(const std::string& name) const {
+  return files_.at(name).blocks.size();
+}
+
+Volume::FileStats Volume::StatFile(const std::string& name) const {
+  const auto it = files_.find(name);
+  if (it == files_.end()) {
+    throw std::out_of_range("no such file: " + name);
+  }
+  FileStats stats;
+  stats.logical_size = it->second.logical_size;
+  std::uint64_t logical_nonzero = 0;
+  for (const BlockPtr& ptr : it->second.blocks) {
+    if (ptr.hole) {
+      ++stats.hole_blocks;
+      continue;
+    }
+    ++stats.nonzero_blocks;
+    logical_nonzero += ptr.logical_size;
+    const std::uint32_t physical = store_.PhysicalSize(ptr.digest);
+    stats.referenced_physical_bytes += physical;
+    if (store_.RefCount(ptr.digest) == 1) {
+      stats.unique_physical_bytes += physical;
+    }
+  }
+  if (stats.referenced_physical_bytes > 0) {
+    stats.compression_ratio =
+        static_cast<double>(logical_nonzero) /
+        static_cast<double>(stats.referenced_physical_bytes);
+  }
+  return stats;
+}
+
+const Snapshot& Volume::CreateSnapshot(const std::string& name,
+                                       std::uint64_t now) {
+  if (FindSnapshot(name) != nullptr) {
+    throw std::invalid_argument("snapshot exists: " + name);
+  }
+  auto snap = std::make_unique<Snapshot>();
+  snap->id = next_snapshot_id_++;
+  snap->name = name;
+  snap->created_at = now;
+  snap->files = files_;
+  RetainTable(snap->files);
+  snapshots_.push_back(std::move(snap));
+  return *snapshots_.back();
+}
+
+const Snapshot* Volume::FindSnapshot(const std::string& name) const {
+  for (const auto& snap : snapshots_) {
+    if (snap->name == name) return snap.get();
+  }
+  return nullptr;
+}
+
+const Snapshot* Volume::LatestSnapshot() const {
+  return snapshots_.empty() ? nullptr : snapshots_.back().get();
+}
+
+void Volume::DestroySnapshot(const std::string& name) {
+  auto it = std::find_if(snapshots_.begin(), snapshots_.end(),
+                         [&](const auto& s) { return s->name == name; });
+  if (it == snapshots_.end()) {
+    throw std::out_of_range("no such snapshot: " + name);
+  }
+  ReleaseTable((*it)->files);
+  snapshots_.erase(it);
+}
+
+std::size_t Volume::PruneSnapshots(std::uint64_t retention_seconds,
+                                   std::uint64_t now) {
+  if (snapshots_.size() <= 1) return 0;
+  std::size_t destroyed = 0;
+  // The latest snapshot is always kept regardless of age (Section 3.4).
+  for (std::size_t i = 0; i + 1 < snapshots_.size();) {
+    const Snapshot& snap = *snapshots_[i];
+    if (snap.created_at + retention_seconds < now) {
+      ReleaseTable(snap.files);
+      snapshots_.erase(snapshots_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++destroyed;
+    } else {
+      ++i;
+    }
+  }
+  return destroyed;
+}
+
+SendStream Volume::Send(const std::string& from_name,
+                        const std::string& to_name) const {
+  const Snapshot* to = FindSnapshot(to_name);
+  if (to == nullptr) throw std::out_of_range("no such snapshot: " + to_name);
+
+  const Snapshot* from = nullptr;
+  if (!from_name.empty()) {
+    from = FindSnapshot(from_name);
+    if (from == nullptr) {
+      throw std::out_of_range("no such snapshot: " + from_name);
+    }
+    if (from->id >= to->id) {
+      throw std::invalid_argument("send: from must precede to");
+    }
+  }
+
+  SendStream stream;
+  stream.incremental = from != nullptr;
+  stream.from_id = from ? from->id : 0;
+  stream.from_name = from ? from->name : "";
+  stream.to_id = to->id;
+  stream.to_name = to->name;
+  stream.created_at = to->created_at;
+  stream.block_size = config_.block_size;
+  stream.codec = config_.codec;
+
+  const DigestSet known =
+      from ? ReachableDigests(from->files) : DigestSet{};
+  DigestSet carried;  // avoid sending the same payload twice in one stream
+
+  const compress::Codec* codec = &store_.codec();
+
+  auto make_record = [&](const BlockPtr& ptr, std::uint64_t index) {
+    BlockRecord rec;
+    rec.index = index;
+    rec.hole = ptr.hole;
+    if (ptr.hole) return rec;
+    rec.digest = ptr.digest;
+    rec.logical_size = ptr.logical_size;
+    if (!known.contains(ptr.digest) && !carried.contains(ptr.digest)) {
+      carried.insert(ptr.digest);
+      rec.has_payload = true;
+      const util::Bytes raw = store_.Get(ptr.digest);
+      util::Bytes compressed = codec->Compress(raw);
+      if (config_.codec != "null" && compressed.size() + raw.size() / 8 <= raw.size()) {
+        rec.payload = std::move(compressed);
+        rec.payload_compressed = true;
+      } else {
+        rec.payload = raw;
+      }
+    }
+    return rec;
+  };
+
+  if (from != nullptr) {
+    for (const auto& [name, meta] : from->files) {
+      if (!to->files.contains(name)) stream.deleted_files.push_back(name);
+    }
+  }
+
+  for (const auto& [name, meta] : to->files) {
+    const FileMeta* old = nullptr;
+    if (from != nullptr) {
+      auto it = from->files.find(name);
+      if (it != from->files.end()) old = &it->second;
+    }
+    FileRecord rec;
+    rec.name = name;
+    rec.logical_size = meta.logical_size;
+    if (old == nullptr) {
+      rec.whole_file = true;
+      for (std::uint64_t i = 0; i < meta.blocks.size(); ++i) {
+        if (!meta.blocks[i].hole) {
+          rec.blocks.push_back(make_record(meta.blocks[i], i));
+        }
+      }
+    } else {
+      if (*old == meta) continue;  // unchanged file
+      for (std::uint64_t i = 0; i < meta.blocks.size(); ++i) {
+        const BlockPtr* old_ptr =
+            i < old->blocks.size() ? &old->blocks[i] : nullptr;
+        if (old_ptr != nullptr && *old_ptr == meta.blocks[i]) continue;
+        rec.blocks.push_back(make_record(meta.blocks[i], i));
+      }
+    }
+    if (rec.whole_file || !rec.blocks.empty() ||
+        (old != nullptr && old->logical_size != meta.logical_size)) {
+      stream.files.push_back(std::move(rec));
+    }
+  }
+  return stream;
+}
+
+void Volume::ApplyStreamToTable(const SendStream& stream, FileTable& table) {
+  const compress::Codec* codec = compress::FindCodec(stream.codec);
+  if (codec == nullptr) {
+    throw std::runtime_error("receive: unknown codec " + stream.codec);
+  }
+
+  for (const std::string& name : stream.deleted_files) {
+    auto it = table.find(name);
+    if (it == table.end()) {
+      throw std::runtime_error("receive: deletion of unknown file " + name);
+    }
+    for (const BlockPtr& ptr : it->second.blocks) {
+      if (!ptr.hole) store_.Unref(ptr.digest);
+    }
+    table.erase(it);
+  }
+
+  for (const FileRecord& f : stream.files) {
+    FileMeta* meta;
+    auto it = table.find(f.name);
+    if (f.whole_file || it == table.end()) {
+      if (it != table.end()) {
+        for (const BlockPtr& ptr : it->second.blocks) {
+          if (!ptr.hole) store_.Unref(ptr.digest);
+        }
+        table.erase(it);
+      }
+      meta = &table[f.name];
+      meta->logical_size = f.logical_size;
+      meta->blocks.assign(util::CeilDiv(f.logical_size, stream.block_size),
+                          BlockPtr{});
+    } else {
+      meta = &it->second;
+      meta->logical_size = f.logical_size;
+      const std::uint64_t new_count =
+          util::CeilDiv(f.logical_size, stream.block_size);
+      // A shrinking file drops its tail blocks; release their references
+      // before the resize discards the pointers.
+      for (std::uint64_t i = new_count; i < meta->blocks.size(); ++i) {
+        if (!meta->blocks[i].hole) store_.Unref(meta->blocks[i].digest);
+      }
+      meta->blocks.resize(new_count);
+    }
+
+    for (const BlockRecord& b : f.blocks) {
+      if (b.index >= meta->blocks.size()) {
+        throw std::runtime_error("receive: block index out of range");
+      }
+      BlockPtr& ptr = meta->blocks[b.index];
+      if (!ptr.hole) {
+        store_.Unref(ptr.digest);
+        ptr = BlockPtr{};
+      }
+      if (b.hole) continue;
+      if (b.has_payload) {
+        const util::Bytes raw =
+            b.payload_compressed ? codec->Decompress(b.payload, b.logical_size)
+                                 : b.payload;
+        const store::PutResult put = store_.Put(raw);
+        ptr = BlockPtr{false, put.digest, put.logical_size};
+      } else {
+        if (!store_.Contains(b.digest)) {
+          throw std::runtime_error(
+              "receive: stream references a block this volume does not hold");
+        }
+        store_.Ref(b.digest);
+        ptr = BlockPtr{false, b.digest, b.logical_size};
+      }
+    }
+  }
+}
+
+void Volume::Receive(const SendStream& stream) {
+  if (stream.block_size != config_.block_size) {
+    throw StreamMismatchError("receive: block size mismatch");
+  }
+  if (stream.incremental) {
+    const Snapshot* latest = LatestSnapshot();
+    if (latest == nullptr || latest->id != stream.from_id ||
+        latest->name != stream.from_name) {
+      throw StreamMismatchError("receive: base snapshot mismatch");
+    }
+  } else if (LatestSnapshot() != nullptr) {
+    throw StreamMismatchError("receive: full stream into non-empty volume");
+  }
+
+  ApplyStreamToTable(stream, files_);
+
+  auto snap = std::make_unique<Snapshot>();
+  snap->id = stream.to_id;
+  snap->name = stream.to_name;
+  snap->created_at = stream.created_at;
+  snap->files = files_;
+  RetainTable(snap->files);
+  snapshots_.push_back(std::move(snap));
+  next_snapshot_id_ = std::max(next_snapshot_id_, stream.to_id + 1);
+}
+
+void Volume::ReceiveFull(const SendStream& stream) {
+  if (stream.incremental) {
+    throw std::invalid_argument("ReceiveFull requires a full stream");
+  }
+  // Drop everything: live files and snapshots.
+  ReleaseTable(files_);
+  files_.clear();
+  for (const auto& snap : snapshots_) ReleaseTable(snap->files);
+  snapshots_.clear();
+  Receive(stream);
+}
+
+Volume::ScrubReport Volume::Scrub() const {
+  ScrubReport report;
+  // Each unique digest is verified once even if referenced many times —
+  // like ZFS, the scrub walks physical blocks.
+  std::unordered_set<util::Digest, util::DigestHasher> checked;
+  auto scrub_table = [&](const FileTable& table) {
+    for (const auto& [name, meta] : table) {
+      for (const BlockPtr& ptr : meta.blocks) {
+        if (ptr.hole) continue;
+        if (!store_.Contains(ptr.digest)) {
+          ++report.dangling_refs;
+          continue;
+        }
+        if (!checked.insert(ptr.digest).second) continue;
+        ++report.blocks_checked;
+        if (!store_.Verify(ptr.digest)) ++report.errors;
+      }
+    }
+  };
+  scrub_table(files_);
+  for (const auto& snap : snapshots_) scrub_table(snap->files);
+  return report;
+}
+
+bool Volume::CorruptBlockForTesting(const std::string& name,
+                                    std::uint64_t index) {
+  const auto it = files_.find(name);
+  if (it == files_.end() || index >= it->second.blocks.size()) return false;
+  const BlockPtr& ptr = it->second.blocks[index];
+  if (ptr.hole) return false;
+  return store_.CorruptPayloadForTesting(ptr.digest);
+}
+
+VolumeStats Volume::Stats() const {
+  const store::StoreStats& s = store_.stats();
+  VolumeStats v;
+  v.file_count = files_.size();
+  v.snapshot_count = snapshots_.size();
+  for (const auto& [name, meta] : files_) v.logical_file_bytes += meta.logical_size;
+  v.unique_blocks = s.unique_blocks;
+  v.physical_data_bytes = s.physical_data_bytes;
+  v.ddt_disk_bytes = s.ddt_disk_bytes;
+  v.ddt_core_bytes = s.ddt_core_bytes;
+  v.blkptr_disk_bytes = s.total_refs * store::kBlockPointerBytes;
+  v.disk_used_bytes = s.disk_bytes() + v.blkptr_disk_bytes;
+  return v;
+}
+
+}  // namespace squirrel::zvol

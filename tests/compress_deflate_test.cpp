@@ -1,0 +1,206 @@
+#include "compress/deflate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/bitio.h"
+#include "compress/huffman.h"
+#include "util/rng.h"
+
+namespace squirrel::compress {
+namespace {
+
+using util::Bytes;
+
+Bytes CompressibleText(std::size_t size, std::uint64_t seed) {
+  static constexpr const char* kWords[] = {"storage ", "volume ", "block ",
+                                           "cache ", "the ", "squirrel "};
+  Bytes data(size);
+  util::Rng rng(seed);
+  std::size_t pos = 0;
+  while (pos < size) {
+    const char* w = kWords[rng.Below(6)];
+    for (const char* p = w; *p && pos < size; ++p) {
+      data[pos++] = static_cast<util::Byte>(*p);
+    }
+  }
+  return data;
+}
+
+TEST(Deflate, HigherLevelsCompressAtLeastAsWell) {
+  const Bytes data = CompressibleText(256 * 1024, 99);
+  const DeflateCodec level1(1);
+  const DeflateCodec level6(6);
+  const DeflateCodec level9(9);
+  const std::size_t size1 = level1.Compress(data).size();
+  const std::size_t size6 = level6.Compress(data).size();
+  const std::size_t size9 = level9.Compress(data).size();
+  EXPECT_LE(size6, size1);
+  EXPECT_LE(size9, size6 + size6 / 50);  // level 9 within 2% of level 6
+  EXPECT_LT(size6, data.size() / 2);     // text compresses at least 2x
+}
+
+TEST(Deflate, IncompressibleFallsBackToStored) {
+  Bytes data(64 * 1024);
+  util::Rng(5).Fill(data);
+  const DeflateCodec codec(6);
+  const Bytes compressed = codec.Compress(data);
+  // Stored mode: 1 mode byte + payload.
+  EXPECT_EQ(compressed.size(), data.size() + 1);
+  EXPECT_EQ(compressed[0], 0);
+  EXPECT_EQ(codec.Decompress(compressed, data.size()), data);
+}
+
+TEST(Deflate, LongZeroRuns) {
+  Bytes data(100000, 0);
+  data[0] = 1;  // not all-zero, but highly compressible
+  const DeflateCodec codec(6);
+  const Bytes compressed = codec.Compress(data);
+  EXPECT_LT(compressed.size(), 1000u);
+  EXPECT_EQ(codec.Decompress(compressed, data.size()), data);
+}
+
+TEST(Deflate, RejectsBadModeByte) {
+  const DeflateCodec codec(6);
+  const Bytes bogus = {7, 1, 2, 3};
+  EXPECT_THROW(codec.Decompress(bogus, 3), std::runtime_error);
+}
+
+TEST(Deflate, RejectsEmptyPayload) {
+  const DeflateCodec codec(6);
+  EXPECT_THROW(codec.Decompress({}, 10), std::runtime_error);
+}
+
+TEST(Deflate, RejectsWrongExpectedSize) {
+  const DeflateCodec codec(6);
+  const Bytes data = CompressibleText(1000, 1);
+  const Bytes compressed = codec.Compress(data);
+  EXPECT_THROW(codec.Decompress(compressed, 999), std::runtime_error);
+  EXPECT_THROW(codec.Decompress(compressed, 1001), std::runtime_error);
+}
+
+TEST(Deflate, InvalidLevelThrows) {
+  EXPECT_THROW(DeflateCodec(0), std::invalid_argument);
+  EXPECT_THROW(DeflateCodec(10), std::invalid_argument);
+}
+
+TEST(Deflate, NamesFollowGzipConvention) {
+  EXPECT_EQ(DeflateCodec(6).name(), "gzip6");
+  EXPECT_EQ(DeflateCodec(9).name(), "gzip9");
+}
+
+TEST(Deflate, OverlappingMatchCopy) {
+  // "aaaa..." forces matches whose source overlaps their destination.
+  Bytes data(5000, 'a');
+  const DeflateCodec codec(6);
+  const Bytes compressed = codec.Compress(data);
+  EXPECT_LT(compressed.size(), 200u);
+  EXPECT_EQ(codec.Decompress(compressed, data.size()), data);
+}
+
+// --- Huffman internals -------------------------------------------------------
+
+TEST(Huffman, CodeLengthsRespectLimit) {
+  // Exponential frequencies would produce a degenerate (deep) tree without
+  // the length limiter.
+  std::vector<std::uint64_t> freqs(40);
+  std::uint64_t f = 1;
+  for (auto& x : freqs) {
+    x = f;
+    f = f < (1ull << 60) ? f * 2 : f;
+  }
+  const auto lengths = BuildCodeLengths(freqs);
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    EXPECT_LE(lengths[s], kMaxCodeLength) << s;
+    EXPECT_GT(lengths[s], 0u) << s;  // all symbols used
+  }
+}
+
+TEST(Huffman, KraftInequalityHolds) {
+  std::vector<std::uint64_t> freqs = {5, 9, 12, 13, 16, 45, 0, 3};
+  const auto lengths = BuildCodeLengths(freqs);
+  double kraft = 0;
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) kraft += std::pow(2.0, -double(lengths[s]));
+    EXPECT_EQ(lengths[s] == 0, freqs[s] == 0) << s;
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-9);
+}
+
+TEST(Huffman, SingleSymbolGetsOneBit) {
+  std::vector<std::uint64_t> freqs(10, 0);
+  freqs[4] = 100;
+  const auto lengths = BuildCodeLengths(freqs);
+  EXPECT_EQ(lengths[4], 1u);
+
+  // Round-trip a stream of that single symbol.
+  HuffmanEncoder encoder(lengths);
+  BitWriter writer;
+  for (int i = 0; i < 20; ++i) encoder.Encode(writer, 4);
+  const Bytes wire = writer.Finish();
+  BitReader reader(wire);
+  HuffmanDecoder decoder(lengths);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(decoder.Decode(reader), 4u);
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip) {
+  std::vector<std::uint64_t> freqs = {100, 50, 25, 12, 6, 3, 1, 1};
+  const auto lengths = BuildCodeLengths(freqs);
+  HuffmanEncoder encoder(lengths);
+  HuffmanDecoder decoder(lengths);
+
+  util::Rng rng(77);
+  std::vector<std::size_t> symbols;
+  for (int i = 0; i < 5000; ++i) symbols.push_back(rng.Below(8));
+  BitWriter writer;
+  for (std::size_t s : symbols) encoder.Encode(writer, s);
+  const Bytes wire = writer.Finish();
+  BitReader reader(wire);
+  for (std::size_t s : symbols) EXPECT_EQ(decoder.Decode(reader), s);
+}
+
+TEST(Huffman, FrequentSymbolsGetShorterCodes) {
+  std::vector<std::uint64_t> freqs = {1000, 1, 1, 1, 1, 1, 1, 1};
+  const auto lengths = BuildCodeLengths(freqs);
+  for (std::size_t s = 1; s < 8; ++s) EXPECT_LE(lengths[0], lengths[s]);
+}
+
+TEST(Huffman, CodeLengthSerializationRoundTrip) {
+  std::vector<std::uint8_t> lengths(300, 0);
+  lengths[0] = 3;
+  lengths[5] = 15;
+  lengths[250] = 1;
+  lengths[299] = 7;
+  BitWriter writer;
+  WriteCodeLengths(writer, lengths);
+  const Bytes wire = writer.Finish();
+  BitReader reader(wire);
+  EXPECT_EQ(ReadCodeLengths(reader, 300), lengths);
+}
+
+TEST(BitIo, RoundTripMixedWidths) {
+  BitWriter writer;
+  writer.Write(0b101, 3);
+  writer.Write(0xdead, 16);
+  writer.Write(1, 1);
+  writer.Write(0xffffffff, 32);
+  const Bytes wire = writer.Finish();
+  BitReader reader(wire);
+  EXPECT_EQ(reader.Read(3), 0b101u);
+  EXPECT_EQ(reader.Read(16), 0xdeadu);
+  EXPECT_EQ(reader.Read(1), 1u);
+  EXPECT_EQ(reader.Read(32), 0xffffffffu);
+}
+
+TEST(BitIo, UnderflowThrows) {
+  BitWriter writer;
+  writer.Write(0x3, 2);
+  const Bytes wire = writer.Finish();
+  BitReader reader(wire);
+  reader.Read(8);  // the padded byte
+  EXPECT_THROW(reader.Read(8), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace squirrel::compress

@@ -1,0 +1,158 @@
+// Property tests: every codec must round-trip every content shape at every
+// size, and reject corrupted payloads rather than return wrong data.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "compress/codec.h"
+#include "util/rng.h"
+
+namespace squirrel::compress {
+namespace {
+
+using util::Byte;
+using util::Bytes;
+
+enum class Content {
+  kRandom,
+  kZeros,
+  kRepeating,
+  kText,
+  kAlternating,
+  kNearlyZero,
+};
+
+const char* ContentName(Content c) {
+  switch (c) {
+    case Content::kRandom: return "random";
+    case Content::kZeros: return "zeros";
+    case Content::kRepeating: return "repeating";
+    case Content::kText: return "text";
+    case Content::kAlternating: return "alternating";
+    case Content::kNearlyZero: return "nearly_zero";
+  }
+  return "?";
+}
+
+Bytes MakeContent(Content kind, std::size_t size, std::uint64_t seed) {
+  Bytes data(size, 0);
+  util::Rng rng(seed);
+  switch (kind) {
+    case Content::kRandom:
+      rng.Fill(data);
+      break;
+    case Content::kZeros:
+      break;
+    case Content::kRepeating:
+      for (std::size_t i = 0; i < size; ++i) {
+        data[i] = static_cast<Byte>("abcabcab"[i % 8]);
+      }
+      break;
+    case Content::kText: {
+      static constexpr const char* kWords[] = {"kernel ", "module ", "load ",
+                                               "the ", "config "};
+      std::size_t pos = 0;
+      while (pos < size) {
+        const char* w = kWords[rng.Below(5)];
+        for (const char* p = w; *p && pos < size; ++p) {
+          data[pos++] = static_cast<Byte>(*p);
+        }
+      }
+      break;
+    }
+    case Content::kAlternating:
+      for (std::size_t i = 0; i < size; ++i) {
+        data[i] = (i % 2 == 0) ? 0x00 : 0xff;
+      }
+      break;
+    case Content::kNearlyZero:
+      for (std::size_t i = 0; i < size; i += 97) data[i] = 0x42;
+      break;
+  }
+  return data;
+}
+
+using Param = std::tuple<std::string, Content, std::size_t>;
+
+class CodecRoundTrip : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CodecRoundTrip, DecompressReturnsOriginal) {
+  const auto& [codec_name, content, size] = GetParam();
+  const Codec* codec = FindCodec(codec_name);
+  ASSERT_NE(codec, nullptr) << codec_name;
+
+  const Bytes original = MakeContent(content, size, size * 31 + 7);
+  const Bytes compressed = codec->Compress(original);
+  const Bytes restored = codec->Decompress(compressed, original.size());
+  EXPECT_EQ(restored, original);
+}
+
+TEST_P(CodecRoundTrip, CorruptionDetectedOrHarmless) {
+  const auto& [codec_name, content, size] = GetParam();
+  if (size == 0) GTEST_SKIP();
+  const Codec* codec = FindCodec(codec_name);
+  ASSERT_NE(codec, nullptr);
+
+  const Bytes original = MakeContent(content, size, size * 13 + 3);
+  Bytes compressed = codec->Compress(original);
+  // Truncation must never produce a silently-correct result of full size
+  // without throwing... it may throw or produce different bytes; it must not
+  // crash.
+  if (compressed.size() > 2) {
+    Bytes truncated(compressed.begin(),
+                    compressed.begin() + compressed.size() / 2);
+    try {
+      const Bytes out = codec->Decompress(truncated, original.size());
+      EXPECT_EQ(out.size(), original.size());
+    } catch (const std::runtime_error&) {
+      SUCCEED();
+    }
+  }
+}
+
+std::vector<Param> AllParams() {
+  std::vector<Param> params;
+  for (const char* codec :
+       {"null", "gzip1", "gzip6", "gzip9", "lz4", "lzjb", "zle"}) {
+    for (Content content :
+         {Content::kRandom, Content::kZeros, Content::kRepeating,
+          Content::kText, Content::kAlternating, Content::kNearlyZero}) {
+      for (std::size_t size : {0ul, 1ul, 2ul, 63ul, 64ul, 65ul, 4096ul,
+                               65536ul, 131072ul}) {
+        params.emplace_back(codec, content, size);
+      }
+    }
+  }
+  return params;
+}
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  return std::get<0>(info.param) + std::string("_") +
+         ContentName(std::get<1>(info.param)) + "_" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecRoundTrip,
+                         ::testing::ValuesIn(AllParams()), ParamName);
+
+TEST(CodecRegistry, KnowsAllPaperCodecs) {
+  for (const char* name : {"gzip6", "gzip9", "lz4", "lzjb", "null"}) {
+    EXPECT_NE(FindCodec(name), nullptr) << name;
+  }
+  EXPECT_EQ(FindCodec("bogus"), nullptr);
+  EXPECT_GE(CodecNames().size(), 13u);  // null + gzip1..9 + lz4 + lzjb + zle
+}
+
+TEST(CodecCosts, OrderingMatchesPaper) {
+  // gzip9 costs more CPU than gzip6; lz4/lzjb are far cheaper than gzip.
+  const Codec* gzip6 = FindCodec("gzip6");
+  const Codec* gzip9 = FindCodec("gzip9");
+  const Codec* lz4 = FindCodec("lz4");
+  const Codec* lzjb = FindCodec("lzjb");
+  EXPECT_GT(gzip9->cost().compress_ns_per_byte, gzip6->cost().compress_ns_per_byte);
+  EXPECT_LT(lz4->cost().compress_ns_per_byte, gzip6->cost().compress_ns_per_byte);
+  EXPECT_LT(lzjb->cost().compress_ns_per_byte, gzip6->cost().compress_ns_per_byte);
+}
+
+}  // namespace
+}  // namespace squirrel::compress

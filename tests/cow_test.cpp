@@ -1,0 +1,222 @@
+#include "cow/chain.h"
+
+#include <gtest/gtest.h>
+
+#include "cow/qcow.h"
+#include "util/rng.h"
+#include "util/source.h"
+
+namespace squirrel::cow {
+namespace {
+
+using util::Bytes;
+
+class BufferSource final : public util::DataSource {
+ public:
+  explicit BufferSource(Bytes data) : data_(std::move(data)) {}
+  std::uint64_t size() const override { return data_.size(); }
+  void Read(std::uint64_t offset, util::MutableByteSpan out) const override {
+    std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(offset), out.size(),
+                out.begin());
+  }
+
+ private:
+  Bytes data_;
+};
+
+/// Minimal always-present device over a DataSource (no cost model).
+class PlainDevice final : public Device {
+ public:
+  explicit PlainDevice(const util::DataSource* content) : content_(content) {}
+  std::uint64_t size() const override { return content_->size(); }
+  bool Present(std::uint64_t) const override { return true; }
+  void ReadAt(std::uint64_t offset, util::MutableByteSpan out) override {
+    content_->Read(offset, out);
+  }
+
+ private:
+  const util::DataSource* content_;
+};
+
+/// In-memory writable cache layer with cluster presence.
+class MemCache final : public WritableDevice {
+ public:
+  MemCache(std::uint64_t size, std::uint32_t cluster)
+      : overlay_(size, cluster) {}
+  std::uint64_t size() const override { return overlay_.size(); }
+  bool Present(std::uint64_t offset) const override {
+    return overlay_.Present(offset);
+  }
+  void ReadAt(std::uint64_t offset, util::MutableByteSpan out) override {
+    overlay_.ReadAt(offset, out);
+  }
+  void WriteAt(std::uint64_t offset, util::ByteSpan data) override {
+    overlay_.WriteAt(offset, data);
+  }
+  QcowOverlay& overlay() { return overlay_; }
+
+ private:
+  QcowOverlay overlay_;
+};
+
+constexpr std::uint32_t kCluster = 16 * 1024;
+
+Bytes RandomBytes(std::size_t size, std::uint64_t seed) {
+  Bytes data(size);
+  util::Rng(seed).Fill(data);
+  return data;
+}
+
+TEST(QcowOverlay, WriteReadRoundTrip) {
+  QcowOverlay overlay(1 << 20, kCluster);
+  const Bytes data = RandomBytes(40000, 1);
+  overlay.WriteAt(10000, data);
+  Bytes out(data.size());
+  overlay.ReadAt(10000, out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(overlay.allocated_clusters(),
+            (10000 + 40000 - 1) / kCluster - 10000 / kCluster + 1);
+}
+
+TEST(QcowOverlay, UnwrittenPartsOfClusterReadZero) {
+  QcowOverlay overlay(1 << 20, kCluster);
+  const Bytes one{0x42};
+  overlay.WriteAt(5, one);
+  Bytes out(16);
+  overlay.ReadAt(0, out);
+  EXPECT_EQ(out[5], 0x42);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[15], 0);
+}
+
+TEST(QcowOverlay, ReadingUnallocatedClusterThrows) {
+  QcowOverlay overlay(1 << 20, kCluster);
+  Bytes out(16);
+  EXPECT_THROW(overlay.ReadAt(0, out), std::logic_error);
+}
+
+TEST(Chain, ReadThroughEqualsBase) {
+  const Bytes base_content = RandomBytes(300000, 2);
+  BufferSource source(base_content);
+  PlainDevice base(&source);
+  QcowOverlay cow(base_content.size(), kCluster);
+  Chain chain(&cow, nullptr, &base, false);
+
+  const Bytes out = chain.Read(12345, 100000);
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), base_content.begin() + 12345));
+  EXPECT_EQ(chain.base_bytes_read(), chain.base_bytes_read());
+  EXPECT_GT(chain.base_bytes_read(), 100000u);  // cluster amplification
+}
+
+TEST(Chain, WritesIsolatedFromBase) {
+  const Bytes base_content = RandomBytes(100000, 3);
+  BufferSource source(base_content);
+  PlainDevice base(&source);
+  QcowOverlay cow(base_content.size(), kCluster);
+  Chain chain(&cow, nullptr, &base, false);
+
+  const Bytes patch = RandomBytes(5000, 4);
+  chain.Write(20000, patch);
+  // Chain sees the write...
+  EXPECT_EQ(chain.Read(20000, patch.size()), patch);
+  // ...the base does not, and bytes around the write are preserved (CoW
+  // filled the cluster from below before overwriting).
+  const Bytes around = chain.Read(19000, 1000);
+  EXPECT_TRUE(std::equal(around.begin(), around.end(),
+                         base_content.begin() + 19000));
+}
+
+TEST(Chain, ColdCachePopulatedCopyOnRead) {
+  const Bytes base_content = RandomBytes(400000, 5);
+  BufferSource source(base_content);
+  PlainDevice base(&source);
+  MemCache cache(base_content.size(), kCluster);
+  QcowOverlay cow(base_content.size(), kCluster);
+  Chain chain(&cow, &cache, &base, /*copy_on_read=*/true);
+
+  EXPECT_EQ(cache.overlay().allocated_clusters(), 0u);
+  chain.Read(0, 100000);
+  const std::uint64_t populated = cache.overlay().allocated_clusters();
+  EXPECT_GE(populated, 100000 / kCluster);
+
+  // Second read of the same range: served by the cache, not the base.
+  const std::uint64_t base_before = chain.base_bytes_read();
+  const Bytes again = chain.Read(0, 100000);
+  EXPECT_EQ(chain.base_bytes_read(), base_before);
+  EXPECT_TRUE(std::equal(again.begin(), again.end(), base_content.begin()));
+  EXPECT_GT(chain.cache_bytes_read(), 0u);
+}
+
+TEST(Chain, WarmCacheServesWithoutBaseReads) {
+  const Bytes base_content = RandomBytes(200000, 6);
+  BufferSource source(base_content);
+  PlainDevice base(&source);
+  MemCache cache(base_content.size(), kCluster);
+  // Pre-warm the full cache.
+  for (std::uint64_t off = 0; off < base_content.size(); off += kCluster) {
+    const std::uint64_t len =
+        std::min<std::uint64_t>(kCluster, base_content.size() - off);
+    cache.WriteAt(off, util::ByteSpan(base_content.data() + off, len));
+  }
+  QcowOverlay cow(base_content.size(), kCluster);
+  Chain chain(&cow, &cache, &base, false);
+
+  const Bytes out = chain.Read(1000, 150000);
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), base_content.begin() + 1000));
+  EXPECT_EQ(chain.base_bytes_read(), 0u);
+}
+
+TEST(Chain, ObserverSeesClusterShapedLowerReads) {
+  const Bytes base_content = RandomBytes(100000, 7);
+  BufferSource source(base_content);
+  PlainDevice base(&source);
+  QcowOverlay cow(base_content.size(), kCluster);
+  Chain chain(&cow, nullptr, &base, false);
+
+  std::vector<ReadEvent> events;
+  chain.set_observer([&](const ReadEvent& e) { events.push_back(e); });
+  chain.Read(100, 200);  // tiny guest read
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].source, ReadSource::kBase);
+  EXPECT_EQ(events[0].offset, 0u);              // cluster aligned
+  EXPECT_EQ(events[0].length, kCluster);        // full cluster fetched
+}
+
+TEST(Chain, OverlayHitsReportedToObserver) {
+  const Bytes base_content = RandomBytes(100000, 8);
+  BufferSource source(base_content);
+  PlainDevice base(&source);
+  QcowOverlay cow(base_content.size(), kCluster);
+  Chain chain(&cow, nullptr, &base, false);
+  chain.Write(0, RandomBytes(kCluster, 9));
+
+  std::vector<ReadEvent> events;
+  chain.set_observer([&](const ReadEvent& e) { events.push_back(e); });
+  chain.Read(0, 100);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].source, ReadSource::kCowOverlay);
+}
+
+TEST(Chain, TailClusterHandled) {
+  // Image size not a multiple of the cluster size.
+  const Bytes base_content = RandomBytes(kCluster * 3 + 1000, 10);
+  BufferSource source(base_content);
+  PlainDevice base(&source);
+  QcowOverlay cow(base_content.size(), kCluster);
+  Chain chain(&cow, nullptr, &base, false);
+  const Bytes out = chain.Read(kCluster * 3, 1000);
+  EXPECT_TRUE(std::equal(out.begin(), out.end(),
+                         base_content.begin() + kCluster * 3));
+  EXPECT_THROW(chain.Read(kCluster * 3, 1001), std::out_of_range);
+}
+
+TEST(Chain, RequiresOverlayAndBase) {
+  QcowOverlay cow(1000, kCluster);
+  BufferSource source(Bytes(1000, 0));
+  PlainDevice base(&source);
+  EXPECT_THROW(Chain(nullptr, nullptr, &base, false), std::invalid_argument);
+  EXPECT_THROW(Chain(&cow, nullptr, nullptr, false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace squirrel::cow

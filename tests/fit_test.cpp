@@ -1,0 +1,124 @@
+#include "fit/curve_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace squirrel::fit {
+namespace {
+
+std::vector<double> Linspace(double lo, double hi, std::size_t n) {
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = lo + (hi - lo) * static_cast<double>(i) / (n - 1);
+  }
+  return xs;
+}
+
+TEST(FitLinear, RecoversExactCoefficients) {
+  const auto x = Linspace(0, 100, 20);
+  std::vector<double> y;
+  for (double v : x) y.push_back(3.5 + 0.25 * v);
+  const FittedCurve curve = FitLinear(x, y);
+  EXPECT_NEAR(curve.params[0], 3.5, 1e-9);
+  EXPECT_NEAR(curve.params[1], 0.25, 1e-9);
+  EXPECT_NEAR(CurveRmse(curve, x, y), 0.0, 1e-9);
+  EXPECT_EQ(curve.name, "linear");
+}
+
+TEST(FitLinear, MinimizesSquaredErrorOnNoisyData) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {1.1, 1.9, 3.2, 3.8};
+  const FittedCurve curve = FitLinear(x, y);
+  EXPECT_NEAR(curve.params[1], 0.94, 0.05);  // slope ~1
+  EXPECT_LT(CurveRmse(curve, x, y), 0.2);
+}
+
+TEST(NelderMead, MinimizesQuadraticBowl) {
+  auto objective = [](const std::vector<double>& p) {
+    const double dx = p[0] - 3.0;
+    const double dy = p[1] + 2.0;
+    return dx * dx + 2 * dy * dy;
+  };
+  const auto best = NelderMead(objective, {0.0, 0.0}, 0.5);
+  EXPECT_NEAR(best[0], 3.0, 1e-4);
+  EXPECT_NEAR(best[1], -2.0, 1e-4);
+}
+
+TEST(NelderMead, OneDimensional) {
+  auto objective = [](const std::vector<double>& p) {
+    return (p[0] - 7.0) * (p[0] - 7.0) + 1.0;
+  };
+  const auto best = NelderMead(objective, {0.0}, 1.0);
+  EXPECT_NEAR(best[0], 7.0, 1e-4);
+}
+
+TEST(FitMmf, RecoversSyntheticSaturationCurve) {
+  // MMF with known parameters: a=10 (start), c=200 (asymptote).
+  const std::vector<double> truth = {10.0, 500.0, 200.0, 1.3};
+  auto mmf = [&](double x) {
+    const double xd = std::pow(x, truth[3]);
+    return (truth[0] * truth[1] + truth[2] * xd) / (truth[1] + xd);
+  };
+  const auto x = Linspace(1, 600, 40);
+  std::vector<double> y;
+  for (double v : x) y.push_back(mmf(v));
+  const FittedCurve curve = FitMmf(x, y);
+  // Parameter identifiability is weak; the fit itself must be tight.
+  EXPECT_LT(CurveRmse(curve, x, y), 1.0);
+  EXPECT_NEAR(curve(300), mmf(300), 2.0);
+}
+
+TEST(FitHoerl, RecoversSyntheticCurve) {
+  // hoerl(x) = 2 * 1.002^x * x^0.5
+  auto hoerl = [](double x) { return 2.0 * std::pow(1.002, x) * std::pow(x, 0.5); };
+  const auto x = Linspace(1, 500, 30);
+  std::vector<double> y;
+  for (double v : x) y.push_back(hoerl(v));
+  const FittedCurve curve = FitHoerl(x, y);
+  EXPECT_LT(CurveRmse(curve, x, y), hoerl(500) * 0.02);
+}
+
+TEST(TrainHalfScoreAll, LinearWinsOnLinearData) {
+  // The paper's protocol: train on the first half, compute RMSE over all
+  // points, pick the winner. On linear growth, linear regression must win
+  // (or tie) against the nonlinear models.
+  const auto x = Linspace(1, 600, 60);
+  std::vector<double> y;
+  for (double v : x) y.push_back(1.0 + 0.03 * v);
+
+  const std::size_t half = x.size() / 2;
+  std::span<const double> xh(x.data(), half), yh(y.data(), half);
+  const FittedCurve linear = FitLinear(xh, yh);
+  const FittedCurve mmf = FitMmf(xh, yh);
+  const FittedCurve hoerl = FitHoerl(xh, yh);
+  const double rmse_linear = CurveRmse(linear, x, y);
+  EXPECT_LE(rmse_linear, CurveRmse(mmf, x, y) + 1e-6);
+  EXPECT_LE(rmse_linear, CurveRmse(hoerl, x, y) + 0.5);
+  EXPECT_LT(rmse_linear, 0.01);
+}
+
+TEST(TrainHalfScoreAll, MmfWinsOnSaturatingData) {
+  // On saturating growth (like the DDT memory series), MMF extrapolates
+  // better than a linear fit trained on the rising half.
+  auto saturating = [](double x) { return 100.0 * x / (50.0 + x); };
+  const auto x = Linspace(1, 600, 60);
+  std::vector<double> y;
+  for (double v : x) y.push_back(saturating(v));
+  const std::size_t half = x.size() / 2;
+  std::span<const double> xh(x.data(), half), yh(y.data(), half);
+  const FittedCurve linear = FitLinear(xh, yh);
+  const FittedCurve mmf = FitMmf(xh, yh);
+  EXPECT_LT(CurveRmse(mmf, x, y), CurveRmse(linear, x, y));
+}
+
+TEST(FittedCurve, ExtrapolationBeyondTrainingRange) {
+  const auto x = Linspace(1, 100, 20);
+  std::vector<double> y;
+  for (double v : x) y.push_back(5 + 2 * v);
+  const FittedCurve curve = FitLinear(x, y);
+  EXPECT_NEAR(curve(3000), 5 + 2 * 3000, 1e-6);
+}
+
+}  // namespace
+}  // namespace squirrel::fit

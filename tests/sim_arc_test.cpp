@@ -1,0 +1,123 @@
+#include "sim/arc_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace squirrel::sim {
+namespace {
+
+TEST(ArcCache, BasicHitAfterInsert) {
+  ArcCache cache(8);
+  EXPECT_FALSE(cache.Lookup(1, 0));
+  cache.Insert(1, 0);
+  EXPECT_TRUE(cache.Lookup(1, 0));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ArcCache, CapacityBound) {
+  ArcCache cache(4);
+  for (std::uint64_t b = 0; b < 100; ++b) cache.Insert(1, b);
+  EXPECT_LE(cache.resident_entries(), 4u);
+}
+
+TEST(ArcCache, ZeroCapacityNeverHits) {
+  ArcCache cache(0);
+  cache.Insert(1, 0);
+  EXPECT_FALSE(cache.Lookup(1, 0));
+}
+
+TEST(ArcCache, DeviceScopedKeys) {
+  ArcCache cache(8);
+  cache.Insert(1, 7);
+  EXPECT_FALSE(cache.Lookup(2, 7));
+  EXPECT_TRUE(cache.Lookup(1, 7));
+}
+
+TEST(ArcCache, LruEvictionWithinRecencyList) {
+  ArcCache cache(3);
+  cache.Insert(1, 0);
+  cache.Insert(1, 1);
+  cache.Insert(1, 2);
+  cache.Insert(1, 3);  // evicts block 0 (LRU of T1)
+  EXPECT_FALSE(cache.Lookup(1, 0));
+  EXPECT_TRUE(cache.Lookup(1, 3));
+}
+
+TEST(ArcCache, FrequentBlocksSurviveScan) {
+  // The defining ARC property: blocks with reuse (in T2) survive a long
+  // one-pass scan that would flush a plain LRU.
+  ArcCache cache(16);
+  // Establish 4 hot blocks with reuse.
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      if (!cache.Lookup(1, b)) cache.Insert(1, b);
+    }
+  }
+  // One-pass scan of 200 cold blocks (device 2).
+  for (std::uint64_t b = 0; b < 200; ++b) {
+    if (!cache.Lookup(2, b)) cache.Insert(2, b);
+  }
+  int hot_survivors = 0;
+  for (std::uint64_t b = 0; b < 4; ++b) hot_survivors += cache.Lookup(1, b);
+  EXPECT_GE(hot_survivors, 3) << "scan must not flush the frequency list";
+}
+
+TEST(ArcCache, LruWouldFailTheSameScan) {
+  // Contrast baseline documenting why ARC matters: a plain-LRU-sized
+  // comparison loses all hot blocks after the scan. (Uses ARC in pure
+  // recency mode by never re-touching entries.)
+  ArcCache cache(16);
+  for (std::uint64_t b = 0; b < 4; ++b) cache.Insert(1, b);
+  for (std::uint64_t b = 0; b < 200; ++b) cache.Insert(2, b);
+  int survivors = 0;
+  for (std::uint64_t b = 0; b < 4; ++b) survivors += cache.Lookup(1, b);
+  EXPECT_EQ(survivors, 0) << "untouched entries are recency-only and get flushed";
+}
+
+TEST(ArcCache, GhostHitAdaptsTarget) {
+  ArcCache cache(4);
+  // Fill T1, evicting into B1.
+  for (std::uint64_t b = 0; b < 8; ++b) cache.Insert(1, b);
+  const std::size_t p_before = cache.target_t1();
+  // Re-insert an evicted (ghost) block: B1 hit should raise p.
+  EXPECT_FALSE(cache.Lookup(1, 0));
+  cache.Insert(1, 0);
+  EXPECT_GE(cache.target_t1(), p_before);
+  EXPECT_TRUE(cache.Lookup(1, 0));
+}
+
+TEST(ArcCache, StressRandomWorkloadInvariant) {
+  ArcCache cache(32);
+  util::Rng rng(99);
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t block = rng.Below(200);
+    if (!cache.Lookup(1, block)) cache.Insert(1, block);
+    ASSERT_LE(cache.resident_entries(), 32u);
+    ASSERT_LE(cache.target_t1(), 32u);
+  }
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST(ArcCache, ZipfWorkloadBeatsPureRecency) {
+  // Skewed reuse (boot blocks of popular images) should produce a solid hit
+  // rate with a cache much smaller than the working set.
+  ArcCache cache(64);
+  util::Rng rng(7);
+  util::ZipfSampler zipf(1000, 1.1);
+  std::uint64_t hits = 0, total = 0;
+  for (int op = 0; op < 30000; ++op) {
+    const std::uint64_t block = zipf.Sample(rng);
+    ++total;
+    if (cache.Lookup(1, block)) {
+      ++hits;
+    } else {
+      cache.Insert(1, block);
+    }
+  }
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(total), 0.4);
+}
+
+}  // namespace
+}  // namespace squirrel::sim

@@ -1,0 +1,78 @@
+#include "sim/p2p.h"
+
+#include <gtest/gtest.h>
+
+namespace squirrel::sim {
+namespace {
+
+constexpr std::uint64_t kImage = 1ull << 30;    // 1 GiB
+constexpr std::uint64_t kBootSet = 64ull << 20; // 64 MiB
+
+TEST(P2p, AllPeersEventuallyBoot) {
+  P2pConfig config;
+  config.mode = P2pMode::kFullImage;
+  const P2pResult result = SimulateSwarm(kImage, kBootSet, 8, config);
+  ASSERT_EQ(result.time_to_boot_seconds.size(), 8u);
+  for (double t : result.time_to_boot_seconds) EXPECT_GT(t, 0.0);
+  EXPECT_GE(result.max_time_to_boot, result.mean_time_to_boot);
+}
+
+TEST(P2p, StreamingBootsFarFasterThanFullImage) {
+  P2pConfig full;
+  full.mode = P2pMode::kFullImage;
+  P2pConfig stream;
+  stream.mode = P2pMode::kStreaming;
+  const P2pResult f = SimulateSwarm(kImage, kBootSet, 16, full);
+  const P2pResult s = SimulateSwarm(kImage, kBootSet, 16, stream);
+  // The working set is 1/16th of the image; streaming must be at least
+  // several times faster to first boot.
+  EXPECT_LT(s.mean_time_to_boot, f.mean_time_to_boot / 4);
+}
+
+TEST(P2p, SwarmScalesSublinearly) {
+  // Doubling the peer count must not double time-to-boot: peers serve each
+  // other (the whole point of P2P).
+  P2pConfig config;
+  config.mode = P2pMode::kFullImage;
+  const P2pResult small = SimulateSwarm(kImage, kBootSet, 4, config);
+  const P2pResult large = SimulateSwarm(kImage, kBootSet, 32, config);
+  EXPECT_LT(large.mean_time_to_boot, small.mean_time_to_boot * 4);
+}
+
+TEST(P2p, SeedServesEachChunkOnceInSteadyState) {
+  P2pConfig config;
+  config.mode = P2pMode::kFullImage;
+  const P2pResult result = SimulateSwarm(kImage, kBootSet, 8, config);
+  // The seed uploads each chunk's first copy; everything else is P2P.
+  EXPECT_EQ(result.seed_bytes, kImage / config.chunk_size * config.chunk_size);
+  EXPECT_GT(result.network_bytes, result.seed_bytes);
+}
+
+TEST(P2p, NetworkBytesMatchDistribution) {
+  P2pConfig config;
+  config.mode = P2pMode::kFullImage;
+  const std::uint32_t peers = 4;
+  const P2pResult result = SimulateSwarm(kImage, kBootSet, peers, config);
+  // Every peer downloads the whole image exactly once.
+  EXPECT_EQ(result.network_bytes,
+            static_cast<std::uint64_t>(peers) *
+                (kImage / config.chunk_size) * config.chunk_size);
+}
+
+TEST(P2p, ZeroPeersIsEmptyResult) {
+  const P2pResult result = SimulateSwarm(kImage, kBootSet, 0, {});
+  EXPECT_EQ(result.network_bytes, 0u);
+  EXPECT_TRUE(result.time_to_boot_seconds.empty());
+}
+
+TEST(P2p, SinglePeerBoundedBySeedBandwidth) {
+  P2pConfig config;
+  config.mode = P2pMode::kFullImage;
+  const P2pResult result = SimulateSwarm(kImage, kBootSet, 1, config);
+  const double lower_bound =
+      static_cast<double>(kImage) / config.bandwidth_bytes_per_second;
+  EXPECT_GE(result.max_time_to_boot, lower_bound * 0.9);
+}
+
+}  // namespace
+}  // namespace squirrel::sim

@@ -1,0 +1,152 @@
+#include "store/block_store.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace squirrel::store {
+namespace {
+
+using util::Bytes;
+
+Bytes RandomBlock(std::size_t size, std::uint64_t seed) {
+  Bytes data(size);
+  util::Rng(seed).Fill(data);
+  return data;
+}
+
+Bytes TextBlock(std::size_t size, std::uint64_t seed) {
+  Bytes data(size);
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = static_cast<util::Byte>('a' + rng.Below(4));
+  }
+  return data;
+}
+
+TEST(BlockStore, PutThenGetRoundTrips) {
+  BlockStore store({.codec = "gzip6", .dedup = true});
+  const Bytes block = TextBlock(65536, 1);
+  const PutResult put = store.Put(block);
+  EXPECT_FALSE(put.deduplicated);
+  EXPECT_EQ(store.Get(put.digest), block);
+}
+
+TEST(BlockStore, DuplicatePutDeduplicates) {
+  BlockStore store({.codec = "gzip6", .dedup = true});
+  const Bytes block = RandomBlock(4096, 2);
+  const PutResult first = store.Put(block);
+  const PutResult second = store.Put(block);
+  EXPECT_FALSE(first.deduplicated);
+  EXPECT_TRUE(second.deduplicated);
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(store.RefCount(first.digest), 2u);
+  EXPECT_EQ(store.stats().unique_blocks, 1u);
+  EXPECT_EQ(store.stats().total_refs, 2u);
+}
+
+TEST(BlockStore, DedupDisabledAllocatesEveryTime) {
+  BlockStore store({.codec = "null", .dedup = false});
+  const Bytes block = RandomBlock(4096, 3);
+  const PutResult first = store.Put(block);
+  const PutResult second = store.Put(block);
+  EXPECT_NE(first.digest, second.digest);
+  EXPECT_EQ(store.stats().unique_blocks, 2u);
+  EXPECT_EQ(store.stats().ddt_core_bytes, 0u);  // no table without dedup
+}
+
+TEST(BlockStore, CompressibleBlocksStoredCompressed) {
+  BlockStore store({.codec = "gzip6", .dedup = true});
+  const Bytes block = TextBlock(65536, 4);
+  const PutResult put = store.Put(block);
+  EXPECT_LT(put.physical_size, put.logical_size / 2);
+  EXPECT_EQ(store.stats().physical_data_bytes, put.physical_size);
+}
+
+TEST(BlockStore, IncompressibleBlocksStoredRaw) {
+  // ZFS keeps the compressed copy only when it saves >= 1/8th.
+  BlockStore store({.codec = "gzip6", .dedup = true});
+  const Bytes block = RandomBlock(65536, 5);
+  const PutResult put = store.Put(block);
+  EXPECT_EQ(put.physical_size, put.logical_size);
+  EXPECT_EQ(store.Get(put.digest), block);
+}
+
+TEST(BlockStore, UnrefFreesAtZero) {
+  BlockStore store({.codec = "null", .dedup = true});
+  const Bytes block = RandomBlock(4096, 6);
+  const PutResult put = store.Put(block);
+  store.Put(block);  // refcount 2
+  store.Unref(put.digest);
+  EXPECT_TRUE(store.Contains(put.digest));
+  store.Unref(put.digest);
+  EXPECT_FALSE(store.Contains(put.digest));
+  EXPECT_EQ(store.stats().unique_blocks, 0u);
+  EXPECT_EQ(store.stats().physical_data_bytes, 0u);
+  EXPECT_EQ(store.stats().ddt_core_bytes, 0u);
+  EXPECT_EQ(store.space_map().allocated_bytes(), 0u);
+}
+
+TEST(BlockStore, UnrefUnknownThrows) {
+  BlockStore store({});
+  util::Digest bogus;
+  bogus.bytes[0] = 0xaa;
+  EXPECT_THROW(store.Unref(bogus), std::out_of_range);
+}
+
+TEST(BlockStore, RefIncrementsExplicitly) {
+  BlockStore store({.codec = "null", .dedup = true});
+  const PutResult put = store.Put(RandomBlock(1024, 7));
+  store.Ref(put.digest);
+  EXPECT_EQ(store.RefCount(put.digest), 2u);
+  EXPECT_EQ(store.stats().total_refs, 2u);
+}
+
+TEST(BlockStore, StatsConservation) {
+  BlockStore store({.codec = "gzip6", .dedup = true});
+  std::vector<util::Digest> digests;
+  std::uint64_t expected_refs = 0;
+  for (int i = 0; i < 50; ++i) {
+    // 25 distinct blocks, each put twice.
+    const PutResult put = store.Put(RandomBlock(2048, 100 + i % 25));
+    digests.push_back(put.digest);
+    ++expected_refs;
+  }
+  const StoreStats& stats = store.stats();
+  EXPECT_EQ(stats.unique_blocks, 25u);
+  EXPECT_EQ(stats.total_refs, expected_refs);
+  EXPECT_EQ(stats.logical_unique_bytes, 25u * 2048);
+  EXPECT_EQ(stats.logical_referenced_bytes, 50u * 2048);
+  EXPECT_EQ(stats.ddt_core_bytes, 25u * kDdtCoreBytesPerEntry);
+  EXPECT_EQ(stats.ddt_disk_bytes, 25u * kDdtDiskBytesPerEntry);
+  EXPECT_EQ(stats.disk_bytes(), stats.physical_data_bytes + stats.ddt_disk_bytes);
+
+  for (const auto& digest : digests) store.Unref(digest);
+  EXPECT_EQ(store.stats().unique_blocks, 0u);
+  EXPECT_EQ(store.stats().logical_referenced_bytes, 0u);
+}
+
+TEST(BlockStore, FastHashModeDeduplicatesIdentically) {
+  BlockStore store({.codec = "null", .dedup = true, .fast_hash = true});
+  const Bytes block = RandomBlock(8192, 8);
+  const PutResult first = store.Put(block);
+  const PutResult second = store.Put(block);
+  EXPECT_TRUE(second.deduplicated);
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(store.Get(first.digest), block);
+}
+
+TEST(BlockStore, UnknownCodecRejected) {
+  EXPECT_THROW(BlockStore({.codec = "nope"}), std::invalid_argument);
+}
+
+TEST(BlockStore, DiskOffsetsAreDistinct) {
+  BlockStore store({.codec = "null", .dedup = true});
+  const PutResult a = store.Put(RandomBlock(4096, 10));
+  const PutResult b = store.Put(RandomBlock(4096, 11));
+  EXPECT_NE(store.DiskOffset(a.digest), store.DiskOffset(b.digest));
+  EXPECT_EQ(store.PhysicalSize(a.digest), 4096u);
+}
+
+}  // namespace
+}  // namespace squirrel::store

@@ -1,0 +1,83 @@
+#include "store/space_map.h"
+
+#include <gtest/gtest.h>
+
+namespace squirrel::store {
+namespace {
+
+TEST(SpaceMap, SequentialAllocation) {
+  SpaceMap map;
+  EXPECT_EQ(map.Allocate(100), 0u);
+  EXPECT_EQ(map.Allocate(50), 100u);
+  EXPECT_EQ(map.Allocate(1), 150u);
+  EXPECT_EQ(map.allocated_bytes(), 151u);
+  EXPECT_EQ(map.pool_size(), 151u);
+  EXPECT_EQ(map.free_hole_bytes(), 0u);
+}
+
+TEST(SpaceMap, FreeCreatesReusableHole) {
+  SpaceMap map;
+  const auto a = map.Allocate(100);
+  map.Allocate(100);
+  map.Free(a, 100);
+  EXPECT_EQ(map.free_hole_bytes(), 100u);
+  // First fit reuses the hole.
+  EXPECT_EQ(map.Allocate(60), a);
+  EXPECT_EQ(map.Allocate(40), a + 60);
+  EXPECT_EQ(map.free_hole_bytes(), 0u);
+}
+
+TEST(SpaceMap, OversizedRequestSkipsHole) {
+  SpaceMap map;
+  const auto a = map.Allocate(100);
+  const auto b = map.Allocate(100);
+  map.Free(a, 100);
+  EXPECT_EQ(map.Allocate(150), b + 100);  // hole too small
+  EXPECT_EQ(map.free_hole_bytes(), 100u);
+}
+
+TEST(SpaceMap, CoalescesAdjacentFrees) {
+  SpaceMap map;
+  const auto a = map.Allocate(100);
+  const auto b = map.Allocate(100);
+  const auto c = map.Allocate(100);
+  map.Allocate(100);  // guard so the pool does not shrink
+  map.Free(a, 100);
+  map.Free(c, 100);
+  EXPECT_EQ(map.free_extent_count(), 2u);
+  map.Free(b, 100);  // bridges a and c
+  EXPECT_EQ(map.free_extent_count(), 1u);
+  EXPECT_EQ(map.Allocate(300), a);
+}
+
+TEST(SpaceMap, PoolShrinksWhenTailFreed) {
+  SpaceMap map;
+  map.Allocate(100);
+  const auto b = map.Allocate(100);
+  map.Free(b, 100);
+  EXPECT_EQ(map.pool_size(), 100u);
+  EXPECT_EQ(map.free_extent_count(), 0u);
+  EXPECT_EQ(map.free_hole_bytes(), 0u);
+}
+
+TEST(SpaceMap, AllocationAccounting) {
+  SpaceMap map;
+  const auto a = map.Allocate(64);
+  map.Allocate(64);
+  EXPECT_EQ(map.allocated_bytes(), 128u);
+  map.Free(a, 64);
+  EXPECT_EQ(map.allocated_bytes(), 64u);
+}
+
+TEST(SpaceMap, FragmentationFromInterleavedFrees) {
+  SpaceMap map;
+  std::vector<std::uint64_t> offsets;
+  for (int i = 0; i < 10; ++i) offsets.push_back(map.Allocate(10));
+  // Free every other extent: five separate holes (the tail one shrinks the
+  // pool instead when applicable).
+  for (int i = 0; i < 10; i += 2) map.Free(offsets[i], 10);
+  EXPECT_EQ(map.free_extent_count(), 5u);
+}
+
+}  // namespace
+}  // namespace squirrel::store

@@ -1,0 +1,71 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace squirrel::util {
+namespace {
+
+TEST(Bytes, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+  EXPECT_EQ(CeilDiv(8, 4), 2u);
+}
+
+TEST(Bytes, AlignUpDown) {
+  EXPECT_EQ(AlignUp(0, 4096), 0u);
+  EXPECT_EQ(AlignUp(1, 4096), 4096u);
+  EXPECT_EQ(AlignUp(4096, 4096), 4096u);
+  EXPECT_EQ(AlignUp(4097, 4096), 8192u);
+  EXPECT_EQ(AlignDown(4097, 4096), 4096u);
+  EXPECT_EQ(AlignDown(4095, 4096), 0u);
+}
+
+TEST(Bytes, IsAllZeroEmpty) {
+  EXPECT_TRUE(IsAllZero({}));
+}
+
+TEST(Bytes, IsAllZeroDetectsContent) {
+  Bytes data(1000, 0);
+  EXPECT_TRUE(IsAllZero(data));
+  // Every position must be detected, including the non-word tail.
+  for (std::size_t pos : {0ul, 1ul, 7ul, 8ul, 512ul, 993ul, 999ul}) {
+    Bytes copy = data;
+    copy[pos] = 1;
+    EXPECT_FALSE(IsAllZero(copy)) << "position " << pos;
+  }
+}
+
+TEST(Bytes, IsAllZeroShortBuffers) {
+  for (std::size_t len = 0; len < 17; ++len) {
+    Bytes zeros(len, 0);
+    EXPECT_TRUE(IsAllZero(zeros)) << len;
+    if (len > 0) {
+      zeros[len - 1] = 0xff;
+      EXPECT_FALSE(IsAllZero(zeros)) << len;
+    }
+  }
+}
+
+TEST(Bytes, FormatBytes) {
+  EXPECT_EQ(FormatBytes(0), "0 B");
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1024), "1.0 KiB");
+  EXPECT_EQ(FormatBytes(1.5 * 1024 * 1024), "1.5 MiB");
+  EXPECT_EQ(FormatBytes(16.4 * 1024.0 * 1024 * 1024 * 1024), "16.4 TiB");
+}
+
+TEST(Bytes, ParseBytes) {
+  EXPECT_EQ(ParseBytes("64K"), 64 * kKiB);
+  EXPECT_EQ(ParseBytes("1M"), kMiB);
+  EXPECT_EQ(ParseBytes("2G"), 2 * kGiB);
+  EXPECT_EQ(ParseBytes("128"), 128u);
+  EXPECT_EQ(ParseBytes("0.5M"), kMiB / 2);
+  EXPECT_EQ(ParseBytes(""), 0u);
+  EXPECT_EQ(ParseBytes("junk"), 0u);
+  EXPECT_EQ(ParseBytes("64Q"), 0u);
+}
+
+}  // namespace
+}  // namespace squirrel::util

@@ -1,0 +1,132 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "util/sha256.h"
+
+namespace squirrel::util {
+namespace {
+
+Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string HexOf(const std::array<std::uint8_t, 32>& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (auto b : digest) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+// FIPS 180-4 test vectors.
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(HexOf(Sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(HexOf(Sha256(ToBytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(HexOf(Sha256(ToBytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256Context ctx;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.Update(chunk);
+  EXPECT_EQ(HexOf(ctx.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  Bytes data(100000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<Byte>(i * 131 + 7);
+  }
+  const auto oneshot = Sha256(data);
+  // Feed in awkward chunk sizes crossing the 64-byte block boundary.
+  Sha256Context ctx;
+  std::size_t pos = 0;
+  std::size_t chunk = 1;
+  while (pos < data.size()) {
+    const std::size_t take = std::min(chunk, data.size() - pos);
+    ctx.Update(ByteSpan(data.data() + pos, take));
+    pos += take;
+    chunk = (chunk * 3 + 1) % 257;
+  }
+  EXPECT_EQ(ctx.Finish(), oneshot);
+}
+
+TEST(HashBlock, TruncatesSha256) {
+  const Bytes data = ToBytes("abc");
+  const Digest digest = HashBlock(data);
+  EXPECT_EQ(digest.ToHex(), "ba7816bf8f01cfea414140de5dae2223");
+}
+
+TEST(HashBlock, DistinctInputsDistinctDigests) {
+  const Digest a = HashBlock(ToBytes("block-a"));
+  const Digest b = HashBlock(ToBytes("block-b"));
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.Prefix64(), b.Prefix64());
+}
+
+TEST(Fnv1a64, KnownValues) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a64({}), 0xcbf29ce484222325ULL);
+  // "a" -> standard FNV-1a 64 value.
+  EXPECT_EQ(Fnv1a64(ToBytes("a")), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fnv1a64, SeedChangesResult) {
+  const Bytes data = ToBytes("same input");
+  EXPECT_NE(Fnv1a64(data, 1), Fnv1a64(data, 2));
+}
+
+TEST(FastHash128, DeterministicAndSeeded) {
+  const Bytes data = ToBytes("squirrel scatter hoarding");
+  const Fast128 h1 = FastHash128(data);
+  const Fast128 h2 = FastHash128(data);
+  EXPECT_EQ(h1.lo, h2.lo);
+  EXPECT_EQ(h1.hi, h2.hi);
+  const Fast128 seeded = FastHash128(data, 42);
+  EXPECT_TRUE(seeded.lo != h1.lo || seeded.hi != h1.hi);
+}
+
+TEST(FastHash128, SingleBitFlipChangesBothLanes) {
+  Bytes data(64, 0xAA);
+  const Fast128 base = FastHash128(data);
+  int lo_changes = 0, hi_changes = 0;
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    Bytes copy = data;
+    copy[byte] ^= 1;
+    const Fast128 h = FastHash128(copy);
+    lo_changes += (h.lo != base.lo);
+    hi_changes += (h.hi != base.hi);
+  }
+  EXPECT_EQ(lo_changes, 64);
+  EXPECT_EQ(hi_changes, 64);
+}
+
+TEST(FastHash128, TailBytesMatter) {
+  // Lengths not a multiple of 16 exercise the byte-serial tail.
+  for (std::size_t len : {1ul, 15ul, 17ul, 31ul}) {
+    Bytes a(len, 0x11), b(len, 0x11);
+    b[len - 1] ^= 0xff;
+    const Fast128 ha = FastHash128(a);
+    const Fast128 hb = FastHash128(b);
+    EXPECT_TRUE(ha.lo != hb.lo || ha.hi != hb.hi) << len;
+  }
+}
+
+}  // namespace
+}  // namespace squirrel::util

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace squirrel::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22222"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // All lines equally indented columns: "b" row padded to width of "alpha".
+  EXPECT_NE(out.find("b    "), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table table({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_NO_THROW(table.Render());
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+  EXPECT_EQ(Table::Num(1.005e3, 1), "1005.0");
+}
+
+TEST(ThreadPool, RunsAllIterations) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ZeroCount) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, CountSmallerThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  pool.ParallelFor(3, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](std::size_t i) {
+                         if (i == 37) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAfterException) {
+  ThreadPool pool(2);
+  try {
+    pool.ParallelFor(10, [](std::size_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> total{0};
+  pool.ParallelFor(10, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, SingleThreadWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.ParallelFor(50, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 50);
+}
+
+}  // namespace
+}  // namespace squirrel::util

@@ -1,0 +1,72 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace squirrel::util {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 5.0);
+  EXPECT_EQ(stats.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  const std::vector<double> values = {2, 4, 4, 4, 5, 5, 7, 9};
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(Rmse, ZeroForPerfectPrediction) {
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(Rmse(y, y), 0.0);
+}
+
+TEST(Rmse, KnownValue) {
+  const std::vector<double> predicted = {1, 2, 3};
+  const std::vector<double> observed = {2, 2, 5};
+  // Errors: -1, 0, -2 -> sqrt((1 + 0 + 4) / 3)
+  EXPECT_NEAR(Rmse(predicted, observed), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  const std::vector<double> values = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> values = {0, 10};
+  EXPECT_DOUBLE_EQ(Percentile(values, 25), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(values, 75), 7.5);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> values = {42};
+  EXPECT_DOUBLE_EQ(Percentile(values, 10), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 90), 42.0);
+}
+
+}  // namespace
+}  // namespace squirrel::util

@@ -1,0 +1,128 @@
+#include "vmi/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace squirrel::vmi {
+namespace {
+
+CatalogConfig TestConfig(std::uint32_t images = 607) {
+  CatalogConfig config;
+  config.image_count = images;
+  config.size_scale = 1.0 / 1024.0;
+  return config;
+}
+
+TEST(Catalog, Table2RowsMatchThePaper) {
+  const auto rows = AzureEc2OsDiversity();
+  int azure_total = 0, ec2_total = 0;
+  for (const auto& row : rows) {
+    azure_total += row.azure_count;
+    ec2_total += row.ec2_count;
+  }
+  EXPECT_EQ(azure_total, 607);
+  EXPECT_EQ(ec2_total, 9871 - 81);  // footnote: unclassified remainder
+}
+
+TEST(Catalog, GeneratesRequestedImageCount) {
+  const Catalog catalog = Catalog::AzureCommunity(TestConfig(607));
+  EXPECT_EQ(catalog.images().size(), 607u);
+}
+
+TEST(Catalog, FamilyProportionsFollowTable2) {
+  const Catalog catalog = Catalog::AzureCommunity(TestConfig(607));
+  const auto counts = catalog.FamilyCounts();
+  EXPECT_EQ(counts.at("Ubuntu"), 579);
+  EXPECT_EQ(counts.at("RedHat/CentOS"), 17);
+  EXPECT_EQ(counts.at("OpenSuse/Suse Ent."), 5);
+  EXPECT_EQ(counts.at("Debian"), 3);
+  EXPECT_EQ(counts.at("Unidentified Linux"), 3);
+}
+
+TEST(Catalog, ScaledCatalogKeepsProportionsRoughly) {
+  const Catalog catalog = Catalog::AzureCommunity(TestConfig(100));
+  const auto counts = catalog.FamilyCounts();
+  int total = 0;
+  for (const auto& [name, count] : counts) total += count;
+  EXPECT_EQ(total, 100);
+  EXPECT_GT(counts.at("Ubuntu"), 80);  // ~95%
+  EXPECT_GE(counts.at("Debian"), 1);   // every family represented
+}
+
+TEST(Catalog, EveryImageHasAValidRelease) {
+  const Catalog catalog = Catalog::AzureCommunity(TestConfig(64));
+  for (const ImageSpec& spec : catalog.images()) {
+    ASSERT_LT(spec.release_index, catalog.releases().size());
+    EXPECT_GT(spec.base_bytes, 0u);
+    EXPECT_FALSE(spec.packages.empty());
+  }
+}
+
+TEST(Catalog, ReleasesShareFamilyCorpusWithShiftedOffsets) {
+  const Catalog catalog = Catalog::AzureCommunity(TestConfig(64));
+  const auto& releases = catalog.releases();
+  // Ubuntu releases (family_index 0..9) share the seed, offsets increase.
+  std::uint64_t seed = 0;
+  std::uint64_t last_offset = 0;
+  int ubuntu_releases = 0;
+  for (const Release& release : releases) {
+    if (release.family != OsFamily::kUbuntu) continue;
+    if (ubuntu_releases == 0) {
+      seed = release.base_corpus_seed;
+    } else {
+      EXPECT_EQ(release.base_corpus_seed, seed);
+      EXPECT_GT(release.base_corpus_offset, last_offset);
+      // Shift is a 1 MiB multiple, preserving block alignment.
+      EXPECT_EQ(release.base_corpus_offset % util::kMiB, 0u);
+    }
+    last_offset = release.base_corpus_offset;
+    ++ubuntu_releases;
+  }
+  EXPECT_EQ(ubuntu_releases, 10);
+}
+
+TEST(Catalog, PackagePoolDisjointAndAligned) {
+  const Catalog catalog = Catalog::AzureCommunity(TestConfig(16));
+  const auto& pool = catalog.family_packages(OsFamily::kUbuntu);
+  ASSERT_FALSE(pool.empty());
+  std::uint64_t cursor = 0;
+  for (const Package& pkg : pool) {
+    EXPECT_EQ(pkg.corpus_offset, cursor);
+    EXPECT_EQ(pkg.size % 4096, 0u);
+    EXPECT_GT(pkg.size, 0u);
+    cursor += pkg.size;
+  }
+}
+
+TEST(Catalog, PackagesDrawnWithoutReplacement) {
+  const Catalog catalog = Catalog::AzureCommunity(TestConfig(32));
+  for (const ImageSpec& spec : catalog.images()) {
+    std::set<std::uint32_t> unique(spec.packages.begin(), spec.packages.end());
+    EXPECT_EQ(unique.size(), spec.packages.size()) << spec.name;
+  }
+}
+
+TEST(Catalog, DeterministicForSameSeed) {
+  const Catalog a = Catalog::AzureCommunity(TestConfig(32));
+  const Catalog b = Catalog::AzureCommunity(TestConfig(32));
+  ASSERT_EQ(a.images().size(), b.images().size());
+  for (std::size_t i = 0; i < a.images().size(); ++i) {
+    EXPECT_EQ(a.images()[i].seed, b.images()[i].seed);
+    EXPECT_EQ(a.images()[i].packages, b.images()[i].packages);
+  }
+}
+
+TEST(Catalog, ScaleChangesBytesNotStructure) {
+  CatalogConfig big = TestConfig(16);
+  big.size_scale = 1.0 / 256.0;
+  CatalogConfig small = TestConfig(16);
+  small.size_scale = 1.0 / 1024.0;
+  const Catalog a = Catalog::AzureCommunity(big);
+  const Catalog b = Catalog::AzureCommunity(small);
+  EXPECT_NEAR(static_cast<double>(a.images()[0].base_bytes),
+              4.0 * static_cast<double>(b.images()[0].base_bytes), 8.0);
+}
+
+}  // namespace
+}  // namespace squirrel::vmi

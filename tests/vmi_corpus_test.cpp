@@ -1,0 +1,72 @@
+#include "vmi/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "compress/codec.h"
+
+namespace squirrel::vmi {
+namespace {
+
+using util::Bytes;
+
+Bytes ReadCorpus(std::uint64_t seed, std::uint64_t offset, std::size_t size) {
+  Bytes out(size);
+  GenerateCorpus(seed, offset, out);
+  return out;
+}
+
+TEST(Corpus, DeterministicAcrossCalls) {
+  EXPECT_EQ(ReadCorpus(1, 0, 8192), ReadCorpus(1, 0, 8192));
+}
+
+TEST(Corpus, ReadBoundariesDoNotChangeContent) {
+  // Reading [0, 64K) in one go must equal stitching arbitrary sub-reads.
+  const Bytes whole = ReadCorpus(42, 0, 65536);
+  Bytes stitched(65536);
+  std::size_t pos = 0;
+  std::size_t chunk = 1;
+  while (pos < stitched.size()) {
+    const std::size_t take = std::min(chunk, stitched.size() - pos);
+    GenerateCorpus(42, pos, util::MutableByteSpan(stitched.data() + pos, take));
+    pos += take;
+    chunk = (chunk * 5 + 3) % 7001;
+  }
+  EXPECT_EQ(stitched, whole);
+}
+
+TEST(Corpus, UnalignedOffsetMatchesAlignedRead) {
+  const Bytes whole = ReadCorpus(7, 0, 3 * kCorpusGrain);
+  const Bytes middle = ReadCorpus(7, 1234, 5000);
+  EXPECT_TRUE(std::equal(middle.begin(), middle.end(), whole.begin() + 1234));
+}
+
+TEST(Corpus, DifferentSeedsDiffer) {
+  EXPECT_NE(ReadCorpus(1, 0, 4096), ReadCorpus(2, 0, 4096));
+}
+
+TEST(Corpus, DifferentOffsetsDiffer) {
+  EXPECT_NE(ReadCorpus(1, 0, 4096), ReadCorpus(1, kCorpusGrain, 4096));
+}
+
+TEST(Corpus, CompressibilityInRealisticRange) {
+  // The content mix should land near OS-filesystem compressibility
+  // (gzip ~1.6-2.6x) and never compress absurdly.
+  const Bytes data = ReadCorpus(99, 0, 1 << 20);
+  const auto* codec = compress::FindCodec("gzip6");
+  const double ratio = static_cast<double>(data.size()) /
+                       static_cast<double>(codec->Compress(data).size());
+  EXPECT_GT(ratio, 1.3);
+  EXPECT_LT(ratio, 3.5);
+}
+
+TEST(Corpus, NoAllZeroGrains) {
+  // Corpus content is never sparse: zeros come only from unmapped image
+  // regions.
+  for (std::uint64_t g = 0; g < 64; ++g) {
+    const Bytes grain = ReadCorpus(5, g * kCorpusGrain, kCorpusGrain);
+    EXPECT_FALSE(util::IsAllZero(grain)) << g;
+  }
+}
+
+}  // namespace
+}  // namespace squirrel::vmi
