@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_arc.dir/ablation_arc.cpp.o"
+  "CMakeFiles/ablation_arc.dir/ablation_arc.cpp.o.d"
+  "ablation_arc"
+  "ablation_arc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cluster_size.dir/ablation_cluster_size.cpp.o"
+  "CMakeFiles/ablation_cluster_size.dir/ablation_cluster_size.cpp.o.d"
+  "ablation_cluster_size"
+  "ablation_cluster_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cluster_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

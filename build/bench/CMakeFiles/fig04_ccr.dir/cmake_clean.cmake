@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_ccr.dir/fig04_ccr.cpp.o"
+  "CMakeFiles/fig04_ccr.dir/fig04_ccr.cpp.o.d"
+  "fig04_ccr"
+  "fig04_ccr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_ccr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_disk_consumption.dir/fig08_disk_consumption.cpp.o"
+  "CMakeFiles/fig08_disk_consumption.dir/fig08_disk_consumption.cpp.o.d"
+  "fig08_disk_consumption"
+  "fig08_disk_consumption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_disk_consumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

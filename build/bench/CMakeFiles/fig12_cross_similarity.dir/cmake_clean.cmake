@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cross_similarity.dir/fig12_cross_similarity.cpp.o"
+  "CMakeFiles/fig12_cross_similarity.dir/fig12_cross_similarity.cpp.o.d"
+  "fig12_cross_similarity"
+  "fig12_cross_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cross_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_disk_fit.dir/fig14_disk_fit.cpp.o"
+  "CMakeFiles/fig14_disk_fit.dir/fig14_disk_fit.cpp.o.d"
+  "fig14_disk_fit"
+  "fig14_disk_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_disk_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_disk_extrapolation.dir/fig15_disk_extrapolation.cpp.o"
+  "CMakeFiles/fig15_disk_extrapolation.dir/fig15_disk_extrapolation.cpp.o.d"
+  "fig15_disk_extrapolation"
+  "fig15_disk_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_disk_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_memory_fit.dir/fig16_memory_fit.cpp.o"
+  "CMakeFiles/fig16_memory_fit.dir/fig16_memory_fit.cpp.o.d"
+  "fig16_memory_fit"
+  "fig16_memory_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_memory_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

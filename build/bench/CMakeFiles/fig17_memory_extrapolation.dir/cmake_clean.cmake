@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_memory_extrapolation.dir/fig17_memory_extrapolation.cpp.o"
+  "CMakeFiles/fig17_memory_extrapolation.dir/fig17_memory_extrapolation.cpp.o.d"
+  "fig17_memory_extrapolation"
+  "fig17_memory_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_memory_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

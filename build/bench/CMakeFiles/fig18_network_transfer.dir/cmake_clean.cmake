@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_network_transfer.dir/fig18_network_transfer.cpp.o"
+  "CMakeFiles/fig18_network_transfer.dir/fig18_network_transfer.cpp.o.d"
+  "fig18_network_transfer"
+  "fig18_network_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_network_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_codecs.cpp" "bench/CMakeFiles/micro_codecs.dir/micro_codecs.cpp.o" "gcc" "bench/CMakeFiles/micro_codecs.dir/micro_codecs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/squirrel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/squirrel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cow/CMakeFiles/squirrel_cow.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/squirrel_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmi/CMakeFiles/squirrel_vmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/zvol/CMakeFiles/squirrel_zvol.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/squirrel_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/squirrel_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/squirrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec32_registration.dir/sec32_registration.cpp.o"
+  "CMakeFiles/sec32_registration.dir/sec32_registration.cpp.o.d"
+  "sec32_registration"
+  "sec32_registration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec32_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

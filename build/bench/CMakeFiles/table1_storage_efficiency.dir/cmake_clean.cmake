@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_storage_efficiency.dir/table1_storage_efficiency.cpp.o"
+  "CMakeFiles/table1_storage_efficiency.dir/table1_storage_efficiency.cpp.o.d"
+  "table1_storage_efficiency"
+  "table1_storage_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_storage_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

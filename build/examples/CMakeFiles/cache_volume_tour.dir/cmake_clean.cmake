@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_volume_tour.dir/cache_volume_tour.cpp.o"
+  "CMakeFiles/cache_volume_tour.dir/cache_volume_tour.cpp.o.d"
+  "cache_volume_tour"
+  "cache_volume_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_volume_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

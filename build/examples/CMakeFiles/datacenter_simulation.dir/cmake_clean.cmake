@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_simulation.dir/datacenter_simulation.cpp.o"
+  "CMakeFiles/datacenter_simulation.dir/datacenter_simulation.cpp.o.d"
+  "datacenter_simulation"
+  "datacenter_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

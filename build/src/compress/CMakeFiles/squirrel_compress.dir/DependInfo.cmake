@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/codec.cpp" "src/compress/CMakeFiles/squirrel_compress.dir/codec.cpp.o" "gcc" "src/compress/CMakeFiles/squirrel_compress.dir/codec.cpp.o.d"
+  "/root/repo/src/compress/deflate.cpp" "src/compress/CMakeFiles/squirrel_compress.dir/deflate.cpp.o" "gcc" "src/compress/CMakeFiles/squirrel_compress.dir/deflate.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/compress/CMakeFiles/squirrel_compress.dir/huffman.cpp.o" "gcc" "src/compress/CMakeFiles/squirrel_compress.dir/huffman.cpp.o.d"
+  "/root/repo/src/compress/lz4like.cpp" "src/compress/CMakeFiles/squirrel_compress.dir/lz4like.cpp.o" "gcc" "src/compress/CMakeFiles/squirrel_compress.dir/lz4like.cpp.o.d"
+  "/root/repo/src/compress/lzjb.cpp" "src/compress/CMakeFiles/squirrel_compress.dir/lzjb.cpp.o" "gcc" "src/compress/CMakeFiles/squirrel_compress.dir/lzjb.cpp.o.d"
+  "/root/repo/src/compress/zle.cpp" "src/compress/CMakeFiles/squirrel_compress.dir/zle.cpp.o" "gcc" "src/compress/CMakeFiles/squirrel_compress.dir/zle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/squirrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

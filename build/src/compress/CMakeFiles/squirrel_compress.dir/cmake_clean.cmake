@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squirrel_compress.dir/codec.cpp.o"
+  "CMakeFiles/squirrel_compress.dir/codec.cpp.o.d"
+  "CMakeFiles/squirrel_compress.dir/deflate.cpp.o"
+  "CMakeFiles/squirrel_compress.dir/deflate.cpp.o.d"
+  "CMakeFiles/squirrel_compress.dir/huffman.cpp.o"
+  "CMakeFiles/squirrel_compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/squirrel_compress.dir/lz4like.cpp.o"
+  "CMakeFiles/squirrel_compress.dir/lz4like.cpp.o.d"
+  "CMakeFiles/squirrel_compress.dir/lzjb.cpp.o"
+  "CMakeFiles/squirrel_compress.dir/lzjb.cpp.o.d"
+  "CMakeFiles/squirrel_compress.dir/zle.cpp.o"
+  "CMakeFiles/squirrel_compress.dir/zle.cpp.o.d"
+  "libsquirrel_compress.a"
+  "libsquirrel_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squirrel_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squirrel_core.dir/squirrel.cpp.o"
+  "CMakeFiles/squirrel_core.dir/squirrel.cpp.o.d"
+  "libsquirrel_core.a"
+  "libsquirrel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squirrel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cow/chain.cpp" "src/cow/CMakeFiles/squirrel_cow.dir/chain.cpp.o" "gcc" "src/cow/CMakeFiles/squirrel_cow.dir/chain.cpp.o.d"
+  "/root/repo/src/cow/qcow.cpp" "src/cow/CMakeFiles/squirrel_cow.dir/qcow.cpp.o" "gcc" "src/cow/CMakeFiles/squirrel_cow.dir/qcow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/squirrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

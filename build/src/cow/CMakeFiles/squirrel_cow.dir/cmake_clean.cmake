@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squirrel_cow.dir/chain.cpp.o"
+  "CMakeFiles/squirrel_cow.dir/chain.cpp.o.d"
+  "CMakeFiles/squirrel_cow.dir/qcow.cpp.o"
+  "CMakeFiles/squirrel_cow.dir/qcow.cpp.o.d"
+  "libsquirrel_cow.a"
+  "libsquirrel_cow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squirrel_cow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

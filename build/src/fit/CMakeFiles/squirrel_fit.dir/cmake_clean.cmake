@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squirrel_fit.dir/curve_fit.cpp.o"
+  "CMakeFiles/squirrel_fit.dir/curve_fit.cpp.o.d"
+  "libsquirrel_fit.a"
+  "libsquirrel_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squirrel_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arc_cache.cpp" "src/sim/CMakeFiles/squirrel_sim.dir/arc_cache.cpp.o" "gcc" "src/sim/CMakeFiles/squirrel_sim.dir/arc_cache.cpp.o.d"
+  "/root/repo/src/sim/boot_sim.cpp" "src/sim/CMakeFiles/squirrel_sim.dir/boot_sim.cpp.o" "gcc" "src/sim/CMakeFiles/squirrel_sim.dir/boot_sim.cpp.o.d"
+  "/root/repo/src/sim/devices.cpp" "src/sim/CMakeFiles/squirrel_sim.dir/devices.cpp.o" "gcc" "src/sim/CMakeFiles/squirrel_sim.dir/devices.cpp.o.d"
+  "/root/repo/src/sim/disk_model.cpp" "src/sim/CMakeFiles/squirrel_sim.dir/disk_model.cpp.o" "gcc" "src/sim/CMakeFiles/squirrel_sim.dir/disk_model.cpp.o.d"
+  "/root/repo/src/sim/io_context.cpp" "src/sim/CMakeFiles/squirrel_sim.dir/io_context.cpp.o" "gcc" "src/sim/CMakeFiles/squirrel_sim.dir/io_context.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/squirrel_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/squirrel_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/p2p.cpp" "src/sim/CMakeFiles/squirrel_sim.dir/p2p.cpp.o" "gcc" "src/sim/CMakeFiles/squirrel_sim.dir/p2p.cpp.o.d"
+  "/root/repo/src/sim/page_cache.cpp" "src/sim/CMakeFiles/squirrel_sim.dir/page_cache.cpp.o" "gcc" "src/sim/CMakeFiles/squirrel_sim.dir/page_cache.cpp.o.d"
+  "/root/repo/src/sim/parallel_fs.cpp" "src/sim/CMakeFiles/squirrel_sim.dir/parallel_fs.cpp.o" "gcc" "src/sim/CMakeFiles/squirrel_sim.dir/parallel_fs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cow/CMakeFiles/squirrel_cow.dir/DependInfo.cmake"
+  "/root/repo/build/src/zvol/CMakeFiles/squirrel_zvol.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmi/CMakeFiles/squirrel_vmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/squirrel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/squirrel_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/squirrel_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

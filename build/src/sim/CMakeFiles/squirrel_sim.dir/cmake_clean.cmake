@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squirrel_sim.dir/arc_cache.cpp.o"
+  "CMakeFiles/squirrel_sim.dir/arc_cache.cpp.o.d"
+  "CMakeFiles/squirrel_sim.dir/boot_sim.cpp.o"
+  "CMakeFiles/squirrel_sim.dir/boot_sim.cpp.o.d"
+  "CMakeFiles/squirrel_sim.dir/devices.cpp.o"
+  "CMakeFiles/squirrel_sim.dir/devices.cpp.o.d"
+  "CMakeFiles/squirrel_sim.dir/disk_model.cpp.o"
+  "CMakeFiles/squirrel_sim.dir/disk_model.cpp.o.d"
+  "CMakeFiles/squirrel_sim.dir/io_context.cpp.o"
+  "CMakeFiles/squirrel_sim.dir/io_context.cpp.o.d"
+  "CMakeFiles/squirrel_sim.dir/network.cpp.o"
+  "CMakeFiles/squirrel_sim.dir/network.cpp.o.d"
+  "CMakeFiles/squirrel_sim.dir/p2p.cpp.o"
+  "CMakeFiles/squirrel_sim.dir/p2p.cpp.o.d"
+  "CMakeFiles/squirrel_sim.dir/page_cache.cpp.o"
+  "CMakeFiles/squirrel_sim.dir/page_cache.cpp.o.d"
+  "CMakeFiles/squirrel_sim.dir/parallel_fs.cpp.o"
+  "CMakeFiles/squirrel_sim.dir/parallel_fs.cpp.o.d"
+  "libsquirrel_sim.a"
+  "libsquirrel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squirrel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

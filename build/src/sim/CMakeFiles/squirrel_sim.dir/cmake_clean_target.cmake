@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsquirrel_sim.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/block_store.cpp" "src/store/CMakeFiles/squirrel_store.dir/block_store.cpp.o" "gcc" "src/store/CMakeFiles/squirrel_store.dir/block_store.cpp.o.d"
+  "/root/repo/src/store/cdc.cpp" "src/store/CMakeFiles/squirrel_store.dir/cdc.cpp.o" "gcc" "src/store/CMakeFiles/squirrel_store.dir/cdc.cpp.o.d"
+  "/root/repo/src/store/dedup_analysis.cpp" "src/store/CMakeFiles/squirrel_store.dir/dedup_analysis.cpp.o" "gcc" "src/store/CMakeFiles/squirrel_store.dir/dedup_analysis.cpp.o.d"
+  "/root/repo/src/store/space_map.cpp" "src/store/CMakeFiles/squirrel_store.dir/space_map.cpp.o" "gcc" "src/store/CMakeFiles/squirrel_store.dir/space_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/squirrel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/squirrel_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

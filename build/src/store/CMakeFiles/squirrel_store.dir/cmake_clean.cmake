@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squirrel_store.dir/block_store.cpp.o"
+  "CMakeFiles/squirrel_store.dir/block_store.cpp.o.d"
+  "CMakeFiles/squirrel_store.dir/cdc.cpp.o"
+  "CMakeFiles/squirrel_store.dir/cdc.cpp.o.d"
+  "CMakeFiles/squirrel_store.dir/dedup_analysis.cpp.o"
+  "CMakeFiles/squirrel_store.dir/dedup_analysis.cpp.o.d"
+  "CMakeFiles/squirrel_store.dir/space_map.cpp.o"
+  "CMakeFiles/squirrel_store.dir/space_map.cpp.o.d"
+  "libsquirrel_store.a"
+  "libsquirrel_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squirrel_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squirrel_util.dir/bytes.cpp.o"
+  "CMakeFiles/squirrel_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/squirrel_util.dir/hash.cpp.o"
+  "CMakeFiles/squirrel_util.dir/hash.cpp.o.d"
+  "CMakeFiles/squirrel_util.dir/rng.cpp.o"
+  "CMakeFiles/squirrel_util.dir/rng.cpp.o.d"
+  "CMakeFiles/squirrel_util.dir/sha256.cpp.o"
+  "CMakeFiles/squirrel_util.dir/sha256.cpp.o.d"
+  "CMakeFiles/squirrel_util.dir/stats.cpp.o"
+  "CMakeFiles/squirrel_util.dir/stats.cpp.o.d"
+  "CMakeFiles/squirrel_util.dir/table.cpp.o"
+  "CMakeFiles/squirrel_util.dir/table.cpp.o.d"
+  "CMakeFiles/squirrel_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/squirrel_util.dir/thread_pool.cpp.o.d"
+  "libsquirrel_util.a"
+  "libsquirrel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squirrel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmi/bootset.cpp" "src/vmi/CMakeFiles/squirrel_vmi.dir/bootset.cpp.o" "gcc" "src/vmi/CMakeFiles/squirrel_vmi.dir/bootset.cpp.o.d"
+  "/root/repo/src/vmi/catalog.cpp" "src/vmi/CMakeFiles/squirrel_vmi.dir/catalog.cpp.o" "gcc" "src/vmi/CMakeFiles/squirrel_vmi.dir/catalog.cpp.o.d"
+  "/root/repo/src/vmi/corpus.cpp" "src/vmi/CMakeFiles/squirrel_vmi.dir/corpus.cpp.o" "gcc" "src/vmi/CMakeFiles/squirrel_vmi.dir/corpus.cpp.o.d"
+  "/root/repo/src/vmi/image.cpp" "src/vmi/CMakeFiles/squirrel_vmi.dir/image.cpp.o" "gcc" "src/vmi/CMakeFiles/squirrel_vmi.dir/image.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/squirrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squirrel_vmi.dir/bootset.cpp.o"
+  "CMakeFiles/squirrel_vmi.dir/bootset.cpp.o.d"
+  "CMakeFiles/squirrel_vmi.dir/catalog.cpp.o"
+  "CMakeFiles/squirrel_vmi.dir/catalog.cpp.o.d"
+  "CMakeFiles/squirrel_vmi.dir/corpus.cpp.o"
+  "CMakeFiles/squirrel_vmi.dir/corpus.cpp.o.d"
+  "CMakeFiles/squirrel_vmi.dir/image.cpp.o"
+  "CMakeFiles/squirrel_vmi.dir/image.cpp.o.d"
+  "libsquirrel_vmi.a"
+  "libsquirrel_vmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squirrel_vmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

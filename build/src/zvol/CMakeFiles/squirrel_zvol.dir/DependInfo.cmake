@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zvol/persist.cpp" "src/zvol/CMakeFiles/squirrel_zvol.dir/persist.cpp.o" "gcc" "src/zvol/CMakeFiles/squirrel_zvol.dir/persist.cpp.o.d"
+  "/root/repo/src/zvol/send_stream.cpp" "src/zvol/CMakeFiles/squirrel_zvol.dir/send_stream.cpp.o" "gcc" "src/zvol/CMakeFiles/squirrel_zvol.dir/send_stream.cpp.o.d"
+  "/root/repo/src/zvol/volume.cpp" "src/zvol/CMakeFiles/squirrel_zvol.dir/volume.cpp.o" "gcc" "src/zvol/CMakeFiles/squirrel_zvol.dir/volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/squirrel_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/squirrel_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/squirrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squirrel_zvol.dir/persist.cpp.o"
+  "CMakeFiles/squirrel_zvol.dir/persist.cpp.o.d"
+  "CMakeFiles/squirrel_zvol.dir/send_stream.cpp.o"
+  "CMakeFiles/squirrel_zvol.dir/send_stream.cpp.o.d"
+  "CMakeFiles/squirrel_zvol.dir/volume.cpp.o"
+  "CMakeFiles/squirrel_zvol.dir/volume.cpp.o.d"
+  "libsquirrel_zvol.a"
+  "libsquirrel_zvol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squirrel_zvol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/boot_writes_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/boot_writes_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/boot_writes_test.cpp.o.d"
+  "/root/repo/tests/compress_deflate_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/compress_deflate_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/compress_deflate_test.cpp.o.d"
+  "/root/repo/tests/compress_roundtrip_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/compress_roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/compress_roundtrip_test.cpp.o.d"
+  "/root/repo/tests/core_squirrel_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/core_squirrel_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/core_squirrel_test.cpp.o.d"
+  "/root/repo/tests/cow_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/cow_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/cow_test.cpp.o.d"
+  "/root/repo/tests/fit_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/fit_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/fit_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/sim_arc_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/sim_arc_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/sim_arc_test.cpp.o.d"
+  "/root/repo/tests/sim_devices_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/sim_devices_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/sim_devices_test.cpp.o.d"
+  "/root/repo/tests/sim_disk_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/sim_disk_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/sim_disk_test.cpp.o.d"
+  "/root/repo/tests/sim_network_strategies_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/sim_network_strategies_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/sim_network_strategies_test.cpp.o.d"
+  "/root/repo/tests/sim_p2p_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/sim_p2p_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/sim_p2p_test.cpp.o.d"
+  "/root/repo/tests/store_analysis_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/store_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/store_analysis_test.cpp.o.d"
+  "/root/repo/tests/store_block_store_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/store_block_store_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/store_block_store_test.cpp.o.d"
+  "/root/repo/tests/store_cdc_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/store_cdc_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/store_cdc_test.cpp.o.d"
+  "/root/repo/tests/store_space_map_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/store_space_map_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/store_space_map_test.cpp.o.d"
+  "/root/repo/tests/util_bytes_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/util_bytes_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/util_bytes_test.cpp.o.d"
+  "/root/repo/tests/util_hash_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/util_hash_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/util_hash_test.cpp.o.d"
+  "/root/repo/tests/util_misc_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/util_misc_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/util_misc_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/util_stats_test.cpp.o.d"
+  "/root/repo/tests/vmi_bootset_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/vmi_bootset_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/vmi_bootset_test.cpp.o.d"
+  "/root/repo/tests/vmi_catalog_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/vmi_catalog_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/vmi_catalog_test.cpp.o.d"
+  "/root/repo/tests/vmi_corpus_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/vmi_corpus_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/vmi_corpus_test.cpp.o.d"
+  "/root/repo/tests/vmi_image_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/vmi_image_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/vmi_image_test.cpp.o.d"
+  "/root/repo/tests/zvol_config_sweep_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/zvol_config_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/zvol_config_sweep_test.cpp.o.d"
+  "/root/repo/tests/zvol_fuzz_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/zvol_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/zvol_fuzz_test.cpp.o.d"
+  "/root/repo/tests/zvol_scrub_persist_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/zvol_scrub_persist_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/zvol_scrub_persist_test.cpp.o.d"
+  "/root/repo/tests/zvol_send_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/zvol_send_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/zvol_send_test.cpp.o.d"
+  "/root/repo/tests/zvol_snapshot_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/zvol_snapshot_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/zvol_snapshot_test.cpp.o.d"
+  "/root/repo/tests/zvol_volume_test.cpp" "tests/CMakeFiles/squirrel_tests.dir/zvol_volume_test.cpp.o" "gcc" "tests/CMakeFiles/squirrel_tests.dir/zvol_volume_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/squirrel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/squirrel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cow/CMakeFiles/squirrel_cow.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/squirrel_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmi/CMakeFiles/squirrel_vmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/zvol/CMakeFiles/squirrel_zvol.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/squirrel_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/squirrel_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/squirrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
