@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
 
   // Shared 64 KB cVolume with every cache; per-boot block access streams.
   zvol::Volume volume(zvol::VolumeConfig{.block_size = 64 * 1024,
-                                         .codec = "gzip6",
+                                         .codec = compress::CodecId::kGzip6,
                                          .dedup = true,
                                          .fast_hash = true});
   std::vector<std::vector<std::uint64_t>> block_streams;  // digests as ids

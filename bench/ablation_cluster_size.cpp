@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
   // Shared 64 KB cVolume with all sampled caches.
   zvol::Volume volume(zvol::VolumeConfig{.block_size = 64 * 1024,
-                                         .codec = "gzip6",
+                                         .codec = compress::CodecId::kGzip6,
                                          .dedup = true,
                                          .fast_hash = true});
   std::vector<std::unique_ptr<vmi::VmImage>> images;

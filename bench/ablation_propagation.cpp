@@ -23,7 +23,7 @@ StrategyResult RunRegistrations(const vmi::Catalog& catalog,
                                 std::uint32_t nodes) {
   core::SquirrelConfig config;
   config.volume = zvol::VolumeConfig{.block_size = 64 * 1024,
-                                     .codec = "gzip6",
+                                     .codec = compress::CodecId::kGzip6,
                                      .dedup = true,
                                      .fast_hash = true};
   config.propagation = strategy;

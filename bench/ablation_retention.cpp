@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   for (std::uint64_t n_days : {1ull, 3ull, 7ull, 14ull}) {
     core::SquirrelConfig config;
     config.volume = zvol::VolumeConfig{.block_size = 64 * 1024,
-                                       .codec = "gzip6",
+                                       .codec = compress::CodecId::kGzip6,
                                        .dedup = true,
                                        .fast_hash = true};
     config.retention_seconds = n_days * 86400;

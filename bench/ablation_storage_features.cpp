@@ -19,14 +19,14 @@ int main(int argc, char** argv) {
 
   struct Config {
     const char* label;
-    const char* codec;
+    compress::CodecId codec;
     bool dedup;
   };
   const Config configs[] = {
-      {"sparse only", "null", false},
-      {"dedup only", "null", true},
-      {"gzip6 only", "gzip6", false},
-      {"dedup + gzip6 (Squirrel)", "gzip6", true},
+      {"sparse only", compress::CodecId::kNull, false},
+      {"dedup only", compress::CodecId::kNull, true},
+      {"gzip6 only", compress::CodecId::kGzip6, false},
+      {"dedup + gzip6 (Squirrel)", compress::CodecId::kGzip6, true},
   };
 
   util::Table table({"configuration", "caches disk", "vs sparse", "DDT mem"});

@@ -38,7 +38,7 @@ double WarmZfsBoot(const vmi::Catalog& catalog,
                    const std::vector<SampleVm>& vms, std::uint32_t block_size) {
   // One shared cVolume holding every sampled cache (as Squirrel would).
   zvol::Volume volume(zvol::VolumeConfig{.block_size = block_size,
-                                         .codec = "gzip6",
+                                         .codec = compress::CodecId::kGzip6,
                                          .dedup = true,
                                          .fast_hash = true});
   for (std::size_t i = 0; i < vms.size(); ++i) {

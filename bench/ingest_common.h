@@ -11,18 +11,25 @@
 
 namespace squirrel::bench {
 
-/// Ingests the whole dataset at one block size.
+/// Ingests the whole dataset at one block size. The codec arrives as a
+/// string (bench boundary) and is parsed once here; ingest runs on the batch
+/// pipeline with one thread per hardware thread — accounting is identical to
+/// the serial path, only wall clock changes.
 /// `per_file` (optional) is invoked after each file with the running stats —
 /// Figure 13 uses it to record the growth curve.
 inline zvol::VolumeStats IngestDataset(
     const vmi::Catalog& catalog, Dataset dataset, std::uint32_t block_size,
     const std::string& codec,
     const std::function<void(std::size_t, const zvol::VolumeStats&)>& per_file =
-        {}) {
+        {},
+    store::IngestConfig ingest = {.threads = 0}) {
+  const std::optional<compress::CodecId> codec_id = compress::ParseCodec(codec);
+  if (!codec_id) throw std::invalid_argument("unknown codec: " + codec);
   zvol::Volume volume(zvol::VolumeConfig{.block_size = block_size,
-                                         .codec = codec,
+                                         .codec = *codec_id,
                                          .dedup = true,
-                                         .fast_hash = true});
+                                         .fast_hash = true,
+                                         .ingest = ingest});
   std::size_t index = 0;
   for (const vmi::ImageSpec& spec : catalog.images()) {
     const vmi::VmImage image(catalog, spec);

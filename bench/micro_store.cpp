@@ -1,8 +1,16 @@
 // Microbenchmarks (google-benchmark): block store and volume write paths —
-// dedup hits vs misses, hash choice, snapshot and send costs.
+// dedup hits vs misses, hash choice, snapshot and send costs — plus a
+// serial-vs-batched ingest comparison that runs before the google-benchmark
+// suite, prints MB/s per thread count, and emits BENCH_ingest.json so the
+// ingest-throughput trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
 #include "store/block_store.h"
+#include "util/hash.h"
 #include "vmi/corpus.h"
 #include "zvol/volume.h"
 
@@ -26,7 +34,9 @@ class CorpusSource final : public util::DataSource {
 };
 
 void BM_StorePutUnique(benchmark::State& state) {
-  store::BlockStore bs({.codec = "null", .dedup = true, .fast_hash = true});
+  store::BlockStore bs({.codec = compress::CodecId::kNull,
+                        .dedup = true,
+                        .fast_hash = true});
   util::Bytes block(64 << 10);
   std::uint64_t offset = 0;
   for (auto _ : state) {
@@ -39,7 +49,9 @@ void BM_StorePutUnique(benchmark::State& state) {
 }
 
 void BM_StorePutDuplicate(benchmark::State& state) {
-  store::BlockStore bs({.codec = "null", .dedup = true, .fast_hash = true});
+  store::BlockStore bs({.codec = compress::CodecId::kNull,
+                        .dedup = true,
+                        .fast_hash = true});
   util::Bytes block(64 << 10);
   vmi::GenerateCorpus(2, 0, block);
   bs.Put(block);
@@ -51,7 +63,9 @@ void BM_StorePutDuplicate(benchmark::State& state) {
 }
 
 void BM_StorePutSha256(benchmark::State& state) {
-  store::BlockStore bs({.codec = "null", .dedup = true, .fast_hash = false});
+  store::BlockStore bs({.codec = compress::CodecId::kNull,
+                        .dedup = true,
+                        .fast_hash = false});
   util::Bytes block(64 << 10);
   std::uint64_t offset = 0;
   for (auto _ : state) {
@@ -63,12 +77,40 @@ void BM_StorePutSha256(benchmark::State& state) {
                           static_cast<std::int64_t>(block.size()));
 }
 
+/// PutBatch over unique corpus blocks: the batch pipeline at a given thread
+/// count, blocks pre-generated so only the store path is measured.
+void BM_StorePutBatch(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t batch = 64;
+  const std::size_t block_size = 64 << 10;
+  store::BlockStore bs({.codec = compress::CodecId::kGzip6,
+                        .dedup = true,
+                        .fast_hash = false,
+                        .ingest = {.threads = threads, .batch_blocks = batch}});
+  util::Bytes buffer(batch * block_size);
+  std::vector<util::ByteSpan> spans;
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    vmi::GenerateCorpus(4, offset, buffer);
+    offset += buffer.size();
+    spans.clear();
+    for (std::size_t i = 0; i < batch; ++i) {
+      spans.emplace_back(buffer.data() + i * block_size, block_size);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(bs.PutBatch(spans));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buffer.size()));
+}
+
 void BM_VolumeIngest(benchmark::State& state) {
   const std::uint64_t file_size = 4 << 20;
   std::uint64_t seed = 0;
   for (auto _ : state) {
     zvol::Volume volume(zvol::VolumeConfig{.block_size = 64 * 1024,
-                                           .codec = "lz4",
+                                           .codec = compress::CodecId::kLz4,
                                            .dedup = true,
                                            .fast_hash = true});
     volume.WriteFile("f", CorpusSource(seed++, file_size));
@@ -80,7 +122,7 @@ void BM_VolumeIngest(benchmark::State& state) {
 
 void BM_SnapshotCreate(benchmark::State& state) {
   zvol::Volume volume(zvol::VolumeConfig{.block_size = 64 * 1024,
-                                         .codec = "null",
+                                         .codec = compress::CodecId::kNull,
                                          .dedup = true,
                                          .fast_hash = true});
   volume.WriteFile("f", CorpusSource(1, 8 << 20));
@@ -93,7 +135,7 @@ void BM_SnapshotCreate(benchmark::State& state) {
 
 void BM_IncrementalSend(benchmark::State& state) {
   zvol::Volume volume(zvol::VolumeConfig{.block_size = 64 * 1024,
-                                         .codec = "lz4",
+                                         .codec = compress::CodecId::kLz4,
                                          .dedup = true,
                                          .fast_hash = true});
   volume.WriteFile("base", CorpusSource(1, 8 << 20));
@@ -105,13 +147,124 @@ void BM_IncrementalSend(benchmark::State& state) {
   }
 }
 
+// --- serial vs batched ingest comparison (BENCH_ingest.json) ---------------
+
+struct IngestRun {
+  std::size_t threads = 0;
+  double seconds = 0.0;
+  double mb_per_s = 0.0;
+  double speedup = 1.0;
+  bool stats_match_serial = true;
+};
+
+/// XOR-fold of every block digest of a file: order-sensitive content
+/// fingerprint used to assert parallel ingest equals the serial path.
+std::uint64_t DigestChecksum(const zvol::Volume& volume, const char* name) {
+  std::uint64_t sum = 0;
+  for (std::uint64_t b = 0; b < volume.FileBlockCount(name); ++b) {
+    const zvol::BlockPtr& ptr = volume.FileBlock(name, b);
+    if (!ptr.hole) sum ^= ptr.digest.Prefix64() * (b + 1);
+  }
+  return sum;
+}
+
+void RunIngestComparison() {
+  // CPU-heavy configuration (SHA-256 + gzip6) — the case the parallel
+  // pipeline targets.
+  const std::uint64_t file_size = 16ull << 20;
+  const CorpusSource source(/*seed=*/2014, file_size);
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+
+  std::vector<IngestRun> runs;
+  zvol::VolumeStats serial_stats{};
+  std::uint64_t serial_checksum = 0;
+  double serial_seconds = 0.0;
+
+  for (const std::size_t threads : thread_counts) {
+    zvol::Volume volume(zvol::VolumeConfig{
+        .block_size = 64 * 1024,
+        .codec = compress::CodecId::kGzip6,
+        .dedup = true,
+        .fast_hash = false,
+        .ingest = {.threads = threads, .batch_blocks = 128}});
+    const auto start = std::chrono::steady_clock::now();
+    volume.WriteFile("f", source);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    IngestRun run;
+    run.threads = threads;
+    run.seconds = elapsed.count();
+    run.mb_per_s =
+        static_cast<double>(file_size) / (1024.0 * 1024.0) / run.seconds;
+    const zvol::VolumeStats stats = volume.Stats();
+    const std::uint64_t checksum = DigestChecksum(volume, "f");
+    if (threads == 1) {
+      serial_stats = stats;
+      serial_checksum = checksum;
+      serial_seconds = run.seconds;
+    } else {
+      run.speedup = serial_seconds / run.seconds;
+      run.stats_match_serial =
+          stats.unique_blocks == serial_stats.unique_blocks &&
+          stats.physical_data_bytes == serial_stats.physical_data_bytes &&
+          stats.ddt_core_bytes == serial_stats.ddt_core_bytes &&
+          checksum == serial_checksum;
+    }
+    runs.push_back(run);
+  }
+
+  std::printf("== ingest throughput: serial vs batched pipeline ==\n");
+  std::printf("file %.0f MiB, bs 64 KiB, gzip6, sha256\n",
+              static_cast<double>(file_size) / (1024.0 * 1024.0));
+  std::printf("%-8s %10s %10s %8s %6s\n", "threads", "seconds", "MB/s",
+              "speedup", "match");
+  for (const IngestRun& run : runs) {
+    std::printf("%-8zu %10.3f %10.1f %7.2fx %6s\n", run.threads, run.seconds,
+                run.mb_per_s, run.speedup,
+                run.stats_match_serial ? "yes" : "NO");
+  }
+  std::printf("\n");
+
+  FILE* out = std::fopen("BENCH_ingest.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_store: cannot write BENCH_ingest.json\n");
+    return;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"ingest\",\n  \"block_size\": 65536,\n"
+               "  \"codec\": \"gzip6\",\n  \"fast_hash\": false,\n"
+               "  \"file_bytes\": %llu,\n  \"results\": [\n",
+               static_cast<unsigned long long>(file_size));
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const IngestRun& run = runs[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"seconds\": %.6f, "
+                 "\"mb_per_s\": %.2f, \"speedup_vs_serial\": %.3f, "
+                 "\"stats_match_serial\": %s}%s\n",
+                 run.threads, run.seconds, run.mb_per_s, run.speedup,
+                 run.stats_match_serial ? "true" : "false",
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
 }  // namespace
 
 BENCHMARK(BM_StorePutUnique);
 BENCHMARK(BM_StorePutDuplicate);
 BENCHMARK(BM_StorePutSha256);
+BENCHMARK(BM_StorePutBatch)->Arg(1)->Arg(2)->Arg(8);
 BENCHMARK(BM_VolumeIngest);
 BENCHMARK(BM_SnapshotCreate);
 BENCHMARK(BM_IncrementalSend);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  RunIngestComparison();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
 
   core::SquirrelConfig config;
   config.volume = zvol::VolumeConfig{.block_size = 64 * 1024,
-                                     .codec = "gzip6",
+                                     .codec = compress::CodecId::kGzip6,
                                      .dedup = true,
                                      .fast_hash = true};
   core::SquirrelCluster cluster(config, 1);

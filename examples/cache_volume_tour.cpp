@@ -39,7 +39,7 @@ void PrintStats(const char* label, const zvol::Volume& volume) {
 
 int main() {
   zvol::Volume storage(zvol::VolumeConfig{
-      .block_size = 64 * 1024, .codec = "gzip6", .dedup = true});
+      .block_size = 64 * 1024, .codec = compress::CodecId::kGzip6, .dedup = true});
 
   // 1. Sparse, compressible, duplicate-heavy content.
   util::Bytes cache_a(64 * 64 * 1024, 0);

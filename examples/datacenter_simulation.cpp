@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
 
   core::SquirrelConfig config;
   config.volume = zvol::VolumeConfig{.block_size = 64 * 1024,
-                                     .codec = "gzip6",
+                                     .codec = compress::CodecId::kGzip6,
                                      .dedup = true,
                                      .fast_hash = true};
   config.retention_seconds = 3ull * 86400;  // n = 3 days

@@ -31,7 +31,7 @@ int main() {
   // --- 2. cluster -----------------------------------------------------------
   core::SquirrelConfig config;
   config.volume = zvol::VolumeConfig{.block_size = 64 * 1024,  // the paper's pick
-                                     .codec = "gzip6",
+                                     .codec = compress::CodecId::kGzip6,
                                      .dedup = true};
   core::SquirrelCluster cluster(config, /*compute_count=*/4);
 

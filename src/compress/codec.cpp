@@ -57,6 +57,23 @@ const Codec* FindCodec(std::string_view name) {
   return nullptr;
 }
 
+const Codec& GetCodec(CodecId id) {
+  const auto& codecs = GetRegistry().codecs;
+  const auto index = static_cast<std::size_t>(id);
+  if (index >= codecs.size()) throw std::invalid_argument("bad CodecId");
+  return *codecs[index];
+}
+
+std::string_view CodecName(CodecId id) { return GetCodec(id).name(); }
+
+std::optional<CodecId> ParseCodec(std::string_view name) {
+  const auto& codecs = GetRegistry().codecs;
+  for (std::size_t i = 0; i < codecs.size(); ++i) {
+    if (codecs[i]->name() == name) return static_cast<CodecId>(i);
+  }
+  return std::nullopt;
+}
+
 std::vector<std::string> CodecNames() {
   std::vector<std::string> names;
   for (const auto& codec : GetRegistry().codecs) {

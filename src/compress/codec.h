@@ -11,7 +11,9 @@
 // matter for the reproduction.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +21,28 @@
 #include "util/bytes.h"
 
 namespace squirrel::compress {
+
+/// Typed codec identifier used throughout configuration structs
+/// (BlockStoreConfig, VolumeConfig). String names appear only at the
+/// CLI/bench boundary (ParseCodec) and in wire/image formats (CodecName).
+/// Enumerator order matches registry order.
+enum class CodecId : std::uint8_t {
+  kNull = 0,
+  kGzip1,
+  kGzip2,
+  kGzip3,
+  kGzip4,
+  kGzip5,
+  kGzip6,
+  kGzip7,
+  kGzip8,
+  kGzip9,
+  kLz4,
+  kLzjb,
+  kZle,
+};
+
+inline constexpr std::size_t kCodecCount = 13;
 
 /// Approximate CPU cost of a codec, in nanoseconds per input byte. Feeds the
 /// boot-time simulator, which charges decompression on every block read from
@@ -53,6 +77,19 @@ class Codec {
 /// registry and valid for the program lifetime; codecs are stateless and
 /// thread-safe.
 const Codec* FindCodec(std::string_view name);
+
+/// Codec implementation for a typed id. Never fails: every CodecId has a
+/// registered implementation. Same ownership/thread-safety as FindCodec.
+const Codec& GetCodec(CodecId id);
+
+/// Canonical name of a typed id ("gzip6", "null", ...), for wire formats,
+/// logs and CLI round trips.
+std::string_view CodecName(CodecId id);
+
+/// Parses a codec name into its typed id; std::nullopt for unknown names.
+/// This is the only supported path from strings to CodecId — keep it at
+/// CLI/bench/deserialization boundaries.
+std::optional<CodecId> ParseCodec(std::string_view name);
 
 /// Names of all registered codecs, in registry order.
 std::vector<std::string> CodecNames();

@@ -95,7 +95,10 @@ util::Bytes DeflateCodec::Compress(util::ByteSpan input) const {
                         std::size_t& best_dist) {
     best_len = 0;
     best_dist = 0;
-    if (pos + kMinMatch > n) return;
+    // HashAt reads 4 bytes, one more than kMinMatch; a tail position with
+    // fewer than 4 bytes left cannot start a match (and hashing it would
+    // read past the buffer).
+    if (pos + sizeof(std::uint32_t) > n) return;
     const std::size_t limit = std::min(kMaxMatch, n - pos);
     std::int32_t candidate = head[HashAt(data + pos)];
     unsigned chain = max_chain_;

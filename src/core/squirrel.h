@@ -46,7 +46,11 @@ enum class PropagationStrategy {
 };
 
 struct SquirrelConfig {
-  zvol::VolumeConfig volume{};  // 64 KiB, gzip6, dedup — the paper's choice
+  /// 64 KiB, gzip6, dedup — the paper's choice. `volume.ingest` (threads,
+  /// batch size) flows through to the scVolume and every ccVolume, so
+  /// Register's cache ingest runs on the batch hash/compress pipeline;
+  /// accounting is identical at any thread count.
+  zvol::VolumeConfig volume{};
   PropagationStrategy propagation = PropagationStrategy::kMulticast;
   /// Offline-propagation window `n` (§3.4/§3.5), in simulated seconds.
   std::uint64_t retention_seconds = 7ull * 24 * 3600;

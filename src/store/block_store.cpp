@@ -15,67 +15,151 @@ bool WorthKeeping(std::size_t compressed, std::size_t raw) {
 }  // namespace
 
 BlockStore::BlockStore(BlockStoreConfig config)
-    : config_(std::move(config)), codec_(compress::FindCodec(config_.codec)) {
-  if (codec_ == nullptr) {
-    throw std::invalid_argument("unknown codec: " + config_.codec);
+    : config_(config), codec_(&compress::GetCodec(config_.codec)) {
+  if (config_.ingest.threads != 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.ingest.threads);
   }
 }
 
-PutResult BlockStore::Put(util::ByteSpan raw) {
-  assert(!raw.empty());
-  assert(!util::IsAllZero(raw) && "holes must be elided by the volume layer");
+util::Digest BlockStore::ComputeDigest(util::ByteSpan raw) const {
+  if (config_.fast_hash) {
+    util::Digest digest;
+    const util::Fast128 h = util::FastHash128(raw);
+    std::memcpy(digest.bytes.data(), &h.lo, 8);
+    std::memcpy(digest.bytes.data() + 8, &h.hi, 8);
+    return digest;
+  }
+  return util::HashBlock(raw);
+}
 
-  util::Digest digest;
+void BlockStore::ForEachIngest(std::size_t count,
+                               const std::function<void(std::size_t)>& fn) {
+  if (pool_ == nullptr || count < 2) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool_->ParallelFor(count, fn);
+}
+
+PutResult BlockStore::Put(util::ByteSpan raw) {
+  const util::ByteSpan one[1] = {raw};
+  return PutBatch(one)[0];
+}
+
+std::vector<PutResult> BlockStore::PutBatch(
+    std::span<const util::ByteSpan> blocks) {
+  std::vector<PutResult> results(blocks.size());
+  if (blocks.empty()) return results;
+
+  // Stage 1: digest every block in parallel. Content hashing is one of the
+  // two CPU-bound pieces of the write path; it reads only the input spans,
+  // so every block hashes independently.
+  std::vector<util::Digest> digests(blocks.size());
   if (config_.dedup) {
-    if (config_.fast_hash) {
-      const util::Fast128 h = util::FastHash128(raw);
-      std::memcpy(digest.bytes.data(), &h.lo, 8);
-      std::memcpy(digest.bytes.data() + 8, &h.hi, 8);
-    } else {
-      digest = util::HashBlock(raw);
+    ForEachIngest(blocks.size(), [&](std::size_t i) {
+      assert(!blocks[i].empty());
+      assert(!util::IsAllZero(blocks[i]) &&
+             "holes must be elided by the volume layer");
+      digests[i] = ComputeDigest(blocks[i]);
+    });
+  } else {
+    // Dedup disabled: synthesize unique keys in input order so every write
+    // allocates, exactly as the serial loop numbered them.
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      assert(!blocks[i].empty());
+      assert(!util::IsAllZero(blocks[i]) &&
+             "holes must be elided by the volume layer");
+      const std::uint64_t id = fake_digest_counter_++;
+      std::memcpy(digests[i].bytes.data(), &id, sizeof(id));
     }
-    auto it = entries_.find(digest);
-    if (it != entries_.end()) {
+  }
+
+  // Stage 2: ordered dedup resolution. Classify each block against the DDT
+  // and against earlier blocks of this batch, in input order — the same
+  // decisions the serial loop would make, so refcounts and allocation order
+  // stay bit-identical.
+  std::vector<std::uint8_t> is_miss(blocks.size(), 0);
+  std::vector<std::size_t> miss_indices;
+  if (config_.dedup) {
+    std::unordered_map<util::Digest, std::size_t, util::DigestHasher>
+        batch_first;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (entries_.contains(digests[i]) || batch_first.contains(digests[i])) {
+        continue;  // refcount bump, resolved in stage 4
+      }
+      batch_first.emplace(digests[i], i);
+      is_miss[i] = 1;
+      miss_indices.push_back(i);
+    }
+  } else {
+    miss_indices.resize(blocks.size());
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      is_miss[i] = 1;
+      miss_indices[i] = i;
+    }
+  }
+
+  // Stage 3: compress only the misses, in parallel. Codecs are stateless;
+  // each miss writes only its own slot.
+  struct StagedPayload {
+    util::Bytes payload;
+    bool compressed = false;
+  };
+  std::vector<StagedPayload> staged(miss_indices.size());
+  ForEachIngest(miss_indices.size(), [&](std::size_t j) {
+    const util::ByteSpan raw = blocks[miss_indices[j]];
+    if (config_.codec != compress::CodecId::kNull) {
+      util::Bytes compressed = codec_->Compress(raw);
+      if (WorthKeeping(compressed.size(), raw.size())) {
+        staged[j].payload = std::move(compressed);
+        staged[j].compressed = true;
+        return;
+      }
+    }
+    staged[j].payload.assign(raw.begin(), raw.end());
+  });
+
+  // Stage 4: ordered commit. Allocate extents and update refcounts/stats in
+  // input order; a batch-internal duplicate finds its first occurrence's
+  // entry already inserted by the time it commits.
+  std::size_t next_miss = 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const util::Digest& digest = digests[i];
+    if (!is_miss[i]) {
+      auto it = entries_.find(digest);
+      assert(it != entries_.end());
       ++it->second.refcount;
       ++stats_.total_refs;
       stats_.logical_referenced_bytes += it->second.logical_size;
-      return {digest, true, it->second.logical_size, 0};
+      results[i] = {digest, true, it->second.logical_size, 0};
+      continue;
     }
-  } else {
-    // Dedup disabled: synthesize a unique key so every write allocates.
-    const std::uint64_t id = fake_digest_counter_++;
-    std::memcpy(digest.bytes.data(), &id, sizeof(id));
-  }
 
-  Entry entry;
-  entry.logical_size = static_cast<std::uint32_t>(raw.size());
-  entry.refcount = 1;
-  util::Bytes compressed = codec_->Compress(raw);
-  if (config_.codec != "null" && WorthKeeping(compressed.size(), raw.size())) {
-    entry.payload = std::move(compressed);
-    entry.compressed = true;
-  } else {
-    entry.payload.assign(raw.begin(), raw.end());
-    entry.compressed = false;
-  }
-  // Allocations occupy whole sectors (ZFS asize vs psize).
-  entry.physical_size = static_cast<std::uint32_t>(
-      util::AlignUp(entry.payload.size(), kSectorBytes));
-  entry.disk_offset = space_map_.Allocate(entry.physical_size);
+    StagedPayload& payload = staged[next_miss++];
+    Entry entry;
+    entry.logical_size = static_cast<std::uint32_t>(blocks[i].size());
+    entry.refcount = 1;
+    entry.payload = std::move(payload.payload);
+    entry.compressed = payload.compressed;
+    // Allocations occupy whole sectors (ZFS asize vs psize).
+    entry.physical_size = static_cast<std::uint32_t>(
+        util::AlignUp(entry.payload.size(), kSectorBytes));
+    entry.disk_offset = space_map_.Allocate(entry.physical_size);
 
-  stats_.unique_blocks += 1;
-  stats_.total_refs += 1;
-  stats_.logical_unique_bytes += entry.logical_size;
-  stats_.logical_referenced_bytes += entry.logical_size;
-  stats_.physical_data_bytes += entry.physical_size;
-  if (config_.dedup) {
-    stats_.ddt_disk_bytes += kDdtDiskBytesPerEntry;
-    stats_.ddt_core_bytes += kDdtCoreBytesPerEntry;
-  }
+    stats_.unique_blocks += 1;
+    stats_.total_refs += 1;
+    stats_.logical_unique_bytes += entry.logical_size;
+    stats_.logical_referenced_bytes += entry.logical_size;
+    stats_.physical_data_bytes += entry.physical_size;
+    if (config_.dedup) {
+      stats_.ddt_disk_bytes += kDdtDiskBytesPerEntry;
+      stats_.ddt_core_bytes += kDdtCoreBytesPerEntry;
+    }
 
-  const PutResult result{digest, false, entry.logical_size, entry.physical_size};
-  entries_.emplace(digest, std::move(entry));
-  return result;
+    results[i] = {digest, false, entry.logical_size, entry.physical_size};
+    entries_.emplace(digest, std::move(entry));
+  }
+  return results;
 }
 
 void BlockStore::Ref(const util::Digest& digest) {
@@ -136,15 +220,7 @@ bool BlockStore::Verify(const util::Digest& digest) const {
   } else {
     raw = entry.payload;
   }
-  util::Digest actual;
-  if (config_.fast_hash) {
-    const util::Fast128 h = util::FastHash128(raw);
-    std::memcpy(actual.bytes.data(), &h.lo, 8);
-    std::memcpy(actual.bytes.data() + 8, &h.hi, 8);
-  } else {
-    actual = util::HashBlock(raw);
-  }
-  return actual == digest;
+  return ComputeDigest(raw) == digest;
 }
 
 bool BlockStore::CorruptPayloadForTesting(const util::Digest& digest) {

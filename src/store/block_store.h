@@ -2,25 +2,31 @@
 // mechanism behind ZFS `dedup=on` + `compression=gzip-6` that Squirrel's
 // cVolumes rely on.
 //
-// Write path (per volume block): the caller has already elided all-zero
-// blocks (sparse holes). The store hashes the raw payload (truncated SHA-256,
-// as ZFS hashes before dedup), looks the digest up in the dedup table (DDT);
-// a hit bumps the refcount and costs no new space, a miss compresses the
-// payload (kept only if it saves at least 1/8th, ZFS's rule), allocates an
-// extent from the SpaceMap and inserts a DDT entry.
+// Write path (batch-first): the caller has already elided all-zero blocks
+// (sparse holes). PutBatch hashes the raw payloads (truncated SHA-256, as ZFS
+// hashes before dedup) in parallel on the ingest pool, resolves every digest
+// against the dedup table (DDT) in one ordered pass — a hit bumps the
+// refcount and costs no new space — compresses the misses in parallel (kept
+// only if it saves at least 1/8th, ZFS's rule), then allocates extents from
+// the SpaceMap and inserts DDT entries in a second ordered pass. Because all
+// mutation happens in the ordered passes, results are bit-identical to a
+// serial loop of single-block Puts at any thread count.
 //
 // Accounting mirrors what the paper measures: physical data bytes (Fig 8),
 // DDT size on disk (Fig 9) and DDT memory footprint (Fig 10).
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <memory>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "compress/codec.h"
 #include "store/space_map.h"
 #include "util/bytes.h"
 #include "util/hash.h"
+#include "util/thread_pool.h"
 
 namespace squirrel::store {
 
@@ -41,15 +47,35 @@ inline constexpr std::uint64_t kSectorBytes = 512;
 /// (ZFS blkptr_t). Charged per *reference*, i.e. per non-hole file block.
 inline constexpr std::uint64_t kBlockPointerBytes = 128;
 
+/// Parallelism knobs for the batch ingest pipeline (PutBatch and the volume
+/// write paths built on it). All mutation of store state happens in ordered
+/// serial passes regardless of thread count, so results — digests, refcounts,
+/// StoreStats, disk offsets — are bit-identical across configurations.
+struct IngestConfig {
+  /// Worker threads for the hash/compress stages. 1 runs everything inline
+  /// on the calling thread (the serial reference path); 0 picks one thread
+  /// per hardware thread.
+  std::size_t threads = 1;
+  /// Volume-layer pipeline granularity: blocks read, zero-detected and
+  /// handed to PutBatch per round. Bounds ingest buffering to
+  /// batch_blocks * block_size bytes.
+  std::size_t batch_blocks = 128;
+
+  bool operator==(const IngestConfig&) const = default;
+};
+
 struct BlockStoreConfig {
-  /// Codec name from compress::FindCodec; "null" disables compression.
-  std::string codec = "gzip6";
+  /// Inline compressor; CodecId::kNull disables compression. Parse CLI or
+  /// wire-format names with compress::ParseCodec at the boundary.
+  compress::CodecId codec = compress::CodecId::kGzip6;
   /// When false, every Put allocates fresh space (dedup table disabled).
   bool dedup = true;
   /// Use a seeded double-FNV 128-bit hash instead of truncated SHA-256.
   /// Large ingest benchmarks enable this; dedup behaviour is identical at
   /// simulation scale, only the digest function differs.
   bool fast_hash = false;
+  /// Batch-ingest parallelism (threads, batch size).
+  IngestConfig ingest{};
 };
 
 struct PutResult {
@@ -76,8 +102,20 @@ class BlockStore {
   explicit BlockStore(BlockStoreConfig config);
 
   /// Stores one raw block. Never call with an all-zero payload — holes are
-  /// the volume layer's job (asserted in debug builds).
+  /// the volume layer's job (asserted in debug builds). Thin wrapper over
+  /// PutBatch with a one-element batch.
   PutResult Put(util::ByteSpan raw);
+
+  /// Batch-first write path: stores `blocks` exactly as a serial loop of
+  /// Put calls would — same digests, refcounts, stats and disk offsets —
+  /// while running the CPU-bound stages on the ingest thread pool:
+  ///   1. hash every block in parallel,
+  ///   2. resolve dedup hits against the DDT in one ordered pass,
+  ///   3. compress only the misses in parallel,
+  ///   4. allocate extents and commit accounting in one ordered pass.
+  /// Spans must stay valid for the duration of the call; results are
+  /// returned in input order.
+  std::vector<PutResult> PutBatch(std::span<const util::ByteSpan> blocks);
 
   /// Adds one reference to an existing block (snapshot / clone paths).
   void Ref(const util::Digest& digest);
@@ -110,6 +148,11 @@ class BlockStore {
   const SpaceMap& space_map() const { return space_map_; }
   const compress::Codec& codec() const { return *codec_; }
 
+  /// Pool the hash/compress pipeline stages run on; nullptr in serial mode
+  /// (ingest.threads == 1). The volume layer shares it for its own
+  /// parallel-friendly stages (zero-detect, read-modify-write materialize).
+  util::ThreadPool* ingest_pool() { return pool_.get(); }
+
  private:
   struct Entry {
     util::Bytes payload;          // as stored (possibly compressed)
@@ -120,12 +163,19 @@ class BlockStore {
     bool compressed;
   };
 
+  util::Digest ComputeDigest(util::ByteSpan raw) const;
+  /// Runs fn(i) for i in [0, count) on the ingest pool, or inline when the
+  /// store is serial (no pool) or the batch is trivial.
+  void ForEachIngest(std::size_t count,
+                     const std::function<void(std::size_t)>& fn);
+
   BlockStoreConfig config_;
   const compress::Codec* codec_;
   std::unordered_map<util::Digest, Entry, util::DigestHasher> entries_;
   SpaceMap space_map_;
   StoreStats stats_;
   std::uint64_t fake_digest_counter_ = 0;  // for dedup=off mode
+  std::unique_ptr<util::ThreadPool> pool_;  // null when ingest.threads == 1
 };
 
 }  // namespace squirrel::store

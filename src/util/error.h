@@ -1,0 +1,20 @@
+// Root of Squirrel's typed error hierarchy.
+//
+// Layers derive domain-specific errors from squirrel::Error (for example
+// zvol::NoSuchFileError, zvol::NoSuchSnapshotError, zvol::StreamMismatchError)
+// so callers can catch by meaning instead of pattern-matching the bare
+// std::out_of_range / std::runtime_error the original code threw. Error
+// itself derives from std::runtime_error, so existing catch-all sites keep
+// working.
+#pragma once
+
+#include <stdexcept>
+
+namespace squirrel {
+
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace squirrel

@@ -132,7 +132,9 @@ util::Bytes Volume::Serialize() const {
   w.U32(kMagic);
   w.U32(kVersion);
   w.U32(config_.block_size);
-  w.Str(config_.codec);
+  // The image format carries the codec by name (boundary string); the
+  // ingest parallelism knobs are runtime tuning and not serialized.
+  w.Str(std::string(compress::CodecName(config_.codec)));
   w.U8(config_.dedup ? 1 : 0);
   w.U8(config_.fast_hash ? 1 : 0);
   w.U64(next_snapshot_id_);
@@ -184,7 +186,12 @@ std::unique_ptr<Volume> Volume::Deserialize(util::ByteSpan image) {
 
   VolumeConfig config;
   config.block_size = r.U32();
-  config.codec = r.Str();
+  const std::string codec_name = r.Str();
+  const std::optional<compress::CodecId> codec = compress::ParseCodec(codec_name);
+  if (!codec) {
+    throw std::runtime_error("volume image: unknown codec " + codec_name);
+  }
+  config.codec = *codec;
   config.dedup = r.U8() != 0;
   config.fast_hash = r.U8() != 0;
   auto volume = std::make_unique<Volume>(config);

@@ -24,7 +24,8 @@ DigestSet ReachableDigests(const FileTable& table) {
 
 Volume::Volume(VolumeConfig config)
     : config_(config),
-      store_(store::BlockStoreConfig{config.codec, config.dedup, config.fast_hash}) {
+      store_(store::BlockStoreConfig{config.codec, config.dedup,
+                                     config.fast_hash, config.ingest}) {
   if (config_.block_size == 0) {
     throw std::invalid_argument("block_size must be positive");
   }
@@ -48,6 +49,28 @@ void Volume::RetainTable(const FileTable& table) {
   }
 }
 
+const FileMeta& Volume::RequireFile(const std::string& name) const {
+  const auto it = files_.find(name);
+  if (it == files_.end()) throw NoSuchFileError(name);
+  return it->second;
+}
+
+FileMeta& Volume::RequireFile(const std::string& name) {
+  const auto it = files_.find(name);
+  if (it == files_.end()) throw NoSuchFileError(name);
+  return it->second;
+}
+
+void Volume::ForEachIngest(std::size_t count,
+                           const std::function<void(std::size_t)>& fn) {
+  util::ThreadPool* pool = store_.ingest_pool();
+  if (pool == nullptr || count < 2) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(count, fn);
+}
+
 FileMeta Volume::IngestSource(const util::DataSource& data) {
   FileMeta meta;
   meta.logical_size = data.size();
@@ -55,16 +78,44 @@ FileMeta Volume::IngestSource(const util::DataSource& data) {
       util::CeilDiv(meta.logical_size, config_.block_size);
   meta.blocks.resize(block_count);
 
-  util::Bytes buffer(config_.block_size);
-  for (std::uint64_t i = 0; i < block_count; ++i) {
-    const std::uint64_t offset = i * config_.block_size;
-    const std::uint64_t len =
-        std::min<std::uint64_t>(config_.block_size, meta.logical_size - offset);
-    util::MutableByteSpan block(buffer.data(), len);
-    data.Read(offset, block);
-    if (util::IsAllZero(block)) continue;  // stays a hole
-    const store::PutResult put = store_.Put(block);
-    meta.blocks[i] = BlockPtr{false, put.digest, put.logical_size};
+  const std::size_t batch_blocks =
+      std::max<std::size_t>(1, config_.ingest.batch_blocks);
+  util::Bytes buffer(batch_blocks * static_cast<std::size_t>(config_.block_size));
+  std::vector<std::uint8_t> is_zero(batch_blocks);
+  std::vector<util::ByteSpan> payloads;
+  std::vector<std::uint64_t> payload_index;
+
+  for (std::uint64_t base = 0; base < block_count; base += batch_blocks) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(batch_blocks, block_count - base));
+    const std::uint64_t offset = base * config_.block_size;
+    const std::uint64_t bytes =
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(n) * config_.block_size,
+                                meta.logical_size - offset);
+    data.Read(offset, util::MutableByteSpan(buffer.data(), bytes));
+    const auto chunk = [&](std::size_t j) {
+      const std::uint64_t start = static_cast<std::uint64_t>(j) * config_.block_size;
+      const std::uint64_t len =
+          std::min<std::uint64_t>(config_.block_size, bytes - start);
+      return util::ByteSpan(buffer.data() + start, len);
+    };
+
+    // Stage 1a: zero-detect the chunks in parallel (stage 1b, hashing, runs
+    // inside PutBatch on the same pool).
+    ForEachIngest(n, [&](std::size_t j) { is_zero[j] = util::IsAllZero(chunk(j)); });
+
+    payloads.clear();
+    payload_index.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (is_zero[j]) continue;  // stays a hole
+      payloads.push_back(chunk(j));
+      payload_index.push_back(base + j);
+    }
+    const std::vector<store::PutResult> puts = store_.PutBatch(payloads);
+    for (std::size_t k = 0; k < puts.size(); ++k) {
+      meta.blocks[payload_index[k]] =
+          BlockPtr{false, puts[k].digest, puts[k].logical_size};
+    }
   }
   return meta;
 }
@@ -99,61 +150,88 @@ void Volume::CreateFile(const std::string& name, std::uint64_t logical_size) {
 
 void Volume::WriteRange(const std::string& name, std::uint64_t offset,
                         util::ByteSpan data) {
-  auto it = files_.find(name);
-  if (it == files_.end()) {
-    throw std::out_of_range("no such file: " + name);
-  }
-  FileMeta& meta = it->second;
+  FileMeta& meta = RequireFile(name);
   const std::uint64_t end = offset + data.size();
   if (end > meta.logical_size) {
     meta.logical_size = end;
     meta.blocks.resize(util::CeilDiv(end, config_.block_size));
   }
+  if (data.empty()) return;
 
-  util::Bytes buffer(config_.block_size);
-  std::uint64_t cursor = offset;
-  while (cursor < end) {
-    const std::uint64_t block_index = cursor / config_.block_size;
-    const std::uint64_t block_start = block_index * config_.block_size;
-    const std::uint64_t block_len = std::min<std::uint64_t>(
-        config_.block_size, meta.logical_size - block_start);
-    const std::uint64_t write_from = cursor - block_start;
-    const std::uint64_t write_len =
-        std::min<std::uint64_t>(block_len - write_from, end - cursor);
+  const std::uint64_t first_block = offset / config_.block_size;
+  const std::uint64_t last_block = (end - 1) / config_.block_size;
+  const std::size_t batch_blocks =
+      std::max<std::size_t>(1, config_.ingest.batch_blocks);
+  util::Bytes buffer(batch_blocks * static_cast<std::size_t>(config_.block_size));
+  std::vector<std::uint8_t> is_zero(batch_blocks);
+  std::vector<util::ByteSpan> payloads;
+  std::vector<std::uint64_t> payload_index;
 
-    // Read-modify-write: materialize the old block content (zeros for
-    // holes). A stored block can be SHORTER than block_len: it was the
-    // partial tail block before a later write grew the file — its implicit
-    // tail is zeros.
-    util::MutableByteSpan block(buffer.data(), block_len);
-    BlockPtr& ptr = meta.blocks[block_index];
-    std::memset(block.data(), 0, block.size());
-    if (!ptr.hole) {
-      const util::Bytes old = store_.Get(ptr.digest);
-      std::memcpy(block.data(), old.data(),
-                  std::min<std::uint64_t>(old.size(), block_len));
-    }
-    std::memcpy(block.data() + write_from, data.data() + (cursor - offset),
-                write_len);
+  for (std::uint64_t base = first_block; base <= last_block;
+       base += batch_blocks) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(batch_blocks, last_block - base + 1));
+    const auto block_len_of = [&](std::size_t j) {
+      const std::uint64_t block_start =
+          (base + j) * static_cast<std::uint64_t>(config_.block_size);
+      return std::min<std::uint64_t>(config_.block_size,
+                                     meta.logical_size - block_start);
+    };
 
-    if (!ptr.hole) store_.Unref(ptr.digest);
-    if (util::IsAllZero(block)) {
+    // Stage 1: materialize the new content of every touched block
+    // (read-modify-write) and zero-detect it, in parallel. This stage only
+    // reads store state; all mutation happens in the ordered stage below.
+    // A stored block can be SHORTER than block_len: it was the partial tail
+    // block before a later write grew the file — its implicit tail is zeros.
+    ForEachIngest(n, [&](std::size_t j) {
+      const std::uint64_t block_index = base + j;
+      const std::uint64_t block_start =
+          block_index * static_cast<std::uint64_t>(config_.block_size);
+      const std::uint64_t block_len = block_len_of(j);
+      util::MutableByteSpan block(
+          buffer.data() + j * static_cast<std::size_t>(config_.block_size),
+          block_len);
+      std::memset(block.data(), 0, block.size());
+      const BlockPtr& ptr = meta.blocks[block_index];
+      if (!ptr.hole) {
+        const util::Bytes old = store_.Get(ptr.digest);
+        std::memcpy(block.data(), old.data(),
+                    std::min<std::uint64_t>(old.size(), block_len));
+      }
+      const std::uint64_t from = std::max(offset, block_start);
+      const std::uint64_t to = std::min(end, block_start + block_len);
+      std::memcpy(block.data() + (from - block_start),
+                  data.data() + (from - offset), to - from);
+      is_zero[j] = util::IsAllZero(block);
+    });
+
+    // Stage 2: ordered commit — drop the old references, then batch-put the
+    // non-zero replacements and install the new pointers.
+    for (std::size_t j = 0; j < n; ++j) {
+      BlockPtr& ptr = meta.blocks[base + j];
+      if (!ptr.hole) store_.Unref(ptr.digest);
       ptr = BlockPtr{};
-    } else {
-      const store::PutResult put = store_.Put(block);
-      ptr = BlockPtr{false, put.digest, put.logical_size};
     }
-    cursor += write_len;
+    payloads.clear();
+    payload_index.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (is_zero[j]) continue;
+      payloads.emplace_back(
+          buffer.data() + j * static_cast<std::size_t>(config_.block_size),
+          block_len_of(j));
+      payload_index.push_back(base + j);
+    }
+    const std::vector<store::PutResult> puts = store_.PutBatch(payloads);
+    for (std::size_t k = 0; k < puts.size(); ++k) {
+      meta.blocks[payload_index[k]] =
+          BlockPtr{false, puts[k].digest, puts[k].logical_size};
+    }
   }
 }
 
 util::Bytes Volume::ReadRange(const std::string& name, std::uint64_t offset,
                               std::uint64_t length) const {
-  const auto it = files_.find(name);
-  if (it == files_.end()) {
-    throw std::out_of_range("no such file: " + name);
-  }
-  const FileMeta& meta = it->second;
+  const FileMeta& meta = RequireFile(name);
   if (offset + length > meta.logical_size) {
     throw std::out_of_range("read past end of " + name);
   }
@@ -189,7 +267,7 @@ bool Volume::HasFile(const std::string& name) const {
 }
 
 std::uint64_t Volume::FileSize(const std::string& name) const {
-  return files_.at(name).logical_size;
+  return RequireFile(name).logical_size;
 }
 
 std::vector<std::string> Volume::FileNames() const {
@@ -201,9 +279,7 @@ std::vector<std::string> Volume::FileNames() const {
 
 void Volume::DeleteFile(const std::string& name) {
   auto it = files_.find(name);
-  if (it == files_.end()) {
-    throw std::out_of_range("no such file: " + name);
-  }
+  if (it == files_.end()) throw NoSuchFileError(name);
   for (const BlockPtr& ptr : it->second.blocks) {
     if (!ptr.hole) store_.Unref(ptr.digest);
   }
@@ -212,22 +288,19 @@ void Volume::DeleteFile(const std::string& name) {
 
 const BlockPtr& Volume::FileBlock(const std::string& name,
                                   std::uint64_t index) const {
-  return files_.at(name).blocks.at(index);
+  return RequireFile(name).blocks.at(index);
 }
 
 std::uint64_t Volume::FileBlockCount(const std::string& name) const {
-  return files_.at(name).blocks.size();
+  return RequireFile(name).blocks.size();
 }
 
 Volume::FileStats Volume::StatFile(const std::string& name) const {
-  const auto it = files_.find(name);
-  if (it == files_.end()) {
-    throw std::out_of_range("no such file: " + name);
-  }
+  const FileMeta& meta = RequireFile(name);
   FileStats stats;
-  stats.logical_size = it->second.logical_size;
+  stats.logical_size = meta.logical_size;
   std::uint64_t logical_nonzero = 0;
-  for (const BlockPtr& ptr : it->second.blocks) {
+  for (const BlockPtr& ptr : meta.blocks) {
     if (ptr.hole) {
       ++stats.hole_blocks;
       continue;
@@ -277,9 +350,7 @@ const Snapshot* Volume::LatestSnapshot() const {
 void Volume::DestroySnapshot(const std::string& name) {
   auto it = std::find_if(snapshots_.begin(), snapshots_.end(),
                          [&](const auto& s) { return s->name == name; });
-  if (it == snapshots_.end()) {
-    throw std::out_of_range("no such snapshot: " + name);
-  }
+  if (it == snapshots_.end()) throw NoSuchSnapshotError(name);
   ReleaseTable((*it)->files);
   snapshots_.erase(it);
 }
@@ -305,14 +376,12 @@ std::size_t Volume::PruneSnapshots(std::uint64_t retention_seconds,
 SendStream Volume::Send(const std::string& from_name,
                         const std::string& to_name) const {
   const Snapshot* to = FindSnapshot(to_name);
-  if (to == nullptr) throw std::out_of_range("no such snapshot: " + to_name);
+  if (to == nullptr) throw NoSuchSnapshotError(to_name);
 
   const Snapshot* from = nullptr;
   if (!from_name.empty()) {
     from = FindSnapshot(from_name);
-    if (from == nullptr) {
-      throw std::out_of_range("no such snapshot: " + from_name);
-    }
+    if (from == nullptr) throw NoSuchSnapshotError(from_name);
     if (from->id >= to->id) {
       throw std::invalid_argument("send: from must precede to");
     }
@@ -326,7 +395,8 @@ SendStream Volume::Send(const std::string& from_name,
   stream.to_name = to->name;
   stream.created_at = to->created_at;
   stream.block_size = config_.block_size;
-  stream.codec = config_.codec;
+  // The wire format carries the codec by name (boundary string).
+  stream.codec = std::string(compress::CodecName(config_.codec));
 
   const DigestSet known =
       from ? ReachableDigests(from->files) : DigestSet{};
@@ -346,7 +416,8 @@ SendStream Volume::Send(const std::string& from_name,
       rec.has_payload = true;
       const util::Bytes raw = store_.Get(ptr.digest);
       util::Bytes compressed = codec->Compress(raw);
-      if (config_.codec != "null" && compressed.size() + raw.size() / 8 <= raw.size()) {
+      if (config_.codec != compress::CodecId::kNull &&
+          compressed.size() + raw.size() / 8 <= raw.size()) {
         rec.payload = std::move(compressed);
         rec.payload_compressed = true;
       } else {

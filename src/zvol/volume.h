@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "store/block_store.h"
+#include "util/error.h"
 #include "util/source.h"
 #include "zvol/send_stream.h"
 
@@ -32,9 +33,33 @@ namespace squirrel::zvol {
 
 struct VolumeConfig {
   std::uint32_t block_size = 64 * util::kKiB;
-  std::string codec = "gzip6";
+  /// Inline compressor (compress::ParseCodec converts CLI/wire names).
+  compress::CodecId codec = compress::CodecId::kGzip6;
   bool dedup = true;
   bool fast_hash = false;
+  /// Batch-ingest parallelism for WriteFile/WriteRange (threads, batch
+  /// size). Runtime tuning only — not part of the serialized volume state.
+  store::IngestConfig ingest{};
+};
+
+/// Thrown by file operations naming a file the live table does not hold.
+class NoSuchFileError : public Error {
+ public:
+  explicit NoSuchFileError(const std::string& name)
+      : Error("no such file: " + name) {}
+};
+
+/// Thrown by snapshot operations naming an unknown snapshot.
+class NoSuchSnapshotError : public Error {
+ public:
+  explicit NoSuchSnapshotError(const std::string& name)
+      : Error("no such snapshot: " + name) {}
+};
+
+/// Thrown by Receive when the stream's base snapshot does not match.
+class StreamMismatchError : public Error {
+ public:
+  using Error::Error;
 };
 
 /// One block pointer: either a hole (sparse) or a digest into the store.
@@ -206,8 +231,17 @@ class Volume {
  private:
   void ReleaseTable(const FileTable& table);
   void RetainTable(const FileTable& table);
+  /// Staged batch ingest: reads `data` in batches of ingest.batch_blocks,
+  /// zero-detects the chunks in parallel, and feeds the non-hole blocks to
+  /// BlockStore::PutBatch (parallel hash + compress, ordered commit).
   FileMeta IngestSource(const util::DataSource& data);
   void ApplyStreamToTable(const SendStream& stream, FileTable& table);
+  const FileMeta& RequireFile(const std::string& name) const;
+  FileMeta& RequireFile(const std::string& name);
+  /// Runs fn(i) for i in [0, count) on the store's ingest pool (inline when
+  /// serial).
+  void ForEachIngest(std::size_t count,
+                     const std::function<void(std::size_t)>& fn);
 
   VolumeConfig config_;
   store::BlockStore store_;
@@ -215,12 +249,6 @@ class Volume {
   // unique_ptr storage keeps Snapshot references stable across push_back.
   std::vector<std::unique_ptr<Snapshot>> snapshots_;
   std::uint64_t next_snapshot_id_ = 1;
-};
-
-/// Thrown by Receive when the stream's base snapshot does not match.
-class StreamMismatchError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
 };
 
 }  // namespace squirrel::zvol

@@ -55,7 +55,7 @@ TEST(BootWrites, WarmBootWithWritesStaysNetworkFree) {
   const vmi::Catalog catalog = vmi::Catalog::AzureCommunity(TinyCatalog());
   core::SquirrelConfig config;
   config.volume = zvol::VolumeConfig{
-      .block_size = 16384, .codec = "gzip6", .dedup = true, .fast_hash = true};
+      .block_size = 16384, .codec = compress::CodecId::kGzip6, .dedup = true, .fast_hash = true};
   core::SquirrelCluster cluster(config, 1);
 
   const vmi::ImageSpec& spec = catalog.images()[0];
@@ -83,7 +83,7 @@ TEST(BootWrites, WithoutAllocationMapWritesPullBaseClusters) {
   const vmi::Catalog catalog = vmi::Catalog::AzureCommunity(TinyCatalog());
   core::SquirrelConfig config;
   config.volume = zvol::VolumeConfig{
-      .block_size = 16384, .codec = "gzip6", .dedup = true, .fast_hash = true};
+      .block_size = 16384, .codec = compress::CodecId::kGzip6, .dedup = true, .fast_hash = true};
   core::SquirrelCluster cluster(config, 1);
   const vmi::ImageSpec& spec = catalog.images()[0];
   const vmi::VmImage image(catalog, spec);
@@ -97,7 +97,7 @@ TEST(BootWrites, WithoutAllocationMapWritesPullBaseClusters) {
 }
 
 TEST(FileStats, ReferencedVersusUnique) {
-  zvol::Volume volume({.block_size = 4096, .codec = "null", .dedup = true});
+  zvol::Volume volume({.block_size = 4096, .codec = compress::CodecId::kNull, .dedup = true});
   // Two files sharing one block; each also holds a private block.
   Bytes shared(4096, 0x11);
   Bytes private_a(4096, 0x22);
@@ -114,11 +114,11 @@ TEST(FileStats, ReferencedVersusUnique) {
   EXPECT_EQ(stats.hole_blocks, 0u);
   EXPECT_EQ(stats.referenced_physical_bytes, 2u * 4096);
   EXPECT_EQ(stats.unique_physical_bytes, 4096u);  // only the private block
-  EXPECT_THROW(volume.StatFile("missing"), std::out_of_range);
+  EXPECT_THROW(volume.StatFile("missing"), zvol::NoSuchFileError);
 }
 
 TEST(FileStats, CompressionRatioReported) {
-  zvol::Volume volume({.block_size = 65536, .codec = "gzip6", .dedup = true});
+  zvol::Volume volume({.block_size = 65536, .codec = compress::CodecId::kGzip6, .dedup = true});
   Bytes text(2 * 65536);
   for (std::size_t i = 0; i < text.size(); ++i) {
     text[i] = static_cast<util::Byte>('a' + i % 3);
@@ -131,7 +131,7 @@ TEST(FileStats, CompressionRatioReported) {
 }
 
 TEST(FileStats, SparseFileCountsHoles) {
-  zvol::Volume volume({.block_size = 4096, .codec = "null", .dedup = true});
+  zvol::Volume volume({.block_size = 4096, .codec = compress::CodecId::kNull, .dedup = true});
   volume.CreateFile("sparse", 8 * 4096);
   Bytes one(4096, 0x44);
   volume.WriteRange("sparse", 3 * 4096, one);

@@ -26,7 +26,7 @@ class BufferSource final : public util::DataSource {
 SquirrelConfig SmallConfig() {
   SquirrelConfig config;
   config.volume =
-      zvol::VolumeConfig{.block_size = 4096, .codec = "gzip6", .dedup = true};
+      zvol::VolumeConfig{.block_size = 4096, .codec = compress::CodecId::kGzip6, .dedup = true};
   config.retention_seconds = 7 * 86400;
   return config;
 }

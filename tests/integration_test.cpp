@@ -21,7 +21,7 @@ vmi::CatalogConfig TinyCatalog(std::uint32_t images) {
 core::SquirrelConfig ClusterConfig() {
   core::SquirrelConfig config;
   config.volume = zvol::VolumeConfig{
-      .block_size = 16384, .codec = "gzip6", .dedup = true, .fast_hash = true};
+      .block_size = 16384, .codec = compress::CodecId::kGzip6, .dedup = true, .fast_hash = true};
   return config;
 }
 

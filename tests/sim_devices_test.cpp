@@ -92,7 +92,7 @@ TEST(LocalCacheDevice, WarmFillsRanges) {
 }
 
 TEST(VolumeFileDevice, PresenceTracksHolesAtBlockGranularity) {
-  zvol::Volume volume({.block_size = 4096, .codec = "null"});
+  zvol::Volume volume({.block_size = 4096, .codec = compress::CodecId::kNull});
   Bytes sparse(8 * 4096, 0);
   std::fill_n(sparse.begin() + 4096, 4096, 0x55);
   volume.WriteFile("f", BufferSource(sparse));
@@ -106,7 +106,7 @@ TEST(VolumeFileDevice, PresenceTracksHolesAtBlockGranularity) {
 TEST(VolumeFileDevice, PresenceWindowCoversClusterWithLeadingZeros) {
   // A cached cluster whose first blocks are zeros (file-system slack) must
   // still count as present — copy-on-read populates whole clusters.
-  zvol::Volume volume({.block_size = 4096, .codec = "null"});
+  zvol::Volume volume({.block_size = 4096, .codec = compress::CodecId::kNull});
   Bytes sparse(32 * 4096, 0);
   std::fill_n(sparse.begin() + 12 * 4096, 4096, 0x77);  // inside cluster 0
   volume.WriteFile("f", BufferSource(sparse));
@@ -117,7 +117,7 @@ TEST(VolumeFileDevice, PresenceWindowCoversClusterWithLeadingZeros) {
 }
 
 TEST(VolumeFileDevice, ChargesDdtAndDecompression) {
-  zvol::Volume volume({.block_size = 4096, .codec = "gzip6"});
+  zvol::Volume volume({.block_size = 4096, .codec = compress::CodecId::kGzip6});
   Bytes text(16 * 4096);
   util::Rng rng(6);
   for (auto& b : text) b = static_cast<util::Byte>('a' + rng.Below(3));
@@ -137,7 +137,7 @@ TEST(VolumeFileDevice, ChargesDdtAndDecompression) {
 }
 
 TEST(VolumeFileDevice, WriteGoesThroughVolume) {
-  zvol::Volume volume({.block_size = 4096, .codec = "null"});
+  zvol::Volume volume({.block_size = 4096, .codec = compress::CodecId::kNull});
   volume.CreateFile("f", 8 * 4096);
   IoContext io;
   VolumeFileDevice device(&volume, "f", &io, 5);

@@ -76,7 +76,7 @@ TEST(SquirrelPropagation, AllStrategiesReplicateIdentically) {
        {PropagationStrategy::kMulticast, PropagationStrategy::kUnicast,
         PropagationStrategy::kPipeline}) {
     SquirrelConfig config;
-    config.volume = zvol::VolumeConfig{.block_size = 4096, .codec = "lz4"};
+    config.volume = zvol::VolumeConfig{.block_size = 4096, .codec = compress::CodecId::kLz4};
     config.propagation = strategy;
     SquirrelCluster cluster(config, 3);
     cluster.Register("img", BufferSource(SomeCache(1)), 100);
@@ -91,7 +91,7 @@ TEST(SquirrelPropagation, AllStrategiesReplicateIdentically) {
 TEST(SquirrelPropagation, UnicastRegistrationSlowerAtScale) {
   auto run = [](PropagationStrategy strategy) {
     SquirrelConfig config;
-    config.volume = zvol::VolumeConfig{.block_size = 4096, .codec = "null"};
+    config.volume = zvol::VolumeConfig{.block_size = 4096, .codec = compress::CodecId::kNull};
     config.propagation = strategy;
     sim::NetworkConfig net;
     net.bandwidth_bytes_per_ns = 0.125;

@@ -25,7 +25,7 @@ Bytes TextBlock(std::size_t size, std::uint64_t seed) {
 }
 
 TEST(BlockStore, PutThenGetRoundTrips) {
-  BlockStore store({.codec = "gzip6", .dedup = true});
+  BlockStore store({.codec = compress::CodecId::kGzip6, .dedup = true});
   const Bytes block = TextBlock(65536, 1);
   const PutResult put = store.Put(block);
   EXPECT_FALSE(put.deduplicated);
@@ -33,7 +33,7 @@ TEST(BlockStore, PutThenGetRoundTrips) {
 }
 
 TEST(BlockStore, DuplicatePutDeduplicates) {
-  BlockStore store({.codec = "gzip6", .dedup = true});
+  BlockStore store({.codec = compress::CodecId::kGzip6, .dedup = true});
   const Bytes block = RandomBlock(4096, 2);
   const PutResult first = store.Put(block);
   const PutResult second = store.Put(block);
@@ -46,7 +46,7 @@ TEST(BlockStore, DuplicatePutDeduplicates) {
 }
 
 TEST(BlockStore, DedupDisabledAllocatesEveryTime) {
-  BlockStore store({.codec = "null", .dedup = false});
+  BlockStore store({.codec = compress::CodecId::kNull, .dedup = false});
   const Bytes block = RandomBlock(4096, 3);
   const PutResult first = store.Put(block);
   const PutResult second = store.Put(block);
@@ -56,7 +56,7 @@ TEST(BlockStore, DedupDisabledAllocatesEveryTime) {
 }
 
 TEST(BlockStore, CompressibleBlocksStoredCompressed) {
-  BlockStore store({.codec = "gzip6", .dedup = true});
+  BlockStore store({.codec = compress::CodecId::kGzip6, .dedup = true});
   const Bytes block = TextBlock(65536, 4);
   const PutResult put = store.Put(block);
   EXPECT_LT(put.physical_size, put.logical_size / 2);
@@ -65,7 +65,7 @@ TEST(BlockStore, CompressibleBlocksStoredCompressed) {
 
 TEST(BlockStore, IncompressibleBlocksStoredRaw) {
   // ZFS keeps the compressed copy only when it saves >= 1/8th.
-  BlockStore store({.codec = "gzip6", .dedup = true});
+  BlockStore store({.codec = compress::CodecId::kGzip6, .dedup = true});
   const Bytes block = RandomBlock(65536, 5);
   const PutResult put = store.Put(block);
   EXPECT_EQ(put.physical_size, put.logical_size);
@@ -73,7 +73,7 @@ TEST(BlockStore, IncompressibleBlocksStoredRaw) {
 }
 
 TEST(BlockStore, UnrefFreesAtZero) {
-  BlockStore store({.codec = "null", .dedup = true});
+  BlockStore store({.codec = compress::CodecId::kNull, .dedup = true});
   const Bytes block = RandomBlock(4096, 6);
   const PutResult put = store.Put(block);
   store.Put(block);  // refcount 2
@@ -95,7 +95,7 @@ TEST(BlockStore, UnrefUnknownThrows) {
 }
 
 TEST(BlockStore, RefIncrementsExplicitly) {
-  BlockStore store({.codec = "null", .dedup = true});
+  BlockStore store({.codec = compress::CodecId::kNull, .dedup = true});
   const PutResult put = store.Put(RandomBlock(1024, 7));
   store.Ref(put.digest);
   EXPECT_EQ(store.RefCount(put.digest), 2u);
@@ -103,7 +103,7 @@ TEST(BlockStore, RefIncrementsExplicitly) {
 }
 
 TEST(BlockStore, StatsConservation) {
-  BlockStore store({.codec = "gzip6", .dedup = true});
+  BlockStore store({.codec = compress::CodecId::kGzip6, .dedup = true});
   std::vector<util::Digest> digests;
   std::uint64_t expected_refs = 0;
   for (int i = 0; i < 50; ++i) {
@@ -127,7 +127,7 @@ TEST(BlockStore, StatsConservation) {
 }
 
 TEST(BlockStore, FastHashModeDeduplicatesIdentically) {
-  BlockStore store({.codec = "null", .dedup = true, .fast_hash = true});
+  BlockStore store({.codec = compress::CodecId::kNull, .dedup = true, .fast_hash = true});
   const Bytes block = RandomBlock(8192, 8);
   const PutResult first = store.Put(block);
   const PutResult second = store.Put(block);
@@ -137,11 +137,13 @@ TEST(BlockStore, FastHashModeDeduplicatesIdentically) {
 }
 
 TEST(BlockStore, UnknownCodecRejected) {
-  EXPECT_THROW(BlockStore({.codec = "nope"}), std::invalid_argument);
+  EXPECT_EQ(compress::ParseCodec("nope"), std::nullopt);
+  EXPECT_EQ(compress::ParseCodec("gzip6"), compress::CodecId::kGzip6);
+  EXPECT_EQ(compress::CodecName(compress::CodecId::kGzip6), "gzip6");
 }
 
 TEST(BlockStore, DiskOffsetsAreDistinct) {
-  BlockStore store({.codec = "null", .dedup = true});
+  BlockStore store({.codec = compress::CodecId::kNull, .dedup = true});
   const PutResult a = store.Put(RandomBlock(4096, 10));
   const PutResult b = store.Put(RandomBlock(4096, 11));
   EXPECT_NE(store.DiskOffset(a.digest), store.DiskOffset(b.digest));

@@ -65,8 +65,10 @@ class VolumeConfigSweep : public ::testing::TestWithParam<Param> {
  protected:
   VolumeConfig Config() const {
     const auto& [bs, codec, fast] = GetParam();
-    return VolumeConfig{
-        .block_size = bs, .codec = codec, .dedup = true, .fast_hash = fast};
+    return VolumeConfig{.block_size = bs,
+                        .codec = *compress::ParseCodec(codec),
+                        .dedup = true,
+                        .fast_hash = fast};
   }
 };
 

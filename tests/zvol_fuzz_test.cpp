@@ -61,7 +61,8 @@ TEST_P(VolumeFuzz, MatchesReferenceModel) {
   util::Rng rng(seed);
   const std::uint32_t block_size = 1u << rng.Between(10, 13);  // 1-8 KiB
   Volume volume(VolumeConfig{.block_size = block_size,
-                             .codec = rng.Chance(0.5) ? "gzip1" : "null",
+                             .codec = rng.Chance(0.5) ? compress::CodecId::kGzip1
+                                      : compress::CodecId::kNull,
                              .dedup = true,
                              .fast_hash = rng.Chance(0.5)});
   Model model;

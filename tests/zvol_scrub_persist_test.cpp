@@ -36,7 +36,7 @@ Bytes TextBytes(std::size_t size, std::uint64_t seed) {
   return data;
 }
 
-VolumeConfig SmallConfig(const char* codec = "gzip6") {
+VolumeConfig SmallConfig(compress::CodecId codec = compress::CodecId::kGzip6) {
   return VolumeConfig{.block_size = 4096, .codec = codec, .dedup = true};
 }
 
@@ -52,7 +52,7 @@ TEST(Scrub, CleanVolumePasses) {
 }
 
 TEST(Scrub, DetectsCorruptedRawBlock) {
-  Volume volume(SmallConfig("null"));
+  Volume volume(SmallConfig(compress::CodecId::kNull));
   volume.WriteFile("f", BufferSource(RandomBytes(8 * 4096, 3)));
   ASSERT_TRUE(volume.CorruptBlockForTesting("f", 2));
   const auto report = volume.Scrub();
@@ -60,7 +60,7 @@ TEST(Scrub, DetectsCorruptedRawBlock) {
 }
 
 TEST(Scrub, DetectsCorruptedCompressedBlock) {
-  Volume volume(SmallConfig("gzip6"));
+  Volume volume(SmallConfig(compress::CodecId::kGzip6));
   volume.WriteFile("f", BufferSource(TextBytes(8 * 4096, 4)));
   ASSERT_TRUE(volume.CorruptBlockForTesting("f", 0));
   const auto report = volume.Scrub();
@@ -77,7 +77,7 @@ TEST(Scrub, CorruptingHoleFails) {
 }
 
 TEST(Scrub, FastHashMode) {
-  Volume volume(VolumeConfig{.block_size = 4096, .codec = "null",
+  Volume volume(VolumeConfig{.block_size = 4096, .codec = compress::CodecId::kNull,
                              .dedup = true, .fast_hash = true});
   volume.WriteFile("f", BufferSource(RandomBytes(8 * 4096, 5)));
   EXPECT_EQ(volume.Scrub().errors, 0u);
@@ -125,7 +125,7 @@ TEST(Persist, RoundTripPreservesEverything) {
 }
 
 TEST(Persist, RoundTripWithoutDedup) {
-  Volume volume(VolumeConfig{.block_size = 4096, .codec = "null", .dedup = false});
+  Volume volume(VolumeConfig{.block_size = 4096, .codec = compress::CodecId::kNull, .dedup = false});
   const Bytes content = RandomBytes(8 * 4096, 8);
   volume.WriteFile("f", BufferSource(content));
   volume.WriteFile("g", BufferSource(content));  // same bytes, separate blocks

@@ -29,7 +29,7 @@ Bytes RandomBytes(std::size_t size, std::uint64_t seed) {
 }
 
 VolumeConfig SmallConfig() {
-  return VolumeConfig{.block_size = 4096, .codec = "gzip6", .dedup = true};
+  return VolumeConfig{.block_size = 4096, .codec = compress::CodecId::kGzip6, .dedup = true};
 }
 
 /// Reads every file of `volume` at its latest state and compares.
@@ -214,7 +214,7 @@ TEST(Receive, BlockSizeMismatchThrows) {
   Volume source(SmallConfig());
   source.CreateFile("f", 4096);
   source.CreateSnapshot("s1", 100);
-  Volume replica(VolumeConfig{.block_size = 8192, .codec = "gzip6"});
+  Volume replica(VolumeConfig{.block_size = 8192, .codec = compress::CodecId::kGzip6});
   EXPECT_THROW(replica.Receive(source.Send("", "s1")), StreamMismatchError);
 }
 
@@ -260,8 +260,8 @@ TEST(Send, FromMustPrecedeTo) {
   source.CreateSnapshot("s1", 100);
   source.CreateSnapshot("s2", 200);
   EXPECT_THROW(source.Send("s2", "s1"), std::invalid_argument);
-  EXPECT_THROW(source.Send("s1", "missing"), std::out_of_range);
-  EXPECT_THROW(source.Send("missing", "s2"), std::out_of_range);
+  EXPECT_THROW(source.Send("s1", "missing"), NoSuchSnapshotError);
+  EXPECT_THROW(source.Send("missing", "s2"), NoSuchSnapshotError);
 }
 
 }  // namespace

@@ -28,7 +28,7 @@ Bytes RandomBytes(std::size_t size, std::uint64_t seed) {
 }
 
 VolumeConfig SmallConfig() {
-  return VolumeConfig{.block_size = 4096, .codec = "null", .dedup = true};
+  return VolumeConfig{.block_size = 4096, .codec = compress::CodecId::kNull, .dedup = true};
 }
 
 TEST(Snapshot, IdsIncreaseAndNamesResolve) {
@@ -76,7 +76,7 @@ TEST(Snapshot, ImmutableUnderOverwrite) {
 
 TEST(Snapshot, DestroyUnknownThrows) {
   Volume volume(SmallConfig());
-  EXPECT_THROW(volume.DestroySnapshot("nope"), std::out_of_range);
+  EXPECT_THROW(volume.DestroySnapshot("nope"), NoSuchSnapshotError);
 }
 
 TEST(Snapshot, PruneKeepsRetentionWindowAndLatest) {

@@ -29,7 +29,7 @@ Bytes RandomBytes(std::size_t size, std::uint64_t seed) {
 }
 
 VolumeConfig SmallConfig() {
-  return VolumeConfig{.block_size = 4096, .codec = "gzip6", .dedup = true};
+  return VolumeConfig{.block_size = 4096, .codec = compress::CodecId::kGzip6, .dedup = true};
 }
 
 TEST(Volume, WriteFileReadBack) {
@@ -86,7 +86,7 @@ TEST(Volume, DeleteFileFreesSpace) {
   EXPECT_FALSE(volume.HasFile("f"));
   EXPECT_EQ(volume.Stats().unique_blocks, 0u);
   EXPECT_EQ(volume.Stats().physical_data_bytes, 0u);
-  EXPECT_THROW(volume.DeleteFile("f"), std::out_of_range);
+  EXPECT_THROW(volume.DeleteFile("f"), NoSuchFileError);
 }
 
 TEST(Volume, WriteRangeReadModifyWrite) {
@@ -131,7 +131,7 @@ TEST(Volume, ReadPastEndThrows) {
   Volume volume(SmallConfig());
   volume.CreateFile("f", 4096);
   EXPECT_THROW(volume.ReadRange("f", 0, 4097), std::out_of_range);
-  EXPECT_THROW(volume.ReadRange("missing", 0, 1), std::out_of_range);
+  EXPECT_THROW(volume.ReadRange("missing", 0, 1), NoSuchFileError);
 }
 
 TEST(Volume, FileNamesSorted) {
@@ -143,7 +143,7 @@ TEST(Volume, FileNamesSorted) {
 }
 
 TEST(Volume, CompressionReducesPhysicalBytes) {
-  Volume volume(VolumeConfig{.block_size = 65536, .codec = "gzip6"});
+  Volume volume(VolumeConfig{.block_size = 65536, .codec = compress::CodecId::kGzip6});
   Bytes text(4 * 65536);
   util::Rng rng(11);
   for (auto& b : text) b = static_cast<util::Byte>('a' + rng.Below(4));
