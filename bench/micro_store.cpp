@@ -1,16 +1,19 @@
 // Microbenchmarks (google-benchmark): block store and volume write paths —
-// dedup hits vs misses, hash choice, snapshot and send costs — plus a
-// serial-vs-batched ingest comparison that runs before the google-benchmark
-// suite, prints MB/s per thread count, and emits BENCH_ingest.json so the
-// ingest-throughput trajectory is tracked across PRs.
+// dedup hits vs misses, hash choice, snapshot and send costs — plus two
+// comparisons that run before the google-benchmark suite and emit JSON so
+// throughput trajectories are tracked across PRs: serial-vs-batched ingest
+// (BENCH_ingest.json) and serial-Get vs parallel-GetBatch vs warm-ARC reads
+// (BENCH_read.json).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <string_view>
 #include <vector>
 
 #include "store/block_store.h"
 #include "util/hash.h"
+#include "util/rng.h"
 #include "vmi/corpus.h"
 #include "zvol/volume.h"
 
@@ -250,6 +253,198 @@ void RunIngestComparison() {
   std::fclose(out);
 }
 
+// --- serial Get vs batched / cached reads (BENCH_read.json) ----------------
+
+/// Two ~8 MiB images of compressible 64 KiB blocks with heavy duplication:
+/// each image repeats its unique blocks (intra-image dedup, ~50%), and the
+/// second image shares about half of its unique blocks with the first — the
+/// cross-image sharing the paper measures on co-hosted VM images. Blocks are
+/// tiled 256-byte random phrases, so gzip6 compresses them well and the read
+/// path pays real decompression CPU.
+constexpr std::size_t kReadBlockSize = 64 << 10;
+constexpr std::size_t kReadBlocksPerImage = 128;   // 8 MiB per image
+constexpr std::size_t kReadUniquePerImage = 64;    // 50% intra-image dups
+constexpr std::size_t kReadSharedSeedBase = 32;    // B's seeds start here
+
+util::Bytes ReadBenchImage(std::size_t seed_base) {
+  util::Bytes image(kReadBlocksPerImage * kReadBlockSize);
+  util::Bytes phrase(256);
+  for (std::size_t b = 0; b < kReadBlocksPerImage; ++b) {
+    const std::size_t seed = seed_base + (b % kReadUniquePerImage);
+    util::Rng(0x5eed0000 + seed).Fill(phrase);
+    for (std::size_t off = 0; off < kReadBlockSize; off += phrase.size()) {
+      std::copy(phrase.begin(), phrase.end(),
+                image.begin() + static_cast<std::ptrdiff_t>(
+                                    b * kReadBlockSize + off));
+    }
+  }
+  return image;
+}
+
+class ImageSource final : public util::DataSource {
+ public:
+  explicit ImageSource(util::Bytes data) : data_(std::move(data)) {}
+  std::uint64_t size() const override { return data_.size(); }
+  void Read(std::uint64_t offset, util::MutableByteSpan out) const override {
+    std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(offset),
+                out.size(), out.begin());
+  }
+
+ private:
+  util::Bytes data_;
+};
+
+std::uint64_t ByteChecksum(const util::Bytes& data) {
+  std::uint64_t sum = 14695981039346656037ull;
+  for (const auto byte : data) sum = (sum ^ byte) * 1099511628211ull;
+  return sum;
+}
+
+struct ReadRun {
+  std::string mode;
+  std::size_t threads = 0;
+  std::uint64_t cache_bytes = 0;
+  double seconds = 0.0;
+  double mb_per_s = 0.0;
+  double speedup = 1.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t decompressed_blocks = 0;
+  bool payloads_match_serial = true;
+};
+
+void RunReadComparison() {
+  const util::Bytes image_a = ReadBenchImage(/*seed_base=*/0);
+  const util::Bytes image_b = ReadBenchImage(kReadSharedSeedBase);
+  const std::uint64_t total_bytes = image_a.size() + image_b.size();
+
+  struct Mode {
+    const char* name;
+    std::size_t threads;
+    std::uint64_t cache_bytes;
+    bool warm;  // time a second pass after a warming pass
+  };
+  const Mode modes[] = {
+      {"serial_get", 1, 0, false},
+      {"getbatch", 1, 0, false},
+      {"getbatch", 2, 0, false},
+      {"getbatch", 4, 0, false},
+      {"getbatch", 8, 0, false},
+      {"getbatch_warm_arc", 4, 64ull << 20, true},
+  };
+
+  std::vector<ReadRun> runs;
+  std::uint64_t serial_checksum = 0;
+  double serial_seconds = 0.0;
+
+  for (const Mode& mode : modes) {
+    zvol::Volume volume(zvol::VolumeConfig{
+        .block_size = kReadBlockSize,
+        .codec = compress::CodecId::kGzip6,
+        .dedup = true,
+        .fast_hash = false,
+        .ingest = {.threads = 1, .batch_blocks = 128},
+        .read = {.threads = mode.threads,
+                 .cache_bytes = mode.cache_bytes,
+                 .readahead_blocks = mode.cache_bytes > 0 ? 16u : 0u}});
+    volume.WriteFile("a", ImageSource(image_a));
+    volume.WriteFile("b", ImageSource(image_b));
+    if (mode.warm) {
+      (void)volume.ReadFile("a");  // warming pass populates the ARC
+      (void)volume.ReadFile("b");
+    }
+
+    // "serial_get" is the pre-batch reference: one store Get per block
+    // pointer, no aliasing, no cache. Everything else reads through the
+    // batched ReadFile path.
+    const auto read_file = [&](const char* name) {
+      if (std::string_view(mode.name) != "serial_get") {
+        return volume.ReadFile(name);
+      }
+      util::Bytes out(volume.FileSize(name));
+      for (std::uint64_t b = 0; b < volume.FileBlockCount(name); ++b) {
+        const zvol::BlockPtr& ptr = volume.FileBlock(name, b);
+        if (ptr.hole) continue;
+        const util::Bytes block = volume.block_store().Get(ptr.digest);
+        std::copy(block.begin(), block.end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(b * kReadBlockSize));
+      }
+      return out;
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    const util::Bytes read_a = read_file("a");
+    const util::Bytes read_b = read_file("b");
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    ReadRun run;
+    run.mode = mode.name;
+    run.threads = mode.threads;
+    run.cache_bytes = mode.cache_bytes;
+    run.seconds = elapsed.count();
+    run.mb_per_s =
+        static_cast<double>(total_bytes) / (1024.0 * 1024.0) / run.seconds;
+    const store::ReadStats stats = volume.block_store().read_stats();
+    run.cache_hits = stats.cache_hits;
+    run.decompressed_blocks = stats.decompressed_blocks;
+    const std::uint64_t checksum =
+        ByteChecksum(read_a) ^ (ByteChecksum(read_b) << 1);
+    if (runs.empty()) {
+      serial_checksum = checksum;
+      serial_seconds = run.seconds;
+    } else {
+      run.speedup = serial_seconds / run.seconds;
+      run.payloads_match_serial = checksum == serial_checksum;
+    }
+    runs.push_back(run);
+  }
+
+  std::printf("== read throughput: serial Get vs GetBatch vs warm ARC ==\n");
+  std::printf("2 images x %.0f MiB, 50%% intra-image dups, ~50%% cross-image "
+              "shared, bs 64 KiB, gzip6\n",
+              static_cast<double>(image_a.size()) / (1024.0 * 1024.0));
+  std::printf("%-18s %8s %10s %10s %10s %8s %6s\n", "mode", "threads",
+              "cacheMiB", "seconds", "MB/s", "speedup", "match");
+  for (const ReadRun& run : runs) {
+    std::printf("%-18s %8zu %10llu %10.3f %10.1f %7.2fx %6s\n",
+                run.mode.c_str(), run.threads,
+                static_cast<unsigned long long>(run.cache_bytes >> 20),
+                run.seconds, run.mb_per_s, run.speedup,
+                run.payloads_match_serial ? "yes" : "NO");
+  }
+  std::printf("\n");
+
+  FILE* out = std::fopen("BENCH_read.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_store: cannot write BENCH_read.json\n");
+    return;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"read\",\n  \"block_size\": 65536,\n"
+               "  \"codec\": \"gzip6\",\n  \"image_bytes\": %llu,\n"
+               "  \"images\": 2,\n  \"intra_image_dup\": 0.5,\n"
+               "  \"cross_image_shared\": 0.5,\n  \"results\": [\n",
+               static_cast<unsigned long long>(image_a.size()));
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ReadRun& run = runs[i];
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"threads\": %zu, "
+                 "\"cache_bytes\": %llu, \"seconds\": %.6f, "
+                 "\"mb_per_s\": %.2f, \"speedup_vs_serial\": %.3f, "
+                 "\"cache_hits\": %llu, \"decompressed_blocks\": %llu, "
+                 "\"payloads_match_serial\": %s}%s\n",
+                 run.mode.c_str(), run.threads,
+                 static_cast<unsigned long long>(run.cache_bytes),
+                 run.seconds, run.mb_per_s, run.speedup,
+                 static_cast<unsigned long long>(run.cache_hits),
+                 static_cast<unsigned long long>(run.decompressed_blocks),
+                 run.payloads_match_serial ? "true" : "false",
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
 }  // namespace
 
 BENCHMARK(BM_StorePutUnique);
@@ -262,6 +457,7 @@ BENCHMARK(BM_IncrementalSend);
 
 int main(int argc, char** argv) {
   RunIngestComparison();
+  RunReadComparison();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

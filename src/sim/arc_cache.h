@@ -1,40 +1,44 @@
-// Adaptive Replacement Cache (Megiddo & Modha, FAST'03) — the policy behind
-// the ZFS ARC that caches Squirrel's cVolume blocks in practice.
+// Adaptive Replacement Cache policy model for the boot simulator — a thin
+// (device, block)-keyed, entry-counted instantiation of the generic weighted
+// ARC core in util/arc_cache.h (which also backs the block store's
+// decompressed-block cache, store::BlockCache).
 //
-// ARC partitions the cache between a recency list (T1) and a frequency list
-// (T2) and adapts the split (`p`) using two ghost lists (B1, B2) that
-// remember recently evicted keys: a hit in B1 says "recency deserved more
-// room", a hit in B2 the opposite. Compared with plain LRU it resists scans
-// — a single pass over a large file (exactly what a VM boot's one-time reads
-// are) cannot flush the frequently reused blocks.
-//
-// The implementation tracks entry counts (every entry one fixed-size block),
-// matching the classic formulation; the PageCache interface it mirrors is
-// byte-based, so callers size it as capacity_blocks = bytes / block_size.
+// Every entry is one fixed-size block with weight 1, so the weighted core
+// reduces exactly to the classic Megiddo & Modha formulation; the PageCache
+// interface it mirrors is byte-based, so callers size it as
+// capacity_blocks = bytes / block_size.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+
+#include "util/arc_cache.h"
 
 namespace squirrel::sim {
 
 class ArcCache {
  public:
-  explicit ArcCache(std::size_t capacity_blocks);
+  explicit ArcCache(std::size_t capacity_blocks) : core_(capacity_blocks) {}
 
   /// True (cache hit) if (device, block) is resident; updates ARC state.
-  bool Lookup(std::uint64_t device, std::uint64_t block);
+  bool Lookup(std::uint64_t device, std::uint64_t block) {
+    return core_.Lookup(Key{device, block});
+  }
 
   /// Inserts after a miss (also adapts using the ghost lists).
-  void Insert(std::uint64_t device, std::uint64_t block);
+  void Insert(std::uint64_t device, std::uint64_t block) {
+    core_.Insert(Key{device, block}, 1);
+  }
 
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  std::size_t resident_entries() const { return t1_.size() + t2_.size(); }
-  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return core_.hits(); }
+  std::uint64_t misses() const { return core_.misses(); }
+  std::size_t resident_entries() const { return core_.resident_entries(); }
+  std::size_t capacity() const {
+    return static_cast<std::size_t>(core_.capacity());
+  }
   /// Current adaptive target for T1 (recency side), in entries.
-  std::size_t target_t1() const { return p_; }
+  std::size_t target_t1() const {
+    return static_cast<std::size_t>(core_.target_recency_weight());
+  }
 
  private:
   struct Key {
@@ -48,24 +52,8 @@ class ArcCache {
                                       (k.block * 0xff51afd7ed558ccdULL));
     }
   };
-  enum class ListId { kT1, kT2, kB1, kB2 };
-  struct Entry {
-    ListId list;
-    std::list<Key>::iterator position;
-  };
 
-  using Lru = std::list<Key>;  // front = MRU
-
-  void Replace(bool hit_in_b2);
-  void EvictFrom(Lru& list, ListId id, Lru& ghost, ListId ghost_id);
-  void DropLru(Lru& list);
-
-  std::size_t capacity_;
-  std::size_t p_ = 0;  // target size of T1
-  Lru t1_, t2_, b1_, b2_;
-  std::unordered_map<Key, Entry, KeyHasher> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  util::ArcCache<Key, KeyHasher> core_;
 };
 
 }  // namespace squirrel::sim

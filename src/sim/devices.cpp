@@ -181,29 +181,37 @@ bool VolumeFileDevice::Present(std::uint64_t offset) const {
 }
 
 void VolumeFileDevice::ReadAt(std::uint64_t offset, util::MutableByteSpan out) {
+  // Accounting runs before the read executes so cache residency reflects the
+  // state this request found (the read itself warms the store's ARC).
+  if (io_ != nullptr) {
+    const std::uint32_t block_size = volume_->config().block_size;
+    const store::BlockStore& store = volume_->block_store();
+    const std::uint64_t first = offset / block_size;
+    const std::uint64_t last = (offset + out.size() - 1) / block_size;
+    for (std::uint64_t b = first; b <= last; ++b) {
+      if (b >= volume_->FileBlockCount(file_)) break;
+      const zvol::BlockPtr& ptr = volume_->FileBlock(file_, b);
+      if (ptr.hole) continue;  // holes are free
+      // Every block access walks the dedup table.
+      io_->ChargeDdtLookup(store.stats().unique_blocks);
+      if (io_->page_cache().Lookup(device_id_, b)) continue;
+      // Physical read at the block's scattered pool offset.
+      const std::uint64_t physical = store.DiskOffset(ptr.digest);
+      const std::uint32_t stored = store.PhysicalSize(ptr.digest);
+      io_->ChargeDiskRead(physical, stored);
+      // Decompression CPU — unless the decompressed payload is already
+      // resident in the store's ARC (ReadConfig::cache_bytes > 0), where a
+      // hit serves the plain bytes straight from memory.
+      if (!store.CachedDecompressed(ptr.digest)) {
+        io_->ChargeNs(store.codec().cost().decompress_ns_per_byte *
+                      static_cast<double>(ptr.logical_size));
+      }
+      io_->page_cache().Insert(device_id_, b, ptr.logical_size);
+    }
+  }
+
   const util::Bytes data = volume_->ReadRange(file_, offset, out.size());
   std::memcpy(out.data(), data.data(), out.size());
-  if (io_ == nullptr) return;
-
-  const std::uint32_t block_size = volume_->config().block_size;
-  const store::BlockStore& store = volume_->block_store();
-  const std::uint64_t first = offset / block_size;
-  const std::uint64_t last = (offset + out.size() - 1) / block_size;
-  for (std::uint64_t b = first; b <= last; ++b) {
-    if (b >= volume_->FileBlockCount(file_)) break;
-    const zvol::BlockPtr& ptr = volume_->FileBlock(file_, b);
-    if (ptr.hole) continue;  // holes are free
-    // Every block access walks the dedup table.
-    io_->ChargeDdtLookup(store.stats().unique_blocks);
-    if (io_->page_cache().Lookup(device_id_, b)) continue;
-    // Physical read at the block's scattered pool offset + decompression.
-    const std::uint64_t physical = store.DiskOffset(ptr.digest);
-    const std::uint32_t stored = store.PhysicalSize(ptr.digest);
-    io_->ChargeDiskRead(physical, stored);
-    io_->ChargeNs(store.codec().cost().decompress_ns_per_byte *
-                  static_cast<double>(ptr.logical_size));
-    io_->page_cache().Insert(device_id_, b, ptr.logical_size);
-  }
 }
 
 void VolumeFileDevice::WriteAt(std::uint64_t offset, util::ByteSpan data) {

@@ -1,0 +1,31 @@
+#include "store/block_cache.h"
+
+namespace squirrel::store {
+
+BlockCache::BlockCache(std::uint64_t capacity_bytes)
+    : arc_(capacity_bytes,
+           [this](const util::Digest& evicted) { payloads_.erase(evicted); }) {}
+
+BlockCache::Outcome BlockCache::Lookup(const util::Digest& digest,
+                                       util::Bytes* out) {
+  if (!arc_.Lookup(digest)) return Outcome::kMiss;
+  const auto it = payloads_.find(digest);
+  if (it == payloads_.end()) return Outcome::kPending;
+  *out = it->second;
+  return Outcome::kHit;
+}
+
+void BlockCache::Admit(const util::Digest& digest, std::uint64_t bytes) {
+  arc_.Insert(digest, bytes);
+}
+
+void BlockCache::Fill(const util::Digest& digest, const util::Bytes& payload) {
+  if (!arc_.Resident(digest)) return;  // evicted before the fill, or bypassed
+  payloads_.emplace(digest, payload);
+}
+
+bool BlockCache::ResidentPayload(const util::Digest& digest) const {
+  return arc_.Resident(digest) && payloads_.contains(digest);
+}
+
+}  // namespace squirrel::store

@@ -1,0 +1,77 @@
+// Byte-budgeted cache of decompressed block payloads, keyed by content
+// digest — the block store's slice of the ZFS ARC.
+//
+// The paper's headline boot result (Fig 11) leans on the ARC caching cVolume
+// blocks: a block shared by many images (the dedup case) is decompressed
+// once and every later reference — from any image — is served from memory.
+// This class provides exactly that on the BlockStore read path: the ARC
+// policy itself lives in util/arc_cache.h (promoted from the boot
+// simulator's sim::ArcCache), instantiated here with digest keys weighted by
+// the decompressed payload size.
+//
+// Because digests are content addresses, a cached payload can never go
+// stale: the same digest always names the same bytes, so entries need no
+// invalidation on Unref/re-Put. Only *compressed* blocks enter the cache —
+// blocks stored raw cost a memcpy either way, so caching them would spend
+// budget without saving any decompression work.
+//
+// Admission is two-phase to serve the batch read pipeline: `Admit` inserts
+// the key (adapting the ARC state exactly where a serial Get loop would)
+// before the payload exists, and `Fill` installs the decompressed bytes once
+// the parallel decompress stage produces them. A pending entry that gets
+// evicted before its Fill simply drops out; a Lookup that hits a pending
+// entry reports kPending and the caller aliases the in-flight decompression.
+//
+// Not thread-safe; BlockStore serializes access under its read mutex.
+// Cached bytes are accounted nowhere in StoreStats — the cache is a
+// read-side memory budget, not part of the disk/DDT model.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/arc_cache.h"
+#include "util/bytes.h"
+#include "util/hash.h"
+
+namespace squirrel::store {
+
+class BlockCache {
+ public:
+  explicit BlockCache(std::uint64_t capacity_bytes);
+
+  enum class Outcome {
+    kHit,      // resident and filled; payload copied to `out`
+    kPending,  // resident, decompression in flight (same batch)
+    kMiss,     // not resident
+  };
+
+  /// ARC lookup; on kHit copies the payload into `*out`.
+  Outcome Lookup(const util::Digest& digest, util::Bytes* out);
+
+  /// Admits `digest` (weight = decompressed size) after a miss. The ARC
+  /// state change happens here, in request order; the payload follows later.
+  void Admit(const util::Digest& digest, std::uint64_t bytes);
+
+  /// Installs the decompressed payload; a no-op if the entry was evicted
+  /// (or never admitted, e.g. wider than the whole budget).
+  void Fill(const util::Digest& digest, const util::Bytes& payload);
+
+  /// Non-mutating probe: resident *and* filled. The boot simulator uses
+  /// this to decide whether a read would pay decompression CPU.
+  bool ResidentPayload(const util::Digest& digest) const;
+
+  bool enabled() const { return arc_.capacity() > 0; }
+  std::uint64_t capacity_bytes() const { return arc_.capacity(); }
+  /// Admitted decompressed bytes currently resident (the byte budget the
+  /// ARC enforces; pending entries count from admission).
+  std::uint64_t resident_bytes() const { return arc_.resident_weight(); }
+  std::uint64_t hits() const { return arc_.hits(); }
+  std::uint64_t misses() const { return arc_.misses(); }
+
+ private:
+  util::ArcCache<util::Digest, util::DigestHasher> arc_;
+  std::unordered_map<util::Digest, util::Bytes, util::DigestHasher> payloads_;
+};
+
+}  // namespace squirrel::store

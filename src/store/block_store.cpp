@@ -15,10 +15,25 @@ bool WorthKeeping(std::size_t compressed, std::size_t raw) {
 }  // namespace
 
 BlockStore::BlockStore(BlockStoreConfig config)
-    : config_(config), codec_(&compress::GetCodec(config_.codec)) {
-  if (config_.ingest.threads != 1) {
-    pool_ = std::make_unique<util::ThreadPool>(config_.ingest.threads);
+    : config_(config),
+      codec_(&compress::GetCodec(config_.codec)),
+      cache_(config_.read.cache_bytes) {
+  const std::size_t ingest = config_.ingest.threads;
+  const std::size_t read = config_.read.threads;
+  if (ingest != 1 || read != 1) {
+    // One pool serves both pipelines; 0 on either side means "one thread
+    // per hardware thread" (ThreadPool resolves it).
+    const std::size_t threads =
+        (ingest == 0 || read == 0) ? 0 : std::max(ingest, read);
+    pool_ = std::make_unique<util::ThreadPool>(threads);
   }
+}
+
+const BlockStore::Entry& BlockStore::RequireEntry(
+    const util::Digest& digest) const {
+  const auto it = entries_.find(digest);
+  if (it == entries_.end()) throw NoSuchBlockError(digest);
+  return it->second;
 }
 
 util::Digest BlockStore::ComputeDigest(util::ByteSpan raw) const {
@@ -34,7 +49,16 @@ util::Digest BlockStore::ComputeDigest(util::ByteSpan raw) const {
 
 void BlockStore::ForEachIngest(std::size_t count,
                                const std::function<void(std::size_t)>& fn) {
-  if (pool_ == nullptr || count < 2) {
+  if (pool_ == nullptr || config_.ingest.threads == 1 || count < 2) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool_->ParallelFor(count, fn);
+}
+
+void BlockStore::ForEachRead(
+    std::size_t count, const std::function<void(std::size_t)>& fn) const {
+  if (pool_ == nullptr || config_.read.threads == 1 || count < 2) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
@@ -163,7 +187,9 @@ std::vector<PutResult> BlockStore::PutBatch(
 }
 
 void BlockStore::Ref(const util::Digest& digest) {
-  Entry& entry = entries_.at(digest);
+  auto it = entries_.find(digest);
+  if (it == entries_.end()) throw NoSuchBlockError(digest);
+  Entry& entry = it->second;
   ++entry.refcount;
   ++stats_.total_refs;
   stats_.logical_referenced_bytes += entry.logical_size;
@@ -171,7 +197,7 @@ void BlockStore::Ref(const util::Digest& digest) {
 
 void BlockStore::Unref(const util::Digest& digest) {
   auto it = entries_.find(digest);
-  if (it == entries_.end()) throw std::out_of_range("unref of unknown block");
+  if (it == entries_.end()) throw NoSuchBlockError(digest);
   Entry& entry = it->second;
   assert(entry.refcount > 0);
   --entry.refcount;
@@ -191,9 +217,113 @@ void BlockStore::Unref(const util::Digest& digest) {
 }
 
 util::Bytes BlockStore::Get(const util::Digest& digest) const {
-  const Entry& entry = entries_.at(digest);
-  if (!entry.compressed) return entry.payload;
-  return codec_->Decompress(entry.payload, entry.logical_size);
+  const util::Digest one[1] = {digest};
+  return std::move(GetBatch(one)[0]);
+}
+
+std::vector<util::Bytes> BlockStore::GetBatch(
+    std::span<const util::Digest> digests) const {
+  std::vector<util::Bytes> results(digests.size());
+  if (digests.empty()) return results;
+
+  // Validate every digest up front, in input order, before any cache
+  // mutation — a serial Get loop would throw at the first unknown digest.
+  std::vector<const Entry*> lookup(digests.size());
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    lookup[i] = &RequireEntry(digests[i]);
+  }
+
+  struct Miss {
+    std::size_t index;         // result slot to decompress into
+    const Entry* entry;
+  };
+  std::vector<Miss> misses;
+  // (dst, src): result slots aliasing an earlier occurrence of the same
+  // digest whose decompression is still in flight this batch.
+  std::vector<std::pair<std::size_t, std::size_t>> aliases;
+
+  {
+    // Stage 1: ordered classification. Cache Lookup/Admit happen here in
+    // input order — the exact sequence a serial Get loop would issue — so
+    // ARC state and hit/miss counters are bit-identical to serial at any
+    // thread count.
+    std::lock_guard<std::mutex> lock(read_mutex_);
+    blocks_requested_ += digests.size();
+    std::unordered_map<util::Digest, std::size_t, util::DigestHasher>
+        batch_first;
+    for (std::size_t i = 0; i < digests.size(); ++i) {
+      const Entry* entry = lookup[i];
+      if (!entry->compressed) {
+        // Stored raw: a copy either way, so the ARC is bypassed entirely.
+        ++raw_blocks_;
+        misses.push_back({i, entry});
+        continue;
+      }
+      if (cache_.enabled()) {
+        switch (cache_.Lookup(digests[i], &results[i])) {
+          case BlockCache::Outcome::kHit:
+            continue;
+          case BlockCache::Outcome::kPending: {
+            // Resident but still decompressing earlier in this batch; a
+            // serial loop would hit here, and counters already say so. (If
+            // the pending fill belongs to a concurrent batch instead, just
+            // decompress locally too — content-addressing keeps it exact.)
+            const auto first = batch_first.find(digests[i]);
+            if (first != batch_first.end()) {
+              aliases.emplace_back(i, first->second);
+            } else {
+              misses.push_back({i, entry});
+            }
+            continue;
+          }
+          case BlockCache::Outcome::kMiss:
+            cache_.Admit(digests[i], entry->logical_size);
+            batch_first[digests[i]] = i;
+            misses.push_back({i, entry});
+            continue;
+        }
+      }
+      // Cache disabled: still decompress each distinct digest only once per
+      // batch (payloads are content-addressed, so aliasing is exact).
+      const auto first = batch_first.find(digests[i]);
+      if (first != batch_first.end()) {
+        aliases.emplace_back(i, first->second);
+      } else {
+        batch_first[digests[i]] = i;
+        misses.push_back({i, entry});
+      }
+    }
+  }
+
+  // Stage 2: decompress the misses in parallel. Codecs are stateless and
+  // each miss writes only its own result slot.
+  ForEachRead(misses.size(), [&](std::size_t j) {
+    const Miss& miss = misses[j];
+    if (!miss.entry->compressed) {
+      results[miss.index] = miss.entry->payload;
+      return;
+    }
+    results[miss.index] =
+        codec_->Decompress(miss.entry->payload, miss.entry->logical_size);
+  });
+
+  // Stage 3: ordered install — fill the cache and commit read accounting,
+  // then resolve intra-batch aliases.
+  {
+    std::lock_guard<std::mutex> lock(read_mutex_);
+    for (const Miss& miss : misses) {
+      if (!miss.entry->compressed) continue;
+      ++decompressed_blocks_;
+      decompressed_bytes_ += miss.entry->logical_size;
+      if (cache_.enabled()) {
+        cache_.Fill(digests[miss.index], results[miss.index]);
+      }
+    }
+  }
+  for (const auto& [dst, src] : aliases) {
+    results[dst] = results[src];
+  }
+  return results;
 }
 
 bool BlockStore::Contains(const util::Digest& digest) const {
@@ -223,6 +353,35 @@ bool BlockStore::Verify(const util::Digest& digest) const {
   return ComputeDigest(raw) == digest;
 }
 
+std::vector<std::uint8_t> BlockStore::VerifyBatch(
+    std::span<const util::Digest> digests) const {
+  std::vector<std::uint8_t> ok(digests.size(), 0);
+  // Verify is read-only (and bypasses the ARC), so every digest checks
+  // independently; outcomes are position-wise identical to a serial loop.
+  ForEachRead(digests.size(),
+              [&](std::size_t i) { ok[i] = Verify(digests[i]) ? 1 : 0; });
+  return ok;
+}
+
+bool BlockStore::CachedDecompressed(const util::Digest& digest) const {
+  std::lock_guard<std::mutex> lock(read_mutex_);
+  return cache_.ResidentPayload(digest);
+}
+
+ReadStats BlockStore::read_stats() const {
+  std::lock_guard<std::mutex> lock(read_mutex_);
+  ReadStats stats;
+  stats.blocks_requested = blocks_requested_;
+  stats.cache_hits = cache_.hits();
+  stats.cache_misses = cache_.misses();
+  stats.raw_blocks = raw_blocks_;
+  stats.decompressed_blocks = decompressed_blocks_;
+  stats.decompressed_bytes = decompressed_bytes_;
+  stats.cached_bytes = cache_.resident_bytes();
+  stats.cache_capacity_bytes = cache_.capacity_bytes();
+  return stats;
+}
+
 bool BlockStore::CorruptPayloadForTesting(const util::Digest& digest) {
   auto it = entries_.find(digest);
   if (it == entries_.end() || it->second.payload.empty()) return false;
@@ -231,11 +390,11 @@ bool BlockStore::CorruptPayloadForTesting(const util::Digest& digest) {
 }
 
 std::uint64_t BlockStore::DiskOffset(const util::Digest& digest) const {
-  return entries_.at(digest).disk_offset;
+  return RequireEntry(digest).disk_offset;
 }
 
 std::uint32_t BlockStore::PhysicalSize(const util::Digest& digest) const {
-  return entries_.at(digest).physical_size;
+  return RequireEntry(digest).physical_size;
 }
 
 }  // namespace squirrel::store

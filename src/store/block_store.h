@@ -12,19 +12,36 @@
 // mutation happens in the ordered passes, results are bit-identical to a
 // serial loop of single-block Puts at any thread count.
 //
+// Read path (batch-first, mirroring ingest): GetBatch classifies every
+// requested digest against a byte-budgeted ARC of decompressed payloads
+// (BlockCache) in one ordered pass, decompresses the misses in parallel on
+// the shared worker pool, then installs payloads and read accounting in a
+// second ordered pass. Payloads, their order, and — because the cache passes
+// replay the exact Lookup/Insert sequence a serial Get loop would issue —
+// the cache counters are all bit-identical to serial Get at any thread
+// count and any cache size, including cache_bytes = 0. Duplicate digests
+// within one batch decompress once (aliased), so with the cache disabled
+// GetBatch may do strictly less decompression work than the serial loop;
+// with it enabled the serial loop gets the same saving as cache hits.
+//
 // Accounting mirrors what the paper measures: physical data bytes (Fig 8),
-// DDT size on disk (Fig 9) and DDT memory footprint (Fig 10).
+// DDT size on disk (Fig 9) and DDT memory footprint (Fig 10). Cached
+// decompressed bytes are deliberately *not* part of StoreStats — the ARC is
+// a read-side memory budget, not disk state.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "compress/codec.h"
+#include "store/block_cache.h"
 #include "store/space_map.h"
 #include "util/bytes.h"
+#include "util/error.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
 
@@ -47,6 +64,14 @@ inline constexpr std::uint64_t kSectorBytes = 512;
 /// (ZFS blkptr_t). Charged per *reference*, i.e. per non-hole file block.
 inline constexpr std::uint64_t kBlockPointerBytes = 128;
 
+/// Thrown by read-path operations (Get/GetBatch/Unref/Ref/DiskOffset/...)
+/// naming a digest the store does not hold.
+class NoSuchBlockError : public Error {
+ public:
+  explicit NoSuchBlockError(const util::Digest& digest)
+      : Error("no such block: " + digest.ToHex()) {}
+};
+
 /// Parallelism knobs for the batch ingest pipeline (PutBatch and the volume
 /// write paths built on it). All mutation of store state happens in ordered
 /// serial passes regardless of thread count, so results — digests, refcounts,
@@ -64,6 +89,27 @@ struct IngestConfig {
   bool operator==(const IngestConfig&) const = default;
 };
 
+/// Knobs for the batch read pipeline (GetBatch and the volume read paths
+/// built on it). Runtime tuning only — never serialized into volume images,
+/// and bit-identical payloads/ordering at any setting.
+struct ReadConfig {
+  /// Worker threads for the parallel decompress stage. 1 = inline serial
+  /// reference path; 0 = one thread per hardware thread.
+  std::size_t threads = 1;
+  /// Byte budget of the decompressed-block ARC (0 disables caching). Shared
+  /// blocks across images decompress once and are then served from memory —
+  /// the dedup-aware read amplification win the paper attributes to the ZFS
+  /// ARC. Cached bytes are *not* part of StoreStats disk/DDT accounting.
+  std::uint64_t cache_bytes = 0;
+  /// Volume-layer cluster readahead: ReadFile/ReadRange extend each request
+  /// round by this many following block pointers in the same GetBatch,
+  /// modelling the QCOW2 64 KB-cluster prefetch effect (Fig 11). Pointless
+  /// without a cache, so ignored when cache_bytes == 0.
+  std::size_t readahead_blocks = 0;
+
+  bool operator==(const ReadConfig&) const = default;
+};
+
 struct BlockStoreConfig {
   /// Inline compressor; CodecId::kNull disables compression. Parse CLI or
   /// wire-format names with compress::ParseCodec at the boundary.
@@ -76,6 +122,8 @@ struct BlockStoreConfig {
   bool fast_hash = false;
   /// Batch-ingest parallelism (threads, batch size).
   IngestConfig ingest{};
+  /// Batch-read parallelism, ARC budget and readahead.
+  ReadConfig read{};
 };
 
 struct PutResult {
@@ -97,6 +145,20 @@ struct StoreStats {
   std::uint64_t disk_bytes() const { return physical_data_bytes + ddt_disk_bytes; }
 };
 
+/// Read-side accounting. Counters are cumulative; cached_bytes is a
+/// snapshot of the ARC's resident budget. Deterministic across thread
+/// counts (all cache interaction happens in ordered passes).
+struct ReadStats {
+  std::uint64_t blocks_requested = 0;   // payloads served (Get + GetBatch)
+  std::uint64_t cache_hits = 0;         // served from the decompressed ARC
+  std::uint64_t cache_misses = 0;       // compressed lookups that missed
+  std::uint64_t raw_blocks = 0;         // stored uncompressed (cache bypass)
+  std::uint64_t decompressed_blocks = 0;
+  std::uint64_t decompressed_bytes = 0; // decompression work actually done
+  std::uint64_t cached_bytes = 0;       // ARC resident payload bytes (now)
+  std::uint64_t cache_capacity_bytes = 0;
+};
+
 class BlockStore {
  public:
   explicit BlockStore(BlockStoreConfig config);
@@ -108,7 +170,7 @@ class BlockStore {
 
   /// Batch-first write path: stores `blocks` exactly as a serial loop of
   /// Put calls would — same digests, refcounts, stats and disk offsets —
-  /// while running the CPU-bound stages on the ingest thread pool:
+  /// while running the CPU-bound stages on the worker thread pool:
   ///   1. hash every block in parallel,
   ///   2. resolve dedup hits against the DDT in one ordered pass,
   ///   3. compress only the misses in parallel,
@@ -118,13 +180,29 @@ class BlockStore {
   std::vector<PutResult> PutBatch(std::span<const util::ByteSpan> blocks);
 
   /// Adds one reference to an existing block (snapshot / clone paths).
+  /// Throws NoSuchBlockError for unknown digests.
   void Ref(const util::Digest& digest);
 
-  /// Drops one reference; frees the extent and DDT entry at zero.
+  /// Drops one reference; frees the extent and DDT entry at zero. Throws
+  /// NoSuchBlockError for unknown digests.
   void Unref(const util::Digest& digest);
 
-  /// Decompressed payload. Throws std::out_of_range for unknown digests.
+  /// Decompressed payload. Throws NoSuchBlockError for unknown digests.
+  /// Thin wrapper over GetBatch with a one-element batch.
   util::Bytes Get(const util::Digest& digest) const;
+
+  /// Batch-first read path: returns the decompressed payloads of `digests`
+  /// in input order, bit-identical to a serial loop of Get calls at any
+  /// thread count and cache size:
+  ///   1. classify every digest against the decompressed-block ARC in one
+  ///      ordered pass (replaying the exact serial Lookup/Insert sequence,
+  ///      so cache state and hit/miss counters match serial too),
+  ///   2. decompress the misses in parallel on the worker pool,
+  ///   3. install payloads and accounting in one ordered pass.
+  /// Throws NoSuchBlockError (before any cache mutation) if any digest is
+  /// unknown.
+  std::vector<util::Bytes> GetBatch(
+      std::span<const util::Digest> digests) const;
 
   bool Contains(const util::Digest& digest) const;
   std::uint32_t RefCount(const util::Digest& digest) const;
@@ -137,21 +215,40 @@ class BlockStore {
   /// Re-reads a block (decompressing if needed) and re-hashes it; true when
   /// the payload still matches its digest. Always true with dedup disabled
   /// (digests are synthetic there). Decompression failures count as
-  /// corruption (false), not exceptions.
+  /// corruption (false), not exceptions. Deliberately bypasses the ARC —
+  /// a scrub must observe the stored bytes, not a cached copy.
   bool Verify(const util::Digest& digest) const;
+
+  /// Parallel Verify over a batch: ok[i] == 1 iff Verify(digests[i]).
+  /// Unknown digests verify false (no throw), so scrubs can keep walking.
+  std::vector<std::uint8_t> VerifyBatch(
+      std::span<const util::Digest> digests) const;
+
+  /// True when the decompressed payload of `digest` is resident in the ARC.
+  /// Non-mutating (no counter update); the boot simulator probes this to
+  /// decide whether a read pays decompression CPU.
+  bool CachedDecompressed(const util::Digest& digest) const;
 
   /// Test hook: flips one byte of the stored payload. Returns false if the
   /// digest is unknown.
   bool CorruptPayloadForTesting(const util::Digest& digest);
 
   const StoreStats& stats() const { return stats_; }
+  ReadStats read_stats() const;
   const SpaceMap& space_map() const { return space_map_; }
   const compress::Codec& codec() const { return *codec_; }
 
-  /// Pool the hash/compress pipeline stages run on; nullptr in serial mode
-  /// (ingest.threads == 1). The volume layer shares it for its own
-  /// parallel-friendly stages (zero-detect, read-modify-write materialize).
-  util::ThreadPool* ingest_pool() { return pool_.get(); }
+  /// Pool shared by the ingest (hash/compress) and read (decompress)
+  /// pipeline stages; nullptr when both sides are serial
+  /// (ingest.threads == 1 && read.threads == 1). The volume layer shares it
+  /// for its own parallel-friendly stages (zero-detect, RMW materialize).
+  util::ThreadPool* worker_pool() const { return pool_.get(); }
+
+  /// Runs fn(i) for i in [0, count) on the worker pool when the read side
+  /// is parallel (read.threads != 1), inline otherwise. Exposed for the
+  /// volume layer's read-side stages (Send payload compression).
+  void ForEachRead(std::size_t count,
+                   const std::function<void(std::size_t)>& fn) const;
 
  private:
   struct Entry {
@@ -164,10 +261,11 @@ class BlockStore {
   };
 
   util::Digest ComputeDigest(util::ByteSpan raw) const;
-  /// Runs fn(i) for i in [0, count) on the ingest pool, or inline when the
-  /// store is serial (no pool) or the batch is trivial.
+  /// Runs fn(i) for i in [0, count) on the worker pool, or inline when the
+  /// ingest side is serial or the batch is trivial.
   void ForEachIngest(std::size_t count,
                      const std::function<void(std::size_t)>& fn);
+  const Entry& RequireEntry(const util::Digest& digest) const;
 
   BlockStoreConfig config_;
   const compress::Codec* codec_;
@@ -175,7 +273,18 @@ class BlockStore {
   SpaceMap space_map_;
   StoreStats stats_;
   std::uint64_t fake_digest_counter_ = 0;  // for dedup=off mode
-  std::unique_ptr<util::ThreadPool> pool_;  // null when ingest.threads == 1
+  std::unique_ptr<util::ThreadPool> pool_;  // null when both sides serial
+
+  /// Read-side state. The mutex serializes ARC mutation and read counters
+  /// (Get/GetBatch are const but cache-stateful); decompression itself runs
+  /// outside the lock. All cache interaction happens in ordered passes, so
+  /// counters and ARC state are deterministic at any thread count.
+  mutable std::mutex read_mutex_;
+  mutable BlockCache cache_;
+  mutable std::uint64_t blocks_requested_ = 0;
+  mutable std::uint64_t raw_blocks_ = 0;
+  mutable std::uint64_t decompressed_blocks_ = 0;
+  mutable std::uint64_t decompressed_bytes_ = 0;
 };
 
 }  // namespace squirrel::store

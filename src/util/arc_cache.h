@@ -1,0 +1,230 @@
+// Adaptive Replacement Cache (Megiddo & Modha, FAST'03) — the policy behind
+// the ZFS ARC that caches Squirrel's cVolume blocks in practice.
+//
+// ARC partitions the cache between a recency list (T1) and a frequency list
+// (T2) and adapts the split (`p`) using two ghost lists (B1, B2) that
+// remember recently evicted keys: a hit in B1 says "recency deserved more
+// room", a hit in B2 the opposite. Compared with plain LRU it resists scans
+// — a single pass over a large file (exactly what a VM boot's one-time reads
+// are) cannot flush the frequently reused blocks.
+//
+// This is the generic, *weighted* core shared by two consumers:
+//
+//   * sim::ArcCache — the boot-simulator policy model, (device, block) keys
+//     with uniform weight 1; reduces exactly to the classic entry-counted
+//     formulation (the paper's integer arithmetic falls out of the weighted
+//     arithmetic at weight 1, and the reachable-state invariant
+//     "ghosts nonempty => resident weight == capacity" makes the budget
+//     loops run exactly once where the paper evicts once);
+//   * store::BlockCache — the byte-budgeted decompressed-block cache on the
+//     block-store read path, keyed by content digest and weighted by the
+//     decompressed payload size (like the real ARC, which is sized in bytes).
+//
+// Capacity, the adaptive target `p` and all list sizes are tracked in weight
+// units. An entry wider than the whole capacity is not admitted. Evictions
+// from the resident lists (T1/T2 — including the no-ghost drop of the classic
+// "L1 full of resident pages" case) invoke `on_evict` so the owner can drop
+// the associated payload; ghost-list drops do not, ghosts hold keys only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+namespace squirrel::util {
+
+template <typename Key, typename Hasher>
+class ArcCache {
+ public:
+  /// `capacity` in weight units (entries, bytes, ...). `on_evict` is called
+  /// with each key leaving the resident lists (may be empty).
+  explicit ArcCache(std::uint64_t capacity,
+                    std::function<void(const Key&)> on_evict = {})
+      : capacity_(capacity), on_evict_(std::move(on_evict)) {}
+
+  ArcCache(const ArcCache&) = delete;
+  ArcCache& operator=(const ArcCache&) = delete;
+
+  /// True (cache hit) if `key` is resident; promotes it to the MRU end of
+  /// the frequency list and updates the hit/miss counters.
+  bool Lookup(const Key& key) {
+    if (capacity_ == 0) {
+      ++misses_;
+      return false;
+    }
+    auto it = index_.find(key);
+    if (it == index_.end() || IsGhost(it->second.list)) {
+      ++misses_;
+      return false;
+    }
+    // Case I: hit in T1 or T2 — promote to MRU of T2.
+    Entry& entry = it->second;
+    Lru& from = entry.list == ListId::kT1 ? t1_ : t2_;
+    weight_[Idx(entry.list)] -= entry.weight;
+    weight_[Idx(ListId::kT2)] += entry.weight;
+    t2_.splice(t2_.begin(), from, entry.position);
+    entry.list = ListId::kT2;
+    entry.position = t2_.begin();
+    ++hits_;
+    return true;
+  }
+
+  /// Inserts after a miss (also adapts `p` using the ghost lists). Re-insert
+  /// of a resident key is a no-op; a key wider than the capacity is not
+  /// cached at all.
+  void Insert(const Key& key, std::uint64_t weight) {
+    if (capacity_ == 0 || weight == 0 || weight > capacity_) return;
+    auto it = index_.find(key);
+
+    if (it != index_.end() && it->second.list == ListId::kB1) {
+      // Case II: ghost hit in B1 — grow the recency target.
+      const std::uint64_t delta = std::max<std::uint64_t>(
+          weight, weight * (W(ListId::kB2) /
+                            std::max<std::uint64_t>(W(ListId::kB1), 1)));
+      p_ = std::min(capacity_, p_ + delta);
+      Replace(false);
+      ReviveGhost(it->second, b1_, ListId::kB1, key, weight, false);
+      return;
+    }
+    if (it != index_.end() && it->second.list == ListId::kB2) {
+      // Case III: ghost hit in B2 — grow the frequency target.
+      const std::uint64_t delta = std::max<std::uint64_t>(
+          weight, weight * (W(ListId::kB1) /
+                            std::max<std::uint64_t>(W(ListId::kB2), 1)));
+      p_ = p_ > delta ? p_ - delta : 0;
+      Replace(true);
+      ReviveGhost(it->second, b2_, ListId::kB2, key, weight, true);
+      return;
+    }
+    if (it != index_.end()) {
+      return;  // already resident (Insert after a racing Lookup hit)
+    }
+
+    // Case IV: brand-new key.
+    const std::uint64_t l1 = W(ListId::kT1) + W(ListId::kB1);
+    if (l1 >= capacity_) {
+      if (W(ListId::kT1) < capacity_) {
+        while (!b1_.empty() && W(ListId::kT1) + W(ListId::kB1) >= capacity_) {
+          DropLru(b1_, ListId::kB1);
+        }
+        Replace(false);
+      } else {
+        while (!t1_.empty() && W(ListId::kT1) >= capacity_) {
+          DropLru(t1_, ListId::kT1);
+        }
+      }
+    } else if (TotalWeight() >= capacity_) {
+      while (!b2_.empty() && TotalWeight() >= 2 * capacity_) {
+        DropLru(b2_, ListId::kB2);
+      }
+      Replace(false);
+    }
+    EnforceBudget(weight, false);
+    t1_.push_front(key);
+    index_[key] = Entry{ListId::kT1, t1_.begin(), weight};
+    weight_[Idx(ListId::kT1)] += weight;
+  }
+
+  /// Non-mutating residency probe (no counter or recency update).
+  bool Resident(const Key& key) const {
+    const auto it = index_.find(key);
+    return it != index_.end() && !IsGhost(it->second.list);
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::size_t resident_entries() const { return t1_.size() + t2_.size(); }
+  std::uint64_t resident_weight() const {
+    return weight_[Idx(ListId::kT1)] + weight_[Idx(ListId::kT2)];
+  }
+  /// Current adaptive target for T1 (recency side), in weight units.
+  std::uint64_t target_recency_weight() const { return p_; }
+
+ private:
+  enum class ListId { kT1, kT2, kB1, kB2 };
+  using Lru = std::list<Key>;  // front = MRU
+  struct Entry {
+    ListId list;
+    typename Lru::iterator position;
+    std::uint64_t weight;
+  };
+
+  static constexpr std::size_t Idx(ListId id) {
+    return static_cast<std::size_t>(id);
+  }
+  static constexpr bool IsGhost(ListId id) {
+    return id == ListId::kB1 || id == ListId::kB2;
+  }
+  std::uint64_t W(ListId id) const { return weight_[Idx(id)]; }
+  std::uint64_t TotalWeight() const {
+    return weight_[0] + weight_[1] + weight_[2] + weight_[3];
+  }
+
+  void DropLru(Lru& list, ListId id) {
+    const Key victim = list.back();
+    const auto it = index_.find(victim);
+    weight_[Idx(id)] -= it->second.weight;
+    if (!IsGhost(id) && on_evict_) on_evict_(victim);
+    index_.erase(it);
+    list.pop_back();
+  }
+
+  void EvictFrom(Lru& list, ListId id, Lru& ghost, ListId ghost_id) {
+    const Key victim = list.back();
+    Entry& entry = index_.at(victim);
+    weight_[Idx(id)] -= entry.weight;
+    weight_[Idx(ghost_id)] += entry.weight;
+    ghost.splice(ghost.begin(), list, --list.end());
+    entry.list = ghost_id;
+    entry.position = ghost.begin();
+    if (on_evict_) on_evict_(victim);
+  }
+
+  void Replace(bool hit_in_b2) {
+    // REPLACE from the ARC paper: evict from T1 if it exceeds the target p
+    // (or ties while the request came from B2), else from T2.
+    const std::uint64_t w1 = W(ListId::kT1);
+    if (!t1_.empty() && (w1 > p_ || (hit_in_b2 && w1 >= p_))) {
+      EvictFrom(t1_, ListId::kT1, b1_, ListId::kB1);
+    } else if (!t2_.empty()) {
+      EvictFrom(t2_, ListId::kT2, b2_, ListId::kB2);
+    } else if (!t1_.empty()) {
+      EvictFrom(t1_, ListId::kT1, b1_, ListId::kB1);
+    }
+  }
+
+  /// Weighted-mode safety net: evict until an entry of `weight` fits the
+  /// resident budget. A provable no-op at uniform weight 1, where the classic
+  /// branch structure already leaves exactly enough room.
+  void EnforceBudget(std::uint64_t weight, bool hit_in_b2) {
+    while (resident_weight() + weight > capacity_ &&
+           (!t1_.empty() || !t2_.empty())) {
+      Replace(hit_in_b2);
+    }
+  }
+
+  /// Cases II/III tail: move a ghost-hit key to the MRU of T2 as a resident
+  /// entry of (possibly re-stated) `weight`.
+  void ReviveGhost(Entry& entry, Lru& ghost, ListId ghost_id, const Key& key,
+                   std::uint64_t weight, bool hit_in_b2) {
+    weight_[Idx(ghost_id)] -= entry.weight;
+    ghost.erase(entry.position);
+    EnforceBudget(weight, hit_in_b2);
+    t2_.push_front(key);
+    entry = Entry{ListId::kT2, t2_.begin(), weight};
+    weight_[Idx(ListId::kT2)] += weight;
+  }
+
+  std::uint64_t capacity_;
+  std::function<void(const Key&)> on_evict_;
+  std::uint64_t p_ = 0;  // target weight of T1
+  Lru t1_, t2_, b1_, b2_;
+  std::unordered_map<Key, Entry, Hasher> index_;
+  std::uint64_t weight_[4] = {0, 0, 0, 0};
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace squirrel::util

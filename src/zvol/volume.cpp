@@ -25,7 +25,8 @@ DigestSet ReachableDigests(const FileTable& table) {
 Volume::Volume(VolumeConfig config)
     : config_(config),
       store_(store::BlockStoreConfig{config.codec, config.dedup,
-                                     config.fast_hash, config.ingest}) {
+                                     config.fast_hash, config.ingest,
+                                     config.read}) {
   if (config_.block_size == 0) {
     throw std::invalid_argument("block_size must be positive");
   }
@@ -63,8 +64,8 @@ FileMeta& Volume::RequireFile(const std::string& name) {
 
 void Volume::ForEachIngest(std::size_t count,
                            const std::function<void(std::size_t)>& fn) {
-  util::ThreadPool* pool = store_.ingest_pool();
-  if (pool == nullptr || count < 2) {
+  util::ThreadPool* pool = store_.worker_pool();
+  if (pool == nullptr || config_.ingest.threads == 1 || count < 2) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
@@ -178,11 +179,29 @@ void Volume::WriteRange(const std::string& name, std::uint64_t offset,
                                      meta.logical_size - block_start);
     };
 
+    // Stage 0: fetch the old payloads of every touched non-hole block in
+    // one cache-aware GetBatch (parallel decompress, ARC hits for blocks
+    // recently read — the copy-on-read population case).
+    std::vector<const util::Bytes*> old_blocks(n, nullptr);
+    std::vector<util::Digest> old_digests;
+    std::vector<std::size_t> old_slots;
+    for (std::size_t j = 0; j < n; ++j) {
+      const BlockPtr& ptr = meta.blocks[base + j];
+      if (ptr.hole) continue;
+      old_digests.push_back(ptr.digest);
+      old_slots.push_back(j);
+    }
+    const std::vector<util::Bytes> olds = store_.GetBatch(old_digests);
+    for (std::size_t k = 0; k < old_slots.size(); ++k) {
+      old_blocks[old_slots[k]] = &olds[k];
+    }
+
     // Stage 1: materialize the new content of every touched block
     // (read-modify-write) and zero-detect it, in parallel. This stage only
-    // reads store state; all mutation happens in the ordered stage below.
-    // A stored block can be SHORTER than block_len: it was the partial tail
-    // block before a later write grew the file — its implicit tail is zeros.
+    // reads the fetched payloads; all store mutation happens in the ordered
+    // stage below. A stored block can be SHORTER than block_len: it was the
+    // partial tail block before a later write grew the file — its implicit
+    // tail is zeros.
     ForEachIngest(n, [&](std::size_t j) {
       const std::uint64_t block_index = base + j;
       const std::uint64_t block_start =
@@ -192,9 +211,8 @@ void Volume::WriteRange(const std::string& name, std::uint64_t offset,
           buffer.data() + j * static_cast<std::size_t>(config_.block_size),
           block_len);
       std::memset(block.data(), 0, block.size());
-      const BlockPtr& ptr = meta.blocks[block_index];
-      if (!ptr.hole) {
-        const util::Bytes old = store_.Get(ptr.digest);
+      if (old_blocks[j] != nullptr) {
+        const util::Bytes& old = *old_blocks[j];
         std::memcpy(block.data(), old.data(),
                     std::min<std::uint64_t>(old.size(), block_len));
       }
@@ -237,29 +255,59 @@ util::Bytes Volume::ReadRange(const std::string& name, std::uint64_t offset,
   }
 
   util::Bytes out(length, 0);
-  std::uint64_t cursor = offset;
-  while (cursor < offset + length) {
-    const std::uint64_t block_index = cursor / config_.block_size;
-    const std::uint64_t block_start = block_index * config_.block_size;
-    const std::uint64_t within = cursor - block_start;
-    const std::uint64_t block_len = std::min<std::uint64_t>(
-        config_.block_size, meta.logical_size - block_start);
-    const std::uint64_t take =
-        std::min<std::uint64_t>(block_len - within, offset + length - cursor);
-    const BlockPtr& ptr = meta.blocks[block_index];
-    if (!ptr.hole) {
+  if (length == 0) return out;
+
+  const std::uint64_t first_block = offset / config_.block_size;
+  const std::uint64_t last_block = (offset + length - 1) / config_.block_size;
+  const std::size_t batch_blocks =
+      std::max<std::size_t>(1, config_.ingest.batch_blocks);
+  // Cluster readahead: when the decompressed-block ARC is on, each request
+  // round also fetches the next readahead_blocks pointers so a sequential
+  // reader (the QCOW2 64 KiB-cluster access pattern) finds them warm.
+  const std::uint64_t readahead =
+      config_.read.cache_bytes > 0 ? config_.read.readahead_blocks : 0;
+
+  std::vector<util::Digest> digests;
+  std::vector<std::uint64_t> slots;  // block index of each digest
+  for (std::uint64_t base = first_block; base <= last_block;
+       base += batch_blocks) {
+    const std::uint64_t round_last =
+        std::min<std::uint64_t>(base + batch_blocks - 1, last_block);
+    const std::uint64_t fetch_last = std::min<std::uint64_t>(
+        round_last + readahead, meta.blocks.size() - 1);
+    digests.clear();
+    slots.clear();
+    for (std::uint64_t i = base; i <= fetch_last; ++i) {
+      const BlockPtr& ptr = meta.blocks[i];
+      if (ptr.hole) continue;
+      digests.push_back(ptr.digest);
+      slots.push_back(i);
+    }
+    const std::vector<util::Bytes> blocks = store_.GetBatch(digests);
+
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      const std::uint64_t block_index = slots[k];
+      if (block_index > round_last) break;  // readahead-only blocks
+      const std::uint64_t block_start = block_index * config_.block_size;
+      const std::uint64_t from = std::max(offset, block_start);
+      const std::uint64_t to = std::min<std::uint64_t>(
+          offset + length, block_start + config_.block_size);
+      const std::uint64_t within = from - block_start;
+      const util::Bytes& block = blocks[k];
       // The stored block may be shorter than the in-file block length (a
       // former tail block after the file grew); its logical tail is zeros.
-      const util::Bytes block = store_.Get(ptr.digest);
       if (within < block.size()) {
         const std::uint64_t copy =
-            std::min<std::uint64_t>(take, block.size() - within);
-        std::memcpy(out.data() + (cursor - offset), block.data() + within, copy);
+            std::min<std::uint64_t>(to - from, block.size() - within);
+        std::memcpy(out.data() + (from - offset), block.data() + within, copy);
       }
     }
-    cursor += take;
   }
   return out;
+}
+
+util::Bytes Volume::ReadFile(const std::string& name) const {
+  return ReadRange(name, 0, FileSize(name));
 }
 
 bool Volume::HasFile(const std::string& name) const {
@@ -402,8 +450,6 @@ SendStream Volume::Send(const std::string& from_name,
       from ? ReachableDigests(from->files) : DigestSet{};
   DigestSet carried;  // avoid sending the same payload twice in one stream
 
-  const compress::Codec* codec = &store_.codec();
-
   auto make_record = [&](const BlockPtr& ptr, std::uint64_t index) {
     BlockRecord rec;
     rec.index = index;
@@ -413,16 +459,7 @@ SendStream Volume::Send(const std::string& from_name,
     rec.logical_size = ptr.logical_size;
     if (!known.contains(ptr.digest) && !carried.contains(ptr.digest)) {
       carried.insert(ptr.digest);
-      rec.has_payload = true;
-      const util::Bytes raw = store_.Get(ptr.digest);
-      util::Bytes compressed = codec->Compress(raw);
-      if (config_.codec != compress::CodecId::kNull &&
-          compressed.size() + raw.size() / 8 <= raw.size()) {
-        rec.payload = std::move(compressed);
-        rec.payload_compressed = true;
-      } else {
-        rec.payload = raw;
-      }
+      rec.has_payload = true;  // payload materialized in the batch pass below
     }
     return rec;
   };
@@ -463,6 +500,34 @@ SendStream Volume::Send(const std::string& from_name,
       stream.files.push_back(std::move(rec));
     }
   }
+
+  // Materialize carried payloads in one pass: a single cache-aware GetBatch
+  // fetches every block (parallel decompress, ARC hits for recently read
+  // blocks), then the wire-format compression — applying the store's
+  // keep-if-it-saves-1/8 rule — runs in parallel on the worker pool.
+  std::vector<BlockRecord*> payload_recs;
+  std::vector<util::Digest> payload_digests;
+  for (FileRecord& f : stream.files) {
+    for (BlockRecord& b : f.blocks) {
+      if (!b.has_payload) continue;
+      payload_recs.push_back(&b);
+      payload_digests.push_back(b.digest);
+    }
+  }
+  const std::vector<util::Bytes> raws = store_.GetBatch(payload_digests);
+  const compress::Codec* codec = &store_.codec();
+  store_.ForEachRead(payload_recs.size(), [&](std::size_t k) {
+    BlockRecord& rec = *payload_recs[k];
+    const util::Bytes& raw = raws[k];
+    util::Bytes compressed = codec->Compress(raw);
+    if (config_.codec != compress::CodecId::kNull &&
+        compressed.size() + raw.size() / 8 <= raw.size()) {
+      rec.payload = std::move(compressed);
+      rec.payload_compressed = true;
+    } else {
+      rec.payload = raw;
+    }
+  });
   return stream;
 }
 
@@ -579,8 +644,11 @@ void Volume::ReceiveFull(const SendStream& stream) {
 Volume::ScrubReport Volume::Scrub() const {
   ScrubReport report;
   // Each unique digest is verified once even if referenced many times —
-  // like ZFS, the scrub walks physical blocks.
+  // like ZFS, the scrub walks physical blocks. The walk is serial (cheap
+  // pointer chasing); the re-read + re-hash of the collected digests runs
+  // in parallel through VerifyBatch.
   std::unordered_set<util::Digest, util::DigestHasher> checked;
+  std::vector<util::Digest> to_verify;
   auto scrub_table = [&](const FileTable& table) {
     for (const auto& [name, meta] : table) {
       for (const BlockPtr& ptr : meta.blocks) {
@@ -590,13 +658,17 @@ Volume::ScrubReport Volume::Scrub() const {
           continue;
         }
         if (!checked.insert(ptr.digest).second) continue;
-        ++report.blocks_checked;
-        if (!store_.Verify(ptr.digest)) ++report.errors;
+        to_verify.push_back(ptr.digest);
       }
     }
   };
   scrub_table(files_);
   for (const auto& snap : snapshots_) scrub_table(snap->files);
+  report.blocks_checked = to_verify.size();
+  const std::vector<std::uint8_t> ok = store_.VerifyBatch(to_verify);
+  for (const std::uint8_t bit : ok) {
+    if (bit == 0) ++report.errors;
+  }
   return report;
 }
 

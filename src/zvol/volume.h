@@ -40,6 +40,10 @@ struct VolumeConfig {
   /// Batch-ingest parallelism for WriteFile/WriteRange (threads, batch
   /// size). Runtime tuning only — not part of the serialized volume state.
   store::IngestConfig ingest{};
+  /// Batch-read parallelism, decompressed-block ARC budget and cluster
+  /// readahead for ReadFile/ReadRange/Scrub/Send. Runtime tuning only —
+  /// not part of the serialized volume state.
+  store::ReadConfig read{};
 };
 
 /// Thrown by file operations naming a file the live table does not hold.
@@ -125,9 +129,15 @@ class Volume {
   void WriteRange(const std::string& name, std::uint64_t offset,
                   util::ByteSpan data);
 
-  /// Reads [offset, offset+length); holes read as zeros.
+  /// Reads [offset, offset+length); holes read as zeros. Fetches block
+  /// payloads through BlockStore::GetBatch in rounds of ingest.batch_blocks
+  /// blocks, each extended by read.readahead_blocks following pointers (the
+  /// QCOW2 cluster-prefetch effect) when the decompressed-block ARC is on.
   util::Bytes ReadRange(const std::string& name, std::uint64_t offset,
                         std::uint64_t length) const;
+
+  /// Whole-file convenience read over the same batched, cache-aware path.
+  util::Bytes ReadFile(const std::string& name) const;
 
   bool HasFile(const std::string& name) const;
   std::uint64_t FileSize(const std::string& name) const;

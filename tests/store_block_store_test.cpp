@@ -91,7 +91,11 @@ TEST(BlockStore, UnrefUnknownThrows) {
   BlockStore store({});
   util::Digest bogus;
   bogus.bytes[0] = 0xaa;
-  EXPECT_THROW(store.Unref(bogus), std::out_of_range);
+  EXPECT_THROW(store.Unref(bogus), NoSuchBlockError);
+  EXPECT_THROW(store.Get(bogus), NoSuchBlockError);
+  EXPECT_THROW(store.Ref(bogus), NoSuchBlockError);
+  // The typed error roots at squirrel::Error like every other domain error.
+  EXPECT_THROW(store.Unref(bogus), Error);
 }
 
 TEST(BlockStore, RefIncrementsExplicitly) {
