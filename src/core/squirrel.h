@@ -32,6 +32,7 @@
 #include "sim/devices.h"
 #include "sim/io_context.h"
 #include "sim/network.h"
+#include "util/fault_injector.h"
 #include "util/source.h"
 #include "zvol/volume.h"
 
@@ -43,6 +44,33 @@ enum class PropagationStrategy {
   kMulticast,  // one stream on the wire, all online nodes receive (default)
   kUnicast,    // one stream per node — storage-node egress scales with n
   kPipeline,   // LANTorrent-style chain: each node receives and forwards once
+};
+
+/// Capped exponential backoff with deterministic jitter for replication
+/// transfers (§3.2/§3.5 must survive node churn; a dropped diff is retried,
+/// not lost). attempt 1 is the initial transfer; retries are attempts 2..n.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;
+  double base_seconds = 0.5;  // backoff before attempt 2
+  double max_seconds = 8.0;   // cap on the exponential
+  /// Fractional jitter in [0, jitter): each wait is scaled by (1 + u) with u
+  /// drawn deterministically from (seed, node, transfer, attempt).
+  double jitter = 0.1;
+  std::uint64_t seed = 0x5171e77ull;  // jitter schedule seed
+};
+
+/// Deterministic backoff before `attempt` (>= 2) of a transfer to `node`.
+/// Pure function of its arguments — the schedule tests replay it exactly.
+double BackoffSeconds(const RetryPolicy& policy, std::uint32_t node,
+                      std::uint64_t transfer_id, std::uint32_t attempt);
+
+/// Per-report transfer reliability accounting, aggregated over receivers.
+struct TransferStats {
+  std::uint64_t attempts = 0;            // total delivery attempts
+  std::uint64_t retries = 0;             // attempts beyond each node's first
+  std::uint64_t abandoned = 0;           // nodes given up on (sync later)
+  std::uint64_t retransmitted_bytes = 0; // wire bytes re-sent by retries
+  double backoff_seconds = 0.0;          // summed deterministic waits
 };
 
 struct SquirrelConfig {
@@ -61,6 +89,8 @@ struct SquirrelConfig {
   double snapshot_seconds = 0.1;
   /// Throughput of generating/apply a send stream, bytes/s.
   double stream_processing_bytes_per_second = 200e6;
+  /// Retry schedule for registration propagation and node sync transfers.
+  RetryPolicy retry{};
 };
 
 struct RegistrationReport {
@@ -70,6 +100,7 @@ struct RegistrationReport {
   std::uint64_t diff_wire_bytes = 0;      // incremental stream size
   std::uint32_t receivers = 0;            // online compute nodes updated
   double total_seconds = 0.0;             // §3.2: should be well under a minute
+  TransferStats transfers{};              // delivery attempts/retries per run
 };
 
 struct SyncReport {
@@ -77,11 +108,16 @@ struct SyncReport {
   std::uint64_t wire_bytes = 0;
   std::uint32_t snapshots_advanced = 0;
   double seconds = 0.0;
+  TransferStats transfers{};
 };
 
 struct BootReport {
   sim::BootResult result;
   std::uint64_t network_bytes = 0;  // base-VMI bytes pulled over the network
+  /// Degraded-mode healing during the boot: corrupt ccVolume blocks
+  /// re-fetched on demand from the storage node (included in network_bytes).
+  std::uint64_t repaired_blocks_bytes = 0;
+  std::uint64_t repair_reads = 0;
 };
 
 /// One compute node: its ccVolume and availability state.
@@ -151,6 +187,12 @@ class SquirrelCluster {
   sim::NetworkAccountant& network() { return network_; }
   const SquirrelConfig& config() const { return config_; }
 
+  /// Arms fault injection on replication transfers and degraded boots. The
+  /// injector is borrowed (caller keeps ownership); nullptr disarms, and a
+  /// disarmed cluster's accounting is bit-identical to one that never had
+  /// an injector.
+  void SetFaultInjector(util::FaultInjector* faults) { faults_ = faults; }
+
   /// Registered image ids, in registration order.
   const std::vector<std::string>& registered_images() const {
     return registered_;
@@ -161,12 +203,24 @@ class SquirrelCluster {
   }
 
  private:
+  /// One delivery of `stream` (pre-serialized as `wire_size` bytes) to
+  /// `node_id` with retries. Attempt 1's network charge is the caller's
+  /// (strategy-level multicast/unicast/pipeline accounting); retries are
+  /// unicast resume transfers at record granularity. Returns true when an
+  /// attempt succeeds; accumulates into `stats` and `*seconds`.
+  bool DeliverWithRetries(const zvol::SendStream& stream,
+                          std::uint64_t wire_size, std::uint32_t node_id,
+                          std::uint64_t transfer_id, TransferStats& stats,
+                          double* seconds);
+
   SquirrelConfig config_;
   zvol::Volume sc_volume_;
   std::vector<std::unique_ptr<ComputeNode>> compute_nodes_;
   sim::NetworkAccountant network_;
   std::vector<std::string> registered_;
   std::uint64_t registration_counter_ = 0;
+  util::FaultInjector* faults_ = nullptr;  // borrowed; nullptr = no faults
+  std::uint64_t transfer_counter_ = 0;
 };
 
 }  // namespace squirrel::core

@@ -180,6 +180,14 @@ bool VolumeFileDevice::Present(std::uint64_t offset) const {
   return false;
 }
 
+void VolumeFileDevice::SetRepairSource(const store::BlockStore* peer,
+                                       NetworkAccountant* network,
+                                       std::uint32_t node_id) {
+  repair_peer_ = peer;
+  repair_network_ = network;
+  repair_node_id_ = node_id;
+}
+
 void VolumeFileDevice::ReadAt(std::uint64_t offset, util::MutableByteSpan out) {
   // Accounting runs before the read executes so cache residency reflects the
   // state this request found (the read itself warms the store's ARC).
@@ -188,6 +196,12 @@ void VolumeFileDevice::ReadAt(std::uint64_t offset, util::MutableByteSpan out) {
     const store::BlockStore& store = volume_->block_store();
     const std::uint64_t first = offset / block_size;
     const std::uint64_t last = (offset + out.size() - 1) / block_size;
+
+    // Collect the blocks that miss the page cache, then probe the store's
+    // ARC for all of them in one batched call (one lock acquisition instead
+    // of one per block).
+    std::vector<std::uint64_t> pending;
+    std::vector<util::Digest> digests;
     for (std::uint64_t b = first; b <= last; ++b) {
       if (b >= volume_->FileBlockCount(file_)) break;
       const zvol::BlockPtr& ptr = volume_->FileBlock(file_, b);
@@ -195,14 +209,21 @@ void VolumeFileDevice::ReadAt(std::uint64_t offset, util::MutableByteSpan out) {
       // Every block access walks the dedup table.
       io_->ChargeDdtLookup(store.stats().unique_blocks);
       if (io_->page_cache().Lookup(device_id_, b)) continue;
+      pending.push_back(b);
+      digests.push_back(ptr.digest);
+    }
+    const std::vector<std::uint8_t> resident =
+        store.CachedDecompressedBatch(digests);
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      const std::uint64_t b = pending[k];
+      const zvol::BlockPtr& ptr = volume_->FileBlock(file_, b);
       // Physical read at the block's scattered pool offset.
-      const std::uint64_t physical = store.DiskOffset(ptr.digest);
-      const std::uint32_t stored = store.PhysicalSize(ptr.digest);
-      io_->ChargeDiskRead(physical, stored);
+      io_->ChargeDiskRead(store.DiskOffset(ptr.digest),
+                          store.PhysicalSize(ptr.digest));
       // Decompression CPU — unless the decompressed payload is already
       // resident in the store's ARC (ReadConfig::cache_bytes > 0), where a
       // hit serves the plain bytes straight from memory.
-      if (!store.CachedDecompressed(ptr.digest)) {
+      if (!resident[k]) {
         io_->ChargeNs(store.codec().cost().decompress_ns_per_byte *
                       static_cast<double>(ptr.logical_size));
       }
@@ -210,7 +231,26 @@ void VolumeFileDevice::ReadAt(std::uint64_t offset, util::MutableByteSpan out) {
     }
   }
 
-  const util::Bytes data = volume_->ReadRange(file_, offset, out.size());
+  util::Bytes data;
+  if (repair_peer_ != nullptr) {
+    // Degraded mode: a corrupt local block is healed on demand from the
+    // storage node; the re-fetched bytes are charged as network traffic
+    // (the cost curve BENCH_faults measures).
+    std::uint64_t fetched = 0;
+    data = volume_->ReadRangeRepair(file_, offset, out.size(), *repair_peer_,
+                                    &fetched);
+    if (fetched > 0) {
+      ++degraded_.repair_reads;
+      degraded_.repaired_bytes += fetched;
+      if (repair_network_ != nullptr) {
+        const double ns =
+            repair_network_->Transfer(/*from=*/0, repair_node_id_, fetched);
+        if (io_ != nullptr) io_->ChargeNs(ns);
+      }
+    }
+  } else {
+    data = volume_->ReadRange(file_, offset, out.size());
+  }
   std::memcpy(out.data(), data.data(), out.size());
 }
 

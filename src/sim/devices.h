@@ -103,12 +103,33 @@ class VolumeFileDevice final : public cow::WritableDevice {
   void ReadAt(std::uint64_t offset, util::MutableByteSpan out) override;
   void WriteAt(std::uint64_t offset, util::ByteSpan data) override;
 
+  /// Degraded-read accounting: reads that hit a corrupt local block and the
+  /// bytes re-fetched from the repair peer to heal them.
+  struct DegradedReadStats {
+    std::uint64_t repair_reads = 0;    // ReadAt calls that needed healing
+    std::uint64_t repaired_bytes = 0;  // logical bytes fetched from the peer
+  };
+
+  /// Arms degraded-mode boots: when the verified read path reports a corrupt
+  /// local block, re-fetch it on demand from `peer` (the storage node's
+  /// scVolume), charge the fetched bytes to `network` as a transfer from
+  /// node 0 to `node_id`, and retry the read. Without a repair source,
+  /// corruption propagates as BlockCorruptionError.
+  void SetRepairSource(const store::BlockStore* peer,
+                       NetworkAccountant* network, std::uint32_t node_id);
+
+  const DegradedReadStats& degraded_stats() const { return degraded_; }
+
  private:
   zvol::Volume* volume_;
   std::string file_;
   IoContext* io_;
   std::uint64_t device_id_;
   std::uint32_t presence_window_;
+  const store::BlockStore* repair_peer_ = nullptr;
+  NetworkAccountant* repair_network_ = nullptr;
+  std::uint32_t repair_node_id_ = 0;
+  DegradedReadStats degraded_;
 };
 
 /// The base VMI served by the storage nodes over the data-center network.

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/fault_injector.h"
+
 namespace squirrel::store {
 namespace {
 
@@ -296,22 +298,42 @@ std::vector<util::Bytes> BlockStore::GetBatch(
   }
 
   // Stage 2: decompress the misses in parallel. Codecs are stateless and
-  // each miss writes only its own result slot.
+  // each miss writes only its own result slot. With verification enabled
+  // each miss also re-hashes its decompressed payload (once per physical
+  // block — intra-batch duplicates alias, cache hits were verified when
+  // filled); a mismatch or broken compressed framing marks the slot corrupt
+  // instead of throwing here, so the error surfaces deterministically below.
+  const bool verify = config_.read.verify_reads && config_.dedup;
+  std::vector<std::uint8_t> corrupt(misses.size(), 0);
   ForEachRead(misses.size(), [&](std::size_t j) {
     const Miss& miss = misses[j];
     if (!miss.entry->compressed) {
       results[miss.index] = miss.entry->payload;
-      return;
+    } else {
+      try {
+        results[miss.index] =
+            codec_->Decompress(miss.entry->payload, miss.entry->logical_size);
+      } catch (const std::runtime_error&) {
+        corrupt[j] = 1;  // corruption broke the compressed framing
+        return;
+      }
     }
-    results[miss.index] =
-        codec_->Decompress(miss.entry->payload, miss.entry->logical_size);
+    if (verify && ComputeDigest(results[miss.index]) != digests[miss.index]) {
+      corrupt[j] = 1;
+    }
   });
 
   // Stage 3: ordered install — fill the cache and commit read accounting,
-  // then resolve intra-batch aliases.
+  // then resolve intra-batch aliases. On corruption, throw at the first
+  // corrupt block in *input* order (misses are classified in input order),
+  // so the failing digest is identical at any thread count. Good payloads
+  // before it are installed; admitted-but-unfilled entries after it simply
+  // drop out of the ARC. Corrupt payloads never enter the cache.
   {
     std::lock_guard<std::mutex> lock(read_mutex_);
-    for (const Miss& miss : misses) {
+    for (std::size_t j = 0; j < misses.size(); ++j) {
+      const Miss& miss = misses[j];
+      if (corrupt[j]) throw BlockCorruptionError(digests[miss.index]);
       if (!miss.entry->compressed) continue;
       ++decompressed_blocks_;
       decompressed_bytes_ += miss.entry->logical_size;
@@ -366,6 +388,68 @@ std::vector<std::uint8_t> BlockStore::VerifyBatch(
 bool BlockStore::CachedDecompressed(const util::Digest& digest) const {
   std::lock_guard<std::mutex> lock(read_mutex_);
   return cache_.ResidentPayload(digest);
+}
+
+std::vector<std::uint8_t> BlockStore::CachedDecompressedBatch(
+    std::span<const util::Digest> digests) const {
+  std::vector<std::uint8_t> resident(digests.size(), 0);
+  std::lock_guard<std::mutex> lock(read_mutex_);
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    resident[i] = cache_.ResidentPayload(digests[i]) ? 1 : 0;
+  }
+  return resident;
+}
+
+bool BlockStore::Repair(const util::Digest& digest, util::ByteSpan raw) {
+  auto it = entries_.find(digest);
+  if (it == entries_.end()) return false;
+  if (config_.dedup && ComputeDigest(raw) != digest) return false;
+  Entry& entry = it->second;
+  if (raw.size() != entry.logical_size) return false;
+
+  util::Bytes payload;
+  bool compressed = false;
+  if (config_.codec != compress::CodecId::kNull) {
+    util::Bytes candidate = codec_->Compress(raw);
+    if (WorthKeeping(candidate.size(), raw.size())) {
+      payload = std::move(candidate);
+      compressed = true;
+    }
+  }
+  if (!compressed) payload.assign(raw.begin(), raw.end());
+
+  // Bit flips leave sizes intact — re-compressing identical content with the
+  // (deterministic) codec reproduces the original extent, so the common case
+  // touches no allocation state. Guard the general case anyway so SpaceMap
+  // and physical accounting stay coherent if the damaged entry recorded a
+  // different size.
+  const auto physical = static_cast<std::uint32_t>(
+      util::AlignUp(payload.size(), kSectorBytes));
+  if (physical != entry.physical_size) {
+    space_map_.Free(entry.disk_offset, entry.physical_size);
+    entry.disk_offset = space_map_.Allocate(physical);
+    stats_.physical_data_bytes += physical;
+    stats_.physical_data_bytes -= entry.physical_size;
+    entry.physical_size = physical;
+  }
+  entry.payload = std::move(payload);
+  entry.compressed = compressed;
+  return true;
+}
+
+std::size_t BlockStore::InjectFaults(util::FaultInjector& faults) {
+  std::size_t corrupted = 0;
+  // Iteration order is irrelevant: each block's outcome depends only on the
+  // injector seed and its digest.
+  for (auto& [digest, entry] : entries_) {
+    if (entry.payload.empty()) continue;
+    if (faults.CorruptBlock(
+            digest, util::MutableByteSpan(entry.payload.data(),
+                                          entry.payload.size()))) {
+      ++corrupted;
+    }
+  }
+  return corrupted;
 }
 
 ReadStats BlockStore::read_stats() const {

@@ -45,6 +45,10 @@
 #include "util/hash.h"
 #include "util/thread_pool.h"
 
+namespace squirrel::util {
+class FaultInjector;
+}  // namespace squirrel::util
+
 namespace squirrel::store {
 
 /// Per-unique-block DDT entry overheads, modelled on ZFS (zio_ddt): an
@@ -70,6 +74,21 @@ class NoSuchBlockError : public Error {
  public:
   explicit NoSuchBlockError(const util::Digest& digest)
       : Error("no such block: " + digest.ToHex()) {}
+};
+
+/// Thrown by the verified read path when a stored payload no longer hashes
+/// to its digest (or its compressed framing is broken) — the ZFS
+/// checksum-on-read failure. Carries the digest so self-healing layers can
+/// re-fetch the block from a peer.
+class BlockCorruptionError : public Error {
+ public:
+  explicit BlockCorruptionError(const util::Digest& digest)
+      : Error("block corrupt: " + digest.ToHex()), digest_(digest) {}
+
+  const util::Digest& digest() const { return digest_; }
+
+ private:
+  util::Digest digest_;
 };
 
 /// Parallelism knobs for the batch ingest pipeline (PutBatch and the volume
@@ -106,6 +125,12 @@ struct ReadConfig {
   /// modelling the QCOW2 64 KB-cluster prefetch effect (Fig 11). Pointless
   /// without a cache, so ignored when cache_bytes == 0.
   std::size_t readahead_blocks = 0;
+  /// Recompute each miss's digest after decompression and throw
+  /// BlockCorruptionError on mismatch (ZFS checksum-on-read). Verified
+  /// payloads entering the ARC are never re-verified; the check costs one
+  /// hash per physical (deduplicated) block actually decompressed. Ignored
+  /// when dedup is off — synthetic digests carry no content hash.
+  bool verify_reads = true;
 
   bool operator==(const ReadConfig&) const = default;
 };
@@ -228,6 +253,25 @@ class BlockStore {
   /// Non-mutating (no counter update); the boot simulator probes this to
   /// decide whether a read pays decompression CPU.
   bool CachedDecompressed(const util::Digest& digest) const;
+
+  /// Batched CachedDecompressed: one lock acquisition for the whole span,
+  /// resident[i] == 1 iff the payload of digests[i] is resident and filled.
+  std::vector<std::uint8_t> CachedDecompressedBatch(
+      std::span<const util::Digest> digests) const;
+
+  /// Self-healing: replaces the stored payload of an existing block with a
+  /// freshly compressed copy of `raw` — the resilver step after a scrub (or
+  /// verified read) caught corruption. Returns false without touching the
+  /// store when the digest is unknown or `raw` does not hash to it (a
+  /// corrupt peer cannot "repair" a block into a worse state). Refcounts
+  /// and logical accounting are untouched; physical accounting is adjusted
+  /// if the re-compressed size differs from the damaged payload's extent.
+  bool Repair(const util::Digest& digest, util::ByteSpan raw);
+
+  /// Applies the injector's stored-payload fault schedule to every resident
+  /// block (order-independent: each block's outcome depends only on the
+  /// injector seed and the digest). Returns the number of blocks corrupted.
+  std::size_t InjectFaults(util::FaultInjector& faults);
 
   /// Test hook: flips one byte of the stored payload. Returns false if the
   /// digest is unknown.

@@ -1,0 +1,98 @@
+#include "util/fault_injector.h"
+
+namespace squirrel::util {
+namespace {
+
+// Site tags for the event-keyed RNG derivation. Values are arbitrary but
+// frozen: changing them reshuffles every recorded fault schedule.
+constexpr std::uint64_t kSiteBlock = 0xb10c;
+constexpr std::uint64_t kSiteImage = 0x1a6e;
+constexpr std::uint64_t kSiteStream = 0x57ea;
+constexpr std::uint64_t kSiteTruncate = 0x7c47;
+constexpr std::uint64_t kSiteTransfer = 0x7a5f;
+
+bool FlipOneBit(MutableByteSpan data, Rng& rng) {
+  if (data.empty()) return false;
+  const std::uint64_t bit = rng.Below(data.size() * 8);
+  data[bit / 8] ^= static_cast<Byte>(1u << (bit % 8));
+  return true;
+}
+
+// One probability draw per decision. Unlike Rng::Chance this always consumes
+// exactly one value, so decisions at fixed positions in an event stream
+// (fail, then corrupt, then progress) stay aligned at any rate, including 0.
+bool Draw(Rng& rng, double p) { return rng.NextDouble() < p; }
+
+}  // namespace
+
+Rng FaultInjector::EventRng(std::uint64_t site, std::uint64_t k0,
+                            std::uint64_t k1, std::uint64_t k2) const {
+  // Mix the key through FNV so nearby keys (attempt, attempt+1) land on
+  // unrelated streams; Rng's splitmix seeding finishes the avalanche.
+  std::uint64_t key[4] = {site, k0, k1, k2};
+  const std::uint64_t mixed =
+      Fnv1a64(ByteSpan(reinterpret_cast<const Byte*>(key), sizeof(key)));
+  return Rng(seed_ ^ mixed);
+}
+
+bool FaultInjector::CorruptBlock(const Digest& digest,
+                                 MutableByteSpan stored) {
+  Rng rng = EventRng(kSiteBlock, digest.Prefix64(),
+                     Fnv1a64(ByteSpan(digest.bytes.data(), digest.bytes.size())));
+  if (!Draw(rng, profile_.block_corrupt_rate)) return false;
+  if (!FlipOneBit(stored, rng)) return false;
+  ++stats_.blocks_corrupted;
+  return true;
+}
+
+bool FaultInjector::CorruptImage(MutableByteSpan wire, std::uint64_t salt) {
+  Rng rng = EventRng(kSiteImage, salt);
+  if (!Draw(rng, profile_.image_corrupt_rate)) return false;
+  if (!FlipOneBit(wire, rng)) return false;
+  ++stats_.images_corrupted;
+  return true;
+}
+
+bool FaultInjector::CorruptStream(MutableByteSpan wire, std::uint64_t salt) {
+  Rng rng = EventRng(kSiteStream, salt);
+  if (!Draw(rng, profile_.stream_corrupt_rate)) return false;
+  if (!FlipOneBit(wire, rng)) return false;
+  ++stats_.streams_corrupted;
+  return true;
+}
+
+void FaultInjector::Truncate(Bytes& wire, std::uint64_t salt) {
+  Rng rng = EventRng(kSiteTruncate, salt);
+  wire.resize(rng.Below(wire.size()));
+}
+
+bool FaultInjector::TransferFails(std::uint32_t node, std::uint64_t transfer_id,
+                                  std::uint32_t attempt) {
+  Rng rng = EventRng(kSiteTransfer, node, transfer_id, attempt);
+  if (!Draw(rng, profile_.transfer_fail_rate)) return false;
+  ++stats_.transfers_failed;
+  return true;
+}
+
+bool FaultInjector::TransferCorrupts(std::uint32_t node,
+                                     std::uint64_t transfer_id,
+                                     std::uint32_t attempt) {
+  Rng rng = EventRng(kSiteTransfer, node, transfer_id, attempt);
+  // Same stream as TransferFails: the first draw decides fail, the second
+  // corrupt, so the two outcomes are mutually exclusive per attempt.
+  if (Draw(rng, profile_.transfer_fail_rate)) return false;
+  if (!Draw(rng, profile_.transfer_corrupt_rate)) return false;
+  ++stats_.transfers_corrupted;
+  return true;
+}
+
+double FaultInjector::PartialProgress(std::uint32_t node,
+                                      std::uint64_t transfer_id,
+                                      std::uint32_t attempt) const {
+  Rng rng = EventRng(kSiteTransfer, node, transfer_id, attempt);
+  rng.NextDouble();  // skip the fail draw
+  rng.NextDouble();  // skip the corrupt draw
+  return rng.NextDouble();
+}
+
+}  // namespace squirrel::util

@@ -1,0 +1,115 @@
+// Deterministic, schedule-driven fault injection.
+//
+// The paper's robustness story rests on ZFS: end-to-end checksums catch
+// silent corruption of cVolume blocks, scrub + self-healing restore them, and
+// the replication fabric (§3.2/§3.5) survives node churn during cache-update
+// propagation. To test our reproduction of those mechanisms we need faults on
+// demand — and, because every figure in this repo must regenerate
+// bit-identically, the faults themselves have to be reproducible.
+//
+// Every decision is derived from (seed, fault site, event key) through an
+// independent child RNG, so outcomes do not depend on the order in which
+// sites are interrogated: corrupting block X is the same coin flip whether
+// the store iterates it first or last, and transfer attempt (node, id, k)
+// fails identically across runs. Rates are per-event probabilities; the
+// schedule for one seed is one fixed sample of the fault space.
+//
+// Sites covered:
+//   * stored block payloads   — flip one bit (what a scrub must find)
+//   * serialized volume images / send streams — flip a bit or truncate
+//   * cluster transfers       — fail outright, deliver corrupted bytes, or
+//                               stall; partial progress is exposed so the
+//                               retry layer can resume at record granularity
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace squirrel::util {
+
+/// Per-site fault probabilities. All default to zero (no faults); an injector
+/// with a default profile is a deterministic no-op.
+struct FaultProfile {
+  /// Per stored block: probability of flipping one bit of the stored
+  /// (possibly compressed) payload.
+  double block_corrupt_rate = 0.0;
+  /// Per serialized volume image / send stream handed to CorruptImage /
+  /// CorruptStream: probability of flipping one bit.
+  double image_corrupt_rate = 0.0;
+  double stream_corrupt_rate = 0.0;
+  /// Per transfer attempt: probability that nothing usable arrives.
+  double transfer_fail_rate = 0.0;
+  /// Per transfer attempt: probability the bytes arrive damaged (detected by
+  /// the receiver's checksums; counts as a failed attempt for the retry
+  /// layer, but verified records before the damage point are kept).
+  double transfer_corrupt_rate = 0.0;
+  /// Simulated latency added to every faulted transfer attempt, seconds.
+  double transfer_delay_seconds = 0.0;
+
+  bool operator==(const FaultProfile&) const = default;
+};
+
+/// Cumulative injection counters, for reports and benches.
+struct FaultStats {
+  std::uint64_t blocks_corrupted = 0;
+  std::uint64_t images_corrupted = 0;
+  std::uint64_t streams_corrupted = 0;
+  std::uint64_t transfers_failed = 0;
+  std::uint64_t transfers_corrupted = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::uint64_t seed, FaultProfile profile)
+      : seed_(seed), profile_(profile) {}
+
+  std::uint64_t seed() const { return seed_; }
+  const FaultProfile& profile() const { return profile_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Stored-payload fault: flips one bit of `stored` when the schedule says
+  /// so for this digest. Returns true if a bit was flipped. Deterministic per
+  /// (seed, digest), independent of call order.
+  bool CorruptBlock(const Digest& digest, MutableByteSpan stored);
+
+  /// Serialized-artifact faults, keyed by a caller-chosen salt (e.g. an
+  /// image counter). Bit flip when scheduled; returns true if applied.
+  bool CorruptImage(MutableByteSpan wire, std::uint64_t salt);
+  bool CorruptStream(MutableByteSpan wire, std::uint64_t salt);
+
+  /// Truncates `wire` to a schedule-chosen length in [0, size). Always
+  /// applies (tests drive the rate themselves); deterministic per salt.
+  void Truncate(Bytes& wire, std::uint64_t salt);
+
+  /// Transfer-attempt faults, keyed by (receiver node, transfer id, attempt
+  /// number). Fail and corrupt are mutually exclusive per attempt: a failed
+  /// attempt delivers nothing usable, a corrupted one delivers bytes the
+  /// receiver's checksums reject.
+  bool TransferFails(std::uint32_t node, std::uint64_t transfer_id,
+                     std::uint32_t attempt);
+  bool TransferCorrupts(std::uint32_t node, std::uint64_t transfer_id,
+                        std::uint32_t attempt);
+
+  /// Fraction (in [0, 1)) of the *remaining* payload records that arrived
+  /// intact before a faulted attempt died — the resume point for the next
+  /// attempt.
+  double PartialProgress(std::uint32_t node, std::uint64_t transfer_id,
+                         std::uint32_t attempt) const;
+
+  double TransferDelaySeconds() const { return profile_.transfer_delay_seconds; }
+
+ private:
+  /// Independent child generator for one (site, key) event. Outcomes never
+  /// depend on interrogation order because each event re-derives from seed_.
+  Rng EventRng(std::uint64_t site, std::uint64_t k0, std::uint64_t k1 = 0,
+               std::uint64_t k2 = 0) const;
+
+  std::uint64_t seed_;
+  FaultProfile profile_;
+  FaultStats stats_;
+};
+
+}  // namespace squirrel::util

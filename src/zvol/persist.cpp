@@ -9,6 +9,7 @@
 //
 // Payloads are stored raw and recompressed on load — physical pool layout
 // is not part of the logical volume state.
+#include <algorithm>
 #include <cstring>
 #include <unordered_set>
 
@@ -73,7 +74,7 @@ class Reader {
 
  private:
   const util::Byte* Raw(std::size_t n) {
-    if (pos_ + n > data_.size()) throw std::runtime_error("volume image truncated");
+    if (pos_ + n > data_.size()) throw VolumeImageError("volume image truncated");
     const util::Byte* p = data_.data() + pos_;
     pos_ += n;
     return p;
@@ -112,7 +113,7 @@ FileTable ReadTable(Reader& r) {
       if (!hole) {
         const util::Bytes digest = r.Blob();
         if (digest.size() != meta.blocks[b].digest.bytes.size()) {
-          throw std::runtime_error("volume image: bad digest size");
+          throw VolumeImageError("volume image: bad digest size");
         }
         meta.blocks[b].hole = false;
         std::memcpy(meta.blocks[b].digest.bytes.data(), digest.data(),
@@ -151,10 +152,24 @@ util::Bytes Volume::Serialize() const {
   collect(files_);
   for (const auto& snap : snapshots_) collect(snap->files);
 
-  w.U64(digests.size());
-  for (const util::Digest& digest : digests) {
-    w.Blob(util::ByteSpan(digest.bytes.data(), digest.bytes.size()));
-    w.Blob(store_.Get(digest));
+  // Fetch the payloads through the batched, cache-aware read path in
+  // ingest-sized rounds (digest order unchanged: the set's iteration
+  // order, exactly what the serial Get loop walked). The verified read
+  // path makes this the integrity gate too — serializing a store with a
+  // corrupt block throws BlockCorruptionError instead of embedding garbage.
+  const std::vector<util::Digest> ordered(digests.begin(), digests.end());
+  w.U64(ordered.size());
+  const std::size_t batch_blocks =
+      std::max<std::size_t>(1, config_.ingest.batch_blocks);
+  for (std::size_t base = 0; base < ordered.size(); base += batch_blocks) {
+    const std::size_t n = std::min(batch_blocks, ordered.size() - base);
+    const std::vector<util::Bytes> payloads =
+        store_.GetBatch(std::span<const util::Digest>(ordered.data() + base, n));
+    for (std::size_t i = 0; i < n; ++i) {
+      const util::Digest& digest = ordered[base + i];
+      w.Blob(util::ByteSpan(digest.bytes.data(), digest.bytes.size()));
+      w.Blob(payloads[i]);
+    }
   }
 
   WriteTable(w, files_);
@@ -173,23 +188,23 @@ util::Bytes Volume::Serialize() const {
 }
 
 std::unique_ptr<Volume> Volume::Deserialize(util::ByteSpan image) {
-  if (image.size() < 32) throw std::runtime_error("volume image too short");
+  if (image.size() < 32) throw VolumeImageError("volume image too short");
   const util::ByteSpan body = image.first(image.size() - 32);
   const auto checksum = util::Sha256(body);
   if (std::memcmp(checksum.data(), image.data() + body.size(), 32) != 0) {
-    throw std::runtime_error("volume image checksum mismatch");
+    throw VolumeImageError("volume image checksum mismatch");
   }
 
   Reader r(body);
-  if (r.U32() != kMagic) throw std::runtime_error("volume image bad magic");
-  if (r.U32() != kVersion) throw std::runtime_error("volume image bad version");
+  if (r.U32() != kMagic) throw VolumeImageError("volume image bad magic");
+  if (r.U32() != kVersion) throw VolumeImageError("volume image bad version");
 
   VolumeConfig config;
   config.block_size = r.U32();
   const std::string codec_name = r.Str();
   const std::optional<compress::CodecId> codec = compress::ParseCodec(codec_name);
   if (!codec) {
-    throw std::runtime_error("volume image: unknown codec " + codec_name);
+    throw VolumeImageError("volume image: unknown codec " + codec_name);
   }
   config.codec = *codec;
   config.dedup = r.U8() != 0;
@@ -205,21 +220,46 @@ std::unique_ptr<Volume> Volume::Deserialize(util::ByteSpan image) {
   // Without dedup the store mints fresh synthetic digests on load, so table
   // pointers must be rewritten from the recorded ids to the new ones.
   std::unordered_map<util::Digest, util::Digest, util::DigestHasher> remap;
+  // Blocks load through PutBatch in ingest-sized rounds (parallel hash +
+  // compress, ordered commit — digests and synthetic ids land exactly as
+  // the serial Put loop minted them).
+  const std::size_t batch_blocks =
+      std::max<std::size_t>(1, config.ingest.batch_blocks);
+  std::vector<util::Digest> expected_batch;
+  std::vector<util::Bytes> payload_batch;
+  std::vector<util::ByteSpan> spans;
+  const auto flush = [&]() {
+    spans.clear();
+    for (const util::Bytes& p : payload_batch) spans.emplace_back(p);
+    const std::vector<store::PutResult> puts = volume->store_.PutBatch(spans);
+    for (std::size_t i = 0; i < puts.size(); ++i) {
+      if (config.dedup && puts[i].digest != expected_batch[i]) {
+        throw VolumeImageError("volume image: payload does not match digest");
+      }
+      if (!config.dedup) remap.emplace(expected_batch[i], puts[i].digest);
+      inserted.push_back(puts[i].digest);
+    }
+    expected_batch.clear();
+    payload_batch.clear();
+  };
   for (std::uint64_t b = 0; b < block_count; ++b) {
     const util::Bytes digest_bytes = r.Blob();
-    const util::Bytes payload = r.Blob();
+    util::Bytes payload = r.Blob();
     util::Digest expected;
     if (digest_bytes.size() != expected.bytes.size()) {
-      throw std::runtime_error("volume image: bad digest size");
+      throw VolumeImageError("volume image: bad digest size");
     }
     std::memcpy(expected.bytes.data(), digest_bytes.data(), digest_bytes.size());
-    const store::PutResult put = volume->store_.Put(payload);
-    if (config.dedup && put.digest != expected) {
-      throw std::runtime_error("volume image: payload does not match digest");
+    // A valid image never records an empty or all-zero payload (those are
+    // holes); reject instead of handing the store an input it asserts on.
+    if (payload.empty() || util::IsAllZero(payload)) {
+      throw VolumeImageError("volume image: empty or all-zero block payload");
     }
-    if (!config.dedup) remap.emplace(expected, put.digest);
-    inserted.push_back(put.digest);
+    expected_batch.push_back(expected);
+    payload_batch.push_back(std::move(payload));
+    if (payload_batch.size() == batch_blocks) flush();
   }
+  flush();
 
   auto retain = [&](FileTable& table) {
     for (auto& [name, meta] : table) {
@@ -228,7 +268,7 @@ std::unique_ptr<Volume> Volume::Deserialize(util::ByteSpan image) {
         if (!config.dedup) {
           const auto it = remap.find(ptr.digest);
           if (it == remap.end()) {
-            throw std::runtime_error("volume image: unmapped block reference");
+            throw VolumeImageError("volume image: unmapped block reference");
           }
           ptr.digest = it->second;
         }

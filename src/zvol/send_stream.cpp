@@ -7,7 +7,8 @@
 namespace squirrel::zvol {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x53515353;  // "SQSS"
+constexpr std::uint32_t kMagicV1 = 0x53515353;  // "SQSS" — no record checksums
+constexpr std::uint32_t kMagicV2 = 0x32515353;  // "SSQ2" — record checksums
 
 class Writer {
  public:
@@ -64,7 +65,7 @@ class Reader {
  private:
   const util::Byte* Raw(std::size_t n) {
     if (pos_ + n > data_.size()) {
-      throw std::runtime_error("send stream truncated");
+      throw StreamCorruptError("send stream truncated");
     }
     const util::Byte* p = data_.data() + pos_;
     pos_ += n;
@@ -79,7 +80,7 @@ class Reader {
 
 util::Bytes SendStream::Serialize() const {
   Writer w;
-  w.U32(kMagic);
+  w.U32(kMagicV2);
   w.U8(incremental ? 1 : 0);
   w.U64(from_id);
   w.Str(from_name);
@@ -105,6 +106,9 @@ util::Bytes SendStream::Serialize() const {
       w.Blob(util::ByteSpan(b.digest.bytes.data(), b.digest.bytes.size()));
       w.U32(b.logical_size);
       if (b.has_payload) {
+        // Computed over the bytes going onto the wire, so hand-built
+        // records need not pre-fill the field.
+        w.U64(PayloadChecksum(b.payload));
         w.Blob(b.payload);
       }
     }
@@ -117,15 +121,19 @@ util::Bytes SendStream::Serialize() const {
 }
 
 SendStream SendStream::Deserialize(util::ByteSpan wire) {
-  if (wire.size() < 32) throw std::runtime_error("send stream too short");
+  if (wire.size() < 32) throw StreamCorruptError("send stream too short");
   const util::ByteSpan body = wire.first(wire.size() - 32);
   const auto checksum = util::Sha256(body);
   if (std::memcmp(checksum.data(), wire.data() + body.size(), 32) != 0) {
-    throw std::runtime_error("send stream checksum mismatch");
+    throw StreamCorruptError("send stream checksum mismatch");
   }
 
   Reader r(body);
-  if (r.U32() != kMagic) throw std::runtime_error("send stream bad magic");
+  const std::uint32_t magic = r.U32();
+  if (magic != kMagicV1 && magic != kMagicV2) {
+    throw StreamCorruptError("send stream bad magic");
+  }
+  const bool record_checksums = magic == kMagicV2;
 
   SendStream s;
   s.incremental = r.U8() != 0;
@@ -159,11 +167,24 @@ SendStream SendStream::Deserialize(util::ByteSpan wire) {
       b.payload_compressed = (flags & 4) != 0;
       const util::Bytes digest = r.Blob();
       if (digest.size() != b.digest.bytes.size()) {
-        throw std::runtime_error("send stream bad digest size");
+        throw StreamCorruptError("send stream bad digest size");
       }
       std::memcpy(b.digest.bytes.data(), digest.data(), digest.size());
       b.logical_size = r.U32();
-      if (b.has_payload) b.payload = r.Blob();
+      if (b.has_payload) {
+        if (record_checksums) {
+          b.payload_checksum = r.U64();
+          b.payload = r.Blob();
+          if (PayloadChecksum(b.payload) != b.payload_checksum) {
+            throw StreamMismatchError("send stream record checksum mismatch");
+          }
+        } else {
+          // Version-1 streams carry no record checksums; synthesize them so
+          // downstream apply-time validation treats both formats uniformly.
+          b.payload = r.Blob();
+          b.payload_checksum = PayloadChecksum(b.payload);
+        }
+      }
       f.blocks.push_back(std::move(b));
     }
     s.files.push_back(std::move(f));

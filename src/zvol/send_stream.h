@@ -4,8 +4,13 @@
 // A stream carries: the identity of the base and target snapshots, the file
 // deletions and file (re)definitions between them, and the payloads of
 // exactly those blocks the receiver cannot already have. Integrity is
-// protected by a SHA-256 trailer; the failure-injection tests flip bits and
-// expect Deserialize to reject the stream.
+// protected at two granularities: a SHA-256 trailer over the whole wire
+// encoding (catches truncation and bit flips in flight), and — since wire
+// version 2 — a per-record FNV checksum over each carried payload, validated
+// again at apply time. The per-record checksums are what let a retrying
+// replication layer keep the verified prefix of a partially transferred
+// stream instead of restarting it. Version-1 streams (no record checksums)
+// are still read; their checksums are synthesized at parse time.
 #pragma once
 
 #include <cstdint>
@@ -14,9 +19,24 @@
 #include <vector>
 
 #include "util/bytes.h"
+#include "util/error.h"
 #include "util/hash.h"
 
 namespace squirrel::zvol {
+
+/// Thrown on wire-level damage to a serialized stream: truncation, bad
+/// magic, whole-stream checksum mismatch, or malformed structure.
+class StreamCorruptError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a stream cannot apply: the receiver's base snapshot does not
+/// match, or a record's payload no longer matches its checksum.
+class StreamMismatchError : public Error {
+ public:
+  using Error::Error;
+};
 
 struct BlockRecord {
   std::uint64_t index = 0;       // block number within the file
@@ -26,6 +46,9 @@ struct BlockRecord {
   bool has_payload = false;
   bool payload_compressed = false;  // payload is codec-compressed (send -c)
   util::Bytes payload;
+  /// FNV-1a over `payload` as carried on the wire (compressed form if
+  /// payload_compressed). Meaningful only when has_payload.
+  std::uint64_t payload_checksum = 0;
 };
 
 struct FileRecord {
@@ -52,12 +75,22 @@ struct SendStream {
   std::vector<std::string> deleted_files;
   std::vector<FileRecord> files;
 
-  /// Wire encoding with a SHA-256 integrity trailer.
+  /// Wire encoding (version 2: per-record payload checksums) with a SHA-256
+  /// integrity trailer.
   util::Bytes Serialize() const;
 
-  /// Parses and verifies; throws std::runtime_error on truncation or
-  /// checksum mismatch.
+  /// Parses and verifies; accepts version-1 (no record checksums) and
+  /// version-2 wire formats. Throws StreamCorruptError on truncation, bad
+  /// magic or trailer mismatch, StreamMismatchError when a carried payload
+  /// fails its record checksum.
   static SendStream Deserialize(util::ByteSpan wire);
+
+  /// Checksum of one carried payload as written to (and validated from) the
+  /// wire. Exposed so senders can stamp records and receivers re-validate
+  /// in-memory streams that never crossed the wire encoding.
+  static std::uint64_t PayloadChecksum(util::ByteSpan payload) {
+    return util::Fnv1a64(payload);
+  }
 
   /// Size of the encoded stream in bytes — what registration actually pushes
   /// over the network (the paper's "diff of O(10 MB)").

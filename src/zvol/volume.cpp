@@ -527,6 +527,7 @@ SendStream Volume::Send(const std::string& from_name,
     } else {
       rec.payload = raw;
     }
+    rec.payload_checksum = SendStream::PayloadChecksum(rec.payload);
   });
   return stream;
 }
@@ -534,13 +535,78 @@ SendStream Volume::Send(const std::string& from_name,
 void Volume::ApplyStreamToTable(const SendStream& stream, FileTable& table) {
   const compress::Codec* codec = compress::FindCodec(stream.codec);
   if (codec == nullptr) {
-    throw std::runtime_error("receive: unknown codec " + stream.codec);
+    throw StreamCorruptError("receive: unknown codec " + stream.codec);
+  }
+
+  // Stage 0: validate structure and record checksums, and materialize every
+  // carried payload, before touching any table or store state — a damaged
+  // stream must leave the volume unchanged. Checksums are re-checked here
+  // (not just at Deserialize) so corruption of an in-memory stream that
+  // never crossed the wire encoding is caught too. Decompression of the
+  // validated payloads runs in parallel on the ingest pool; failures are
+  // recorded per slot and thrown for the first bad record in stream order,
+  // so the error is identical at any thread count.
+  struct Carried {
+    const BlockRecord* rec;
+    util::Bytes raw;
+    std::uint8_t bad = 0;
+  };
+  std::vector<Carried> carried;
+  for (const FileRecord& f : stream.files) {
+    const std::uint64_t block_count =
+        util::CeilDiv(f.logical_size, stream.block_size);
+    std::uint64_t prev_index = 0;
+    bool first = true;
+    for (const BlockRecord& b : f.blocks) {
+      if (b.index >= block_count) {
+        throw StreamCorruptError("receive: block index out of range");
+      }
+      if (!first && b.index <= prev_index) {
+        throw StreamCorruptError("receive: block indices out of order");
+      }
+      first = false;
+      prev_index = b.index;
+      if (!b.has_payload) continue;
+      if (b.hole) {
+        throw StreamCorruptError("receive: hole record carries a payload");
+      }
+      // Deserialize always fills the checksum (verified for v2, synthesized
+      // for v1); zero marks a hand-built in-memory record with none to check.
+      if (b.payload_checksum != 0 &&
+          SendStream::PayloadChecksum(b.payload) != b.payload_checksum) {
+        throw StreamMismatchError("receive: record checksum mismatch");
+      }
+      carried.push_back({&b, {}, 0});
+    }
+  }
+  ForEachIngest(carried.size(), [&](std::size_t k) {
+    Carried& c = carried[k];
+    const BlockRecord& b = *c.rec;
+    if (b.payload_compressed) {
+      try {
+        c.raw = codec->Decompress(b.payload, b.logical_size);
+      } catch (const std::runtime_error&) {
+        c.bad = 1;  // damage broke the compressed framing
+        return;
+      }
+    } else {
+      c.raw = b.payload;
+    }
+    // Reject payloads a healthy sender never produces: wrong length, empty,
+    // or all zeros (holes are never carried as payloads).
+    if (c.raw.size() != b.logical_size || c.raw.empty() ||
+        util::IsAllZero(c.raw)) {
+      c.bad = 1;
+    }
+  });
+  for (const Carried& c : carried) {
+    if (c.bad) throw StreamCorruptError("receive: undecodable block payload");
   }
 
   for (const std::string& name : stream.deleted_files) {
     auto it = table.find(name);
     if (it == table.end()) {
-      throw std::runtime_error("receive: deletion of unknown file " + name);
+      throw StreamCorruptError("receive: deletion of unknown file " + name);
     }
     for (const BlockPtr& ptr : it->second.blocks) {
       if (!ptr.hole) store_.Unref(ptr.digest);
@@ -548,6 +614,7 @@ void Volume::ApplyStreamToTable(const SendStream& stream, FileTable& table) {
     table.erase(it);
   }
 
+  std::size_t next_carried = 0;
   for (const FileRecord& f : stream.files) {
     FileMeta* meta;
     auto it = table.find(f.name);
@@ -575,31 +642,47 @@ void Volume::ApplyStreamToTable(const SendStream& stream, FileTable& table) {
       meta->blocks.resize(new_count);
     }
 
+    // Drop every touched block's old reference first. This is safe to batch
+    // ahead of the inserts because the live table equals the latest
+    // snapshot's table when a stream applies, so snapshot references keep
+    // any still-needed block alive across the reordering.
     for (const BlockRecord& b : f.blocks) {
-      if (b.index >= meta->blocks.size()) {
-        throw std::runtime_error("receive: block index out of range");
-      }
       BlockPtr& ptr = meta->blocks[b.index];
       if (!ptr.hole) {
         store_.Unref(ptr.digest);
         ptr = BlockPtr{};
       }
+    }
+
+    // Batch-put this file's carried payloads (parallel hash + compress,
+    // ordered commit), then install pointers in record order — a later
+    // record may reference the digest a carried payload just inserted.
+    const std::size_t file_carried = static_cast<std::size_t>(
+        std::count_if(f.blocks.begin(), f.blocks.end(),
+                      [](const BlockRecord& b) { return b.has_payload; }));
+    std::vector<util::ByteSpan> payloads;
+    payloads.reserve(file_carried);
+    for (std::size_t k = 0; k < file_carried; ++k) {
+      payloads.emplace_back(carried[next_carried + k].raw);
+    }
+    const std::vector<store::PutResult> puts = store_.PutBatch(payloads);
+    std::size_t next_put = 0;
+    for (const BlockRecord& b : f.blocks) {
       if (b.hole) continue;
+      BlockPtr& ptr = meta->blocks[b.index];
       if (b.has_payload) {
-        const util::Bytes raw =
-            b.payload_compressed ? codec->Decompress(b.payload, b.logical_size)
-                                 : b.payload;
-        const store::PutResult put = store_.Put(raw);
+        const store::PutResult& put = puts[next_put++];
         ptr = BlockPtr{false, put.digest, put.logical_size};
       } else {
         if (!store_.Contains(b.digest)) {
-          throw std::runtime_error(
+          throw StreamCorruptError(
               "receive: stream references a block this volume does not hold");
         }
         store_.Ref(b.digest);
         ptr = BlockPtr{false, b.digest, b.logical_size};
       }
     }
+    next_carried += next_put;
   }
 }
 
@@ -641,12 +724,12 @@ void Volume::ReceiveFull(const SendStream& stream) {
   Receive(stream);
 }
 
-Volume::ScrubReport Volume::Scrub() const {
-  ScrubReport report;
-  // Each unique digest is verified once even if referenced many times —
-  // like ZFS, the scrub walks physical blocks. The walk is serial (cheap
-  // pointer chasing); the re-read + re-hash of the collected digests runs
-  // in parallel through VerifyBatch.
+std::vector<util::Digest> Volume::CollectScrubDigests(
+    std::uint64_t* dangling_refs) const {
+  // Each unique digest is collected once even if referenced many times —
+  // like ZFS, a scrub walks physical blocks. The walk is serial (cheap
+  // pointer chasing); verification of the collected digests runs in
+  // parallel through VerifyBatch.
   std::unordered_set<util::Digest, util::DigestHasher> checked;
   std::vector<util::Digest> to_verify;
   auto scrub_table = [&](const FileTable& table) {
@@ -654,7 +737,7 @@ Volume::ScrubReport Volume::Scrub() const {
       for (const BlockPtr& ptr : meta.blocks) {
         if (ptr.hole) continue;
         if (!store_.Contains(ptr.digest)) {
-          ++report.dangling_refs;
+          ++*dangling_refs;
           continue;
         }
         if (!checked.insert(ptr.digest).second) continue;
@@ -664,12 +747,74 @@ Volume::ScrubReport Volume::Scrub() const {
   };
   scrub_table(files_);
   for (const auto& snap : snapshots_) scrub_table(snap->files);
+  return to_verify;
+}
+
+Volume::ScrubReport Volume::Scrub() const {
+  ScrubReport report;
+  const std::vector<util::Digest> to_verify =
+      CollectScrubDigests(&report.dangling_refs);
   report.blocks_checked = to_verify.size();
   const std::vector<std::uint8_t> ok = store_.VerifyBatch(to_verify);
   for (const std::uint8_t bit : ok) {
     if (bit == 0) ++report.errors;
   }
   return report;
+}
+
+Volume::RepairReport Volume::ScrubRepair(const store::BlockStore& peer) {
+  RepairReport report;
+  const std::vector<util::Digest> to_verify =
+      CollectScrubDigests(&report.dangling_refs);
+  report.blocks_checked = to_verify.size();
+  const std::vector<std::uint8_t> ok = store_.VerifyBatch(to_verify);
+  for (std::size_t i = 0; i < to_verify.size(); ++i) {
+    if (ok[i]) continue;
+    ++report.errors_found;
+    // Resilver: fetch the block from the healthy replica. The peer's own
+    // verified read path throws if its copy is corrupt too, and Repair
+    // re-hashes the fetched bytes before accepting them — a bad peer can
+    // never make things worse.
+    util::Bytes raw;
+    try {
+      raw = peer.Get(to_verify[i]);
+    } catch (const Error&) {
+      ++report.unrepairable;  // peer missing the block, or corrupt as well
+      continue;
+    }
+    if (store_.Repair(to_verify[i], raw)) {
+      ++report.repaired;
+      report.repaired_bytes += raw.size();
+    } else {
+      ++report.unrepairable;
+    }
+  }
+  return report;
+}
+
+util::Bytes Volume::ReadRangeRepair(const std::string& name,
+                                    std::uint64_t offset, std::uint64_t length,
+                                    const store::BlockStore& peer,
+                                    std::uint64_t* fetched_bytes) {
+  DigestSet repaired;
+  while (true) {
+    try {
+      return ReadRange(name, offset, length);
+    } catch (const store::BlockCorruptionError& e) {
+      // One corrupt block surfaces per attempt; repair it on demand from
+      // the peer and retry. A repaired block is re-verified content, so it
+      // cannot fail again — each round makes progress or rethrows.
+      if (!repaired.insert(e.digest()).second) throw;
+      util::Bytes raw;
+      try {
+        raw = peer.Get(e.digest());
+      } catch (const Error&) {
+        throw e;  // peer cannot supply a clean copy: stay degraded
+      }
+      if (!store_.Repair(e.digest(), raw)) throw e;
+      if (fetched_bytes != nullptr) *fetched_bytes += raw.size();
+    }
+  }
 }
 
 bool Volume::CorruptBlockForTesting(const std::string& name,

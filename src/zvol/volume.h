@@ -60,8 +60,10 @@ class NoSuchSnapshotError : public Error {
       : Error("no such snapshot: " + name) {}
 };
 
-/// Thrown by Receive when the stream's base snapshot does not match.
-class StreamMismatchError : public Error {
+/// Thrown by Deserialize on a truncated, bit-flipped, or malformed volume
+/// image (wire-format damage, as opposed to BlockCorruptionError for damage
+/// to blocks already stored).
+class VolumeImageError : public Error {
  public:
   using Error::Error;
 };
@@ -211,8 +213,8 @@ class Volume {
 
   /// Restores a volume from Serialize() output. Block contents, file
   /// tables, snapshot identities and reference counts are reproduced
-  /// exactly (physical pool layout may differ). Throws std::runtime_error
-  /// on truncation or checksum mismatch.
+  /// exactly (physical pool layout may differ). Throws VolumeImageError
+  /// on truncation, checksum mismatch, or malformed structure.
   static std::unique_ptr<Volume> Deserialize(util::ByteSpan image);
 
   // --- integrity -------------------------------------------------------------
@@ -227,6 +229,39 @@ class Volume {
   /// snapshots, re-reads the payload and verifies it hashes to its digest.
   /// Requires content-addressed digests (dedup on, any hash mode).
   ScrubReport Scrub() const;
+
+  struct RepairReport {
+    std::uint64_t blocks_checked = 0;
+    std::uint64_t errors_found = 0;    // payloads that failed verification
+    std::uint64_t repaired = 0;        // restored byte-identically from peer
+    std::uint64_t unrepairable = 0;    // peer missing the block, or corrupt too
+    std::uint64_t repaired_bytes = 0;  // logical bytes re-fetched
+    std::uint64_t dangling_refs = 0;
+  };
+
+  /// Scrub + resilver: like Scrub, but every block that fails verification
+  /// is re-fetched from `peer` (a healthy replica — in Squirrel, the storage
+  /// node's scVolume) and rewritten through BlockStore::Repair, which
+  /// re-verifies the fetched bytes against the digest before accepting them.
+  /// After a successful run (unrepairable == 0) a subsequent Scrub reports
+  /// zero errors and reads return byte-identical content.
+  RepairReport ScrubRepair(const store::BlockStore& peer);
+
+  /// Degraded-mode read: ReadRange that, when the verified read path throws
+  /// BlockCorruptionError, repairs the corrupt block from `peer` on demand
+  /// and retries. Each repaired block's logical bytes are added to
+  /// `*fetched_bytes` (network charge for the caller). Rethrows when the
+  /// peer cannot supply a clean copy.
+  util::Bytes ReadRangeRepair(const std::string& name, std::uint64_t offset,
+                              std::uint64_t length,
+                              const store::BlockStore& peer,
+                              std::uint64_t* fetched_bytes = nullptr);
+
+  /// Applies the injector's stored-payload fault schedule to every block in
+  /// the store (order-independent, per-digest). Returns blocks corrupted.
+  std::size_t InjectFaults(util::FaultInjector& faults) {
+    return store_.InjectFaults(faults);
+  }
 
   // --- accounting ----------------------------------------------------------
 
@@ -246,6 +281,10 @@ class Volume {
   /// BlockStore::PutBatch (parallel hash + compress, ordered commit).
   FileMeta IngestSource(const util::DataSource& data);
   void ApplyStreamToTable(const SendStream& stream, FileTable& table);
+  /// Shared scrub walk: unique digests referenced by the live table and all
+  /// snapshots; dangling references are counted into *dangling_refs.
+  std::vector<util::Digest> CollectScrubDigests(
+      std::uint64_t* dangling_refs) const;
   const FileMeta& RequireFile(const std::string& name) const;
   FileMeta& RequireFile(const std::string& name);
   /// Runs fn(i) for i in [0, count) on the store's ingest pool (inline when

@@ -6,6 +6,7 @@
 
 #include <map>
 
+#include "util/fault_injector.h"
 #include "util/rng.h"
 #include "zvol/volume.h"
 
@@ -175,6 +176,93 @@ TEST_P(VolumeFuzz, MatchesReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, VolumeFuzz,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- corruption fuzz ---------------------------------------------------------
+// Damaged serialized artifacts (volume images, send streams) must always
+// surface as a typed squirrel::Error — never a crash, hang, or silent
+// success. Both integrity layers are exercised: bit flips (caught by the
+// SHA-256 trailer or the per-record checksums) and truncation (caught by
+// bounds-checked parsing).
+
+/// A donor volume with mixed content: dedup-prone, random, and hole blocks,
+/// plus a snapshot so both table sections are populated.
+std::unique_ptr<Volume> MakeDonor(std::uint64_t seed) {
+  auto volume = std::make_unique<Volume>(VolumeConfig{
+      .block_size = 1024, .codec = compress::CodecId::kGzip1, .dedup = true});
+  util::Rng rng(seed);
+  for (const char* name : {"a", "b"}) {
+    Bytes content(rng.Between(4, 16) * 1024);
+    for (std::size_t i = 0; i < content.size(); i += 1024) {
+      switch (rng.Below(3)) {
+        case 0:
+          break;  // hole
+        case 1:
+          std::fill_n(content.begin() + static_cast<std::ptrdiff_t>(i), 1024,
+                      static_cast<util::Byte>(rng.Below(4) + 1));
+          break;
+        default:
+          rng.Fill(util::MutableByteSpan(content.data() + i, 1024));
+      }
+    }
+    volume->WriteFile(name, BufferSource(content));
+  }
+  volume->CreateSnapshot("s1", 10);
+  return volume;
+}
+
+class CorruptionFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorruptionFuzz, DamagedVolumeImagesRaiseTypedErrors) {
+  const std::uint64_t seed = GetParam();
+  const Bytes image = MakeDonor(seed)->Serialize();
+  util::Rng rng(seed);
+  util::FaultInjector faults(seed, util::FaultProfile{.image_corrupt_rate = 1.0});
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    Bytes damaged = image;
+    if (rng.Chance(0.5)) {
+      ASSERT_TRUE(faults.CorruptImage(damaged, trial));
+    } else {
+      faults.Truncate(damaged, trial);
+    }
+    try {
+      Volume::Deserialize(damaged);
+      FAIL() << "damaged image accepted at trial " << trial;
+    } catch (const Error&) {
+      // Typed rejection — the only acceptable outcome.
+    } catch (const std::exception& e) {
+      FAIL() << "untyped exception at trial " << trial << ": " << e.what();
+    }
+  }
+}
+
+TEST_P(CorruptionFuzz, DamagedSendStreamsRaiseTypedErrors) {
+  const std::uint64_t seed = GetParam();
+  const std::unique_ptr<Volume> donor = MakeDonor(seed);
+  const Bytes wire = donor->Send("", "s1").Serialize();
+  util::Rng rng(seed + 1);
+  util::FaultInjector faults(seed, util::FaultProfile{.stream_corrupt_rate = 1.0});
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    Bytes damaged = wire;
+    if (rng.Chance(0.5)) {
+      ASSERT_TRUE(faults.CorruptStream(damaged, trial));
+    } else {
+      faults.Truncate(damaged, trial);
+    }
+    Volume replica(donor->config());
+    try {
+      replica.Receive(SendStream::Deserialize(damaged));
+      FAIL() << "damaged stream accepted at trial " << trial;
+    } catch (const Error&) {
+      // Typed rejection; the replica must stay untouched.
+      EXPECT_TRUE(replica.FileNames().empty());
+      EXPECT_EQ(replica.Stats().unique_blocks, 0u);
+    } catch (const std::exception& e) {
+      FAIL() << "untyped exception at trial " << trial << ": " << e.what();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionFuzz, ::testing::Values(101, 202, 303));
 
 }  // namespace
 }  // namespace squirrel::zvol
