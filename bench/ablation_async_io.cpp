@@ -1,0 +1,194 @@
+// Ablation: async disk queue depth x readahead vs boot time
+// (BENCH_async_io.json).
+//
+// The discrete-event disk engine (sim/event/) generalizes the synchronous
+// clock += cost charging: reads flow through a bounded queue with adjacent
+// coalescing and elevator ordering, and device readahead overlaps disk
+// service with guest decompression. This sweep quantifies each knob on the
+// warm-zfs boot path of Figure 11 (one shared cVolume, QCOW2 overlay over a
+// VolumeFileDevice):
+//
+//   depth 0              legacy synchronous charging (the baseline)
+//   depth 1, readahead 0 the engine in lockstep mode — bit-identical to the
+//                        baseline by construction (regression-tested in
+//                        tests/sim_async_io_test.cpp); the row documents it
+//   depth > 1            out-of-order completions, coalescing, elevator
+//   readahead > 0        prefetch issued past each read, never stalling the
+//                        guest, dropped when the queue is full
+//
+// Expected shape: time is flat from depth 0 to depth 1 (exact), then drops
+// strictly once depth > 1 and readahead > 0 — the overlap the paper's ZFS
+// prefetch measurements attribute to the ARC + vdev queue.
+#include "bench/ingest_common.h"
+#include "cow/chain.h"
+#include "sim/boot_sim.h"
+#include "sim/devices.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace squirrel;
+using namespace squirrel::bench;
+
+namespace {
+
+struct SampleVm {
+  std::unique_ptr<vmi::VmImage> image;
+  std::unique_ptr<vmi::BootWorkingSet> boot;
+  std::vector<vmi::BootRead> trace;
+};
+
+struct SweepPoint {
+  std::uint32_t depth = 0;  // 0 = synchronous baseline
+  std::uint32_t readahead = 0;
+  double mean_seconds = 0.0;
+  sim::event::DiskQueueStats queue;  // aggregated over all boots
+};
+
+/// Mean warm-zfs boot time over `vms` under one queue configuration.
+SweepPoint RunPoint(zvol::Volume& volume,
+                    const std::vector<SampleVm>& vms,
+                    const sim::IoContextConfig& io_template,
+                    const sim::BootSimConfig& boot_config, std::uint32_t depth,
+                    std::uint32_t readahead) {
+  SweepPoint point;
+  point.depth = depth;
+  point.readahead = readahead;
+  util::RunningStats stats;
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    sim::IoContextConfig io_config = io_template;
+    io_config.disk_queue_depth = depth;
+    io_config.readahead_blocks = readahead;
+    sim::IoContext io(io_config);
+    cow::QcowOverlay overlay(vms[i].image->size(), cow::kDefaultClusterSize);
+    sim::VolumeFileDevice cache(&volume, "cache-" + std::to_string(i), &io,
+                                1000 + i);
+    sim::LocalFileDevice base(vms[i].image.get(), &io, 1, 40ull << 30);
+    cow::Chain chain(&overlay, &cache, &base, false);
+    stats.Add(sim::SimulateBoot(chain, vms[i].trace, io, boot_config).seconds);
+    if (io.async_disk()) {
+      const sim::event::DiskQueueStats& q = io.disk_queue()->stats();
+      point.queue.submitted += q.submitted;
+      point.queue.completed += q.completed;
+      point.queue.physical_ops += q.physical_ops;
+      point.queue.coalesced += q.coalesced;
+      point.queue.reordered += q.reordered;
+      point.queue.submit_stalls += q.submit_stalls;
+      point.queue.prefetch_drops += q.prefetch_drops;
+      point.queue.busy_ns += q.busy_ns;
+    }
+  }
+  point.mean_seconds = stats.mean();
+  return point;
+}
+
+void WriteJson(const std::vector<SweepPoint>& points, double baseline_seconds,
+               const Options& options) {
+  FILE* out = std::fopen("BENCH_async_io.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr,
+                 "ablation_async_io: cannot write BENCH_async_io.json\n");
+    return;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"async_io\",\n  \"images\": %u,\n"
+               "  \"seed\": %llu,\n  \"sync_baseline_seconds\": %.9f,\n"
+               "  \"sweep\": [\n",
+               options.images, static_cast<unsigned long long>(options.seed),
+               baseline_seconds);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(
+        out,
+        "    {\"depth\": %u, \"readahead\": %u, \"mean_boot_seconds\": %.9f, "
+        "\"speedup_vs_sync\": %.4f, \"physical_ops\": %llu, "
+        "\"coalesced\": %llu, \"reordered\": %llu, "
+        "\"prefetch_drops\": %llu}%s\n",
+        p.depth, p.readahead, p.mean_seconds,
+        p.mean_seconds > 0 ? baseline_seconds / p.mean_seconds : 0.0,
+        static_cast<unsigned long long>(p.queue.physical_ops),
+        static_cast<unsigned long long>(p.queue.coalesced),
+        static_cast<unsigned long long>(p.queue.reordered),
+        static_cast<unsigned long long>(p.queue.prefetch_drops),
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options = ParseOptions(argc, argv);
+  if (options.images == 607) options.images = 24;  // boot-time sample
+  PrintHeader("ablation_async_io",
+              "Ablation: async disk queue depth x readahead on the warm-zfs "
+              "boot path",
+              options);
+  vmi::CatalogConfig catalog_config = MakeCatalogConfig(options);
+  catalog_config.dense_layout = false;
+  const vmi::Catalog catalog = vmi::Catalog::AzureCommunity(catalog_config);
+  const double dataset_scale = options.scale * options.cache_multiplier;
+  sim::BootSimConfig boot_config;
+  boot_config.io_time_multiplier = 1.0 / dataset_scale;
+  const sim::IoContextConfig io_template = sim::ScaledIoConfig(dataset_scale);
+
+  std::vector<SampleVm> vms;
+  for (const vmi::ImageSpec& spec : catalog.images()) {
+    SampleVm vm;
+    vm.image = std::make_unique<vmi::VmImage>(catalog, spec);
+    vm.boot = std::make_unique<vmi::BootWorkingSet>(catalog, *vm.image);
+    vm.trace = vm.boot->Trace(spec.seed);
+    vms.push_back(std::move(vm));
+  }
+
+  // An 8 KB cVolume: each 64 KB QCOW2 cluster spans eight volume blocks, so
+  // every cluster read is a multi-request batch with coalescing/readahead
+  // room — the regime where the queue's knobs actually bite.
+  zvol::Volume volume(zvol::VolumeConfig{.block_size = 8 * 1024,
+                                         .codec = compress::CodecId::kGzip6,
+                                         .dedup = true,
+                                         .fast_hash = true});
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    const vmi::CacheImage cache(*vms[i].image, *vms[i].boot);
+    volume.WriteFile("cache-" + std::to_string(i), cache);
+  }
+
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> sweep =
+      options.fast
+          ? std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+                {0, 0}, {1, 0}, {8, 16}}
+          : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+                {0, 0},  {1, 0},  {2, 0},  {4, 0},  {8, 0},
+                {4, 8},  {8, 8},  {8, 16}, {16, 16}, {16, 32}};
+
+  std::vector<SweepPoint> points;
+  double baseline_seconds = 0.0;
+  for (const auto& [depth, readahead] : sweep) {
+    points.push_back(RunPoint(volume, vms, io_template, boot_config, depth,
+                              readahead));
+    if (depth == 0) baseline_seconds = points.back().mean_seconds;
+  }
+
+  util::Table table({"depth", "readahead", "mean boot(s)", "speedup",
+                     "phys ops", "coalesced", "reordered", "ra drops"});
+  for (const SweepPoint& p : points) {
+    table.AddRow(
+        {p.depth == 0 ? "sync" : std::to_string(p.depth),
+         std::to_string(p.readahead), util::Table::Num(p.mean_seconds, 2),
+         util::Table::Num(baseline_seconds / p.mean_seconds, 3) + "x",
+         std::to_string(p.queue.physical_ops),
+         std::to_string(p.queue.coalesced), std::to_string(p.queue.reordered),
+         std::to_string(p.queue.prefetch_drops)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nreading: depth 1 / readahead 0 reproduces the synchronous baseline\n"
+      "exactly (the engine's lockstep reduction); deeper queues with\n"
+      "readahead overlap disk service with guest decompression and merge\n"
+      "adjacent cluster blocks into fewer physical ops, strictly lowering\n"
+      "simulated boot time.\n");
+
+  WriteJson(points, baseline_seconds, options);
+  std::printf("\nwrote BENCH_async_io.json\n");
+  return 0;
+}

@@ -9,11 +9,18 @@
 //   --seed=S     dataset seed
 //   --fast       quarter-size run for smoke testing
 //
+// Async-engine flags (consumed by the benches that model I/O or transfers):
+//   --depth=N      async disk queue depth (0 = legacy synchronous charging)
+//   --readahead=N  device readahead in blocks (async mode only)
+//   --window=N     scatter-gather per-receiver window (1 = serial legacy
+//                  delivery; >1 overlaps retry tails on the event loop)
+//
 // Each binary prints (a) the series of the paper figure/table it reproduces,
 // at simulation scale, and (b) paper-scale projections where byte counts are
 // involved (projection = measured ratio applied to the paper's raw sizes).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +37,9 @@ struct Options {
   double cache_multiplier = 8.0;
   std::uint64_t seed = 2014;
   bool fast = false;
+  std::uint32_t disk_queue_depth = 0;  // 0 = synchronous disk charging
+  std::uint32_t readahead_blocks = 0;
+  std::uint32_t transfer_window = 1;  // 1 = serial scatter-gather
 };
 
 inline Options ParseOptions(int argc, char** argv) {
@@ -48,11 +58,19 @@ inline Options ParseOptions(int argc, char** argv) {
       options.cache_multiplier = std::atof(v);
     } else if (const char* v = value("--seed=")) {
       options.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--depth=")) {
+      options.disk_queue_depth = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--readahead=")) {
+      options.readahead_blocks = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--window=")) {
+      options.transfer_window =
+          std::max(1u, static_cast<std::uint32_t>(std::atoi(v)));
     } else if (arg == "--fast") {
       options.fast = true;
     } else if (arg == "--help") {
       std::printf(
-          "flags: --images=N --scale=X --cachex=M --seed=S --fast\n");
+          "flags: --images=N --scale=X --cachex=M --seed=S --fast "
+          "--depth=N --readahead=N --window=N\n");
       std::exit(0);
     }
   }

@@ -15,51 +15,7 @@ std::string SnapshotName(std::uint64_t counter) {
   return buf;
 }
 
-// Wire bytes needing retransmission after a faulted attempt. `progress` is
-// the fraction of payload records that arrived intact — their per-record
-// checksums let the receiver keep them, so the retry resumes at record
-// granularity: headers and every record from the first unverified one on.
-std::uint64_t ResumeBytes(const zvol::SendStream& stream,
-                          std::uint64_t wire_size, double progress) {
-  std::size_t payload_records = 0;
-  for (const auto& f : stream.files) {
-    for (const auto& b : f.blocks) {
-      if (b.has_payload) ++payload_records;
-    }
-  }
-  const auto kept = static_cast<std::size_t>(
-      progress * static_cast<double>(payload_records));
-  std::uint64_t kept_bytes = 0;
-  std::size_t seen = 0;
-  for (const auto& f : stream.files) {
-    for (const auto& b : f.blocks) {
-      if (!b.has_payload) continue;
-      if (seen++ == kept) return wire_size - std::min(wire_size, kept_bytes);
-      kept_bytes += b.payload.size();
-    }
-  }
-  return wire_size - std::min(wire_size, kept_bytes);
-}
-
 }  // namespace
-
-double BackoffSeconds(const RetryPolicy& policy, std::uint32_t node,
-                      std::uint64_t transfer_id, std::uint32_t attempt) {
-  if (attempt < 2) return 0.0;
-  double wait = policy.base_seconds;
-  for (std::uint32_t k = 2; k < attempt && wait < policy.max_seconds; ++k) {
-    wait *= 2.0;
-  }
-  wait = std::min(wait, policy.max_seconds);
-  // Deterministic jitter: each (node, transfer, attempt) draws its own
-  // scale from an independent child generator, so schedules replay exactly
-  // and synchronized retries from many nodes still decorrelate.
-  const std::uint64_t key[3] = {node, transfer_id, attempt};
-  const std::uint64_t mixed = util::Fnv1a64(
-      util::ByteSpan(reinterpret_cast<const util::Byte*>(key), sizeof(key)));
-  util::Rng rng(policy.seed ^ mixed);
-  return wait * (1.0 + policy.jitter * rng.NextDouble());
-}
 
 SquirrelCluster::SquirrelCluster(SquirrelConfig config,
                                  std::uint32_t compute_count,
@@ -124,9 +80,8 @@ RegistrationReport SquirrelCluster::Register(
 
   const zvol::SendStream parsed = zvol::SendStream::Deserialize(wire);
   const std::uint64_t transfer_id = ++transfer_counter_;
-  // Nodes retry independently and concurrently, so the registration's
-  // critical path extends by the slowest node's retry tail, not the sum.
-  double slowest_retry_seconds = 0.0;
+  std::vector<ComputeNode*> eligible;
+  std::vector<std::uint32_t> eligible_ids;
   for (const auto& node : compute_nodes_) {
     if (!node->online()) continue;
     if (node->volume().LatestSnapshot() == nullptr && parsed.incremental) {
@@ -134,20 +89,29 @@ RegistrationReport SquirrelCluster::Register(
       // cannot apply an incremental diff; it catches up on its next boot.
       continue;
     }
-    double node_seconds = 0.0;
-    const bool delivered =
-        DeliverWithRetries(parsed, wire.size(), node->id() + 1, transfer_id,
-                           report.transfers, &node_seconds);
-    slowest_retry_seconds = std::max(slowest_retry_seconds, node_seconds);
-    if (!delivered) continue;  // abandoned; SyncNode reconciles later (§3.5)
+    eligible.push_back(node.get());
+    eligible_ids.push_back(node->id() + 1);
+  }
+  // One stream scatters to every eligible node; per-node retry tails run
+  // concurrently (serially modelled at window 1, event-driven above it), so
+  // the registration's critical path extends by the fan out's makespan, not
+  // the sum of tails.
+  ScatterGatherTransfer transfer(&network_, faults_, config_.retry,
+                                 config_.transfer);
+  const ScatterGatherResult fanout = transfer.Run(
+      parsed, wire.size(), eligible_ids, transfer_id, report.transfers);
+  report.total_seconds += fanout.makespan_seconds;
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    if (!fanout.outcomes[i].delivered) {
+      continue;  // abandoned; SyncNode reconciles later (§3.5)
+    }
     try {
-      node->volume().Receive(parsed);
+      eligible[i]->volume().Receive(parsed);
       ++report.receivers;
     } catch (const zvol::StreamMismatchError&) {
       // Stale replica (missed earlier diffs); resolved by SyncNode later.
     }
   }
-  report.total_seconds += slowest_retry_seconds;
 
   // Cache accounting for the report.
   report.cache_logical_bytes = 0;
@@ -206,9 +170,13 @@ SyncReport SquirrelCluster::SyncNode(std::uint32_t compute_node,
                     config_.stream_processing_bytes_per_second;
 
   const zvol::SendStream parsed = zvol::SendStream::Deserialize(wire);
-  if (!DeliverWithRetries(parsed, wire.size(), compute_node + 1,
-                          ++transfer_counter_, report.transfers,
-                          &report.seconds)) {
+  ScatterGatherTransfer transfer(&network_, faults_, config_.retry,
+                                 config_.transfer);
+  const ScatterGatherResult delivery = transfer.Run(
+      parsed, wire.size(), {compute_node + 1}, ++transfer_counter_,
+      report.transfers, /*initial_seconds=*/report.seconds);
+  report.seconds = delivery.outcomes.front().seconds;
+  if (!delivery.outcomes.front().delivered) {
     // Every attempt faulted: the node stays stale (snapshots_advanced == 0)
     // and the next boot-time sync tries again.
     return report;
@@ -223,47 +191,6 @@ SyncReport SquirrelCluster::SyncNode(std::uint32_t compute_node,
   report.snapshots_advanced = static_cast<std::uint32_t>(
       node.volume().LatestSnapshot()->id - before);
   return report;
-}
-
-bool SquirrelCluster::DeliverWithRetries(const zvol::SendStream& stream,
-                                         std::uint64_t wire_size,
-                                         std::uint32_t node_id,
-                                         std::uint64_t transfer_id,
-                                         TransferStats& stats,
-                                         double* seconds) {
-  const std::uint32_t max_attempts =
-      std::max<std::uint32_t>(1, config_.retry.max_attempts);
-  for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
-    ++stats.attempts;
-    if (attempt > 1) {
-      // Only faulted first attempts reach here, so faults_ is non-null.
-      ++stats.retries;
-      const double wait =
-          BackoffSeconds(config_.retry, node_id, transfer_id, attempt);
-      stats.backoff_seconds += wait;
-      *seconds += wait;
-      // Resume past the records the previous attempt delivered intact.
-      const double progress =
-          faults_->PartialProgress(node_id, transfer_id, attempt - 1);
-      const std::uint64_t resume = ResumeBytes(stream, wire_size, progress);
-      stats.retransmitted_bytes += resume;
-      *seconds += network_.Transfer(0, node_id, resume) / 1e9;
-    }
-    if (faults_ != nullptr) {
-      const bool failed = faults_->TransferFails(node_id, transfer_id, attempt);
-      const bool corrupted =
-          !failed && faults_->TransferCorrupts(node_id, transfer_id, attempt);
-      if (failed || corrupted) {
-        // A failed attempt delivers nothing; a corrupted one delivers bytes
-        // the receiver's checksums reject. Either way: back off and retry.
-        *seconds += faults_->TransferDelaySeconds();
-        continue;
-      }
-    }
-    return true;
-  }
-  ++stats.abandoned;
-  return false;
 }
 
 void SquirrelCluster::RunGc(std::uint64_t now) {

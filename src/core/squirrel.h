@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/scatter_gather.h"
 #include "cow/chain.h"
 #include "sim/boot_sim.h"
 #include "sim/devices.h"
@@ -46,32 +47,9 @@ enum class PropagationStrategy {
   kPipeline,   // LANTorrent-style chain: each node receives and forwards once
 };
 
-/// Capped exponential backoff with deterministic jitter for replication
-/// transfers (§3.2/§3.5 must survive node churn; a dropped diff is retried,
-/// not lost). attempt 1 is the initial transfer; retries are attempts 2..n.
-struct RetryPolicy {
-  std::uint32_t max_attempts = 4;
-  double base_seconds = 0.5;  // backoff before attempt 2
-  double max_seconds = 8.0;   // cap on the exponential
-  /// Fractional jitter in [0, jitter): each wait is scaled by (1 + u) with u
-  /// drawn deterministically from (seed, node, transfer, attempt).
-  double jitter = 0.1;
-  std::uint64_t seed = 0x5171e77ull;  // jitter schedule seed
-};
-
-/// Deterministic backoff before `attempt` (>= 2) of a transfer to `node`.
-/// Pure function of its arguments — the schedule tests replay it exactly.
-double BackoffSeconds(const RetryPolicy& policy, std::uint32_t node,
-                      std::uint64_t transfer_id, std::uint32_t attempt);
-
-/// Per-report transfer reliability accounting, aggregated over receivers.
-struct TransferStats {
-  std::uint64_t attempts = 0;            // total delivery attempts
-  std::uint64_t retries = 0;             // attempts beyond each node's first
-  std::uint64_t abandoned = 0;           // nodes given up on (sync later)
-  std::uint64_t retransmitted_bytes = 0; // wire bytes re-sent by retries
-  double backoff_seconds = 0.0;          // summed deterministic waits
-};
+// RetryPolicy, BackoffSeconds, and TransferStats live in
+// core/scatter_gather.h with the delivery engine; this header re-exposes
+// them through its include for existing users.
 
 struct SquirrelConfig {
   /// 64 KiB, gzip6, dedup — the paper's choice. `volume.ingest` (threads,
@@ -91,6 +69,11 @@ struct SquirrelConfig {
   double stream_processing_bytes_per_second = 200e6;
   /// Retry schedule for registration propagation and node sync transfers.
   RetryPolicy retry{};
+  /// Delivery engine for the fan out: window 1 is the serial per-node retry
+  /// model (legacy accounting, bit-identical); window > 1 runs retries
+  /// event-driven with chunked retransmissions contending for the sender
+  /// link (see core/scatter_gather.h).
+  ScatterGatherConfig transfer{};
 };
 
 struct RegistrationReport {
@@ -203,16 +186,6 @@ class SquirrelCluster {
   }
 
  private:
-  /// One delivery of `stream` (pre-serialized as `wire_size` bytes) to
-  /// `node_id` with retries. Attempt 1's network charge is the caller's
-  /// (strategy-level multicast/unicast/pipeline accounting); retries are
-  /// unicast resume transfers at record granularity. Returns true when an
-  /// attempt succeeds; accumulates into `stats` and `*seconds`.
-  bool DeliverWithRetries(const zvol::SendStream& stream,
-                          std::uint64_t wire_size, std::uint32_t node_id,
-                          std::uint64_t transfer_id, TransferStats& stats,
-                          double* seconds);
-
   SquirrelConfig config_;
   zvol::Volume sc_volume_;
   std::vector<std::unique_ptr<ComputeNode>> compute_nodes_;

@@ -29,6 +29,10 @@ class ArcCache {
     core_.Insert(Key{device, block}, 1);
   }
 
+  /// Rebudgets in place: shrinking evicts in ARC replacement order down to
+  /// the new entry budget, growing keeps contents and history.
+  void Resize(std::size_t capacity_blocks) { core_.Resize(capacity_blocks); }
+
   std::uint64_t hits() const { return core_.hits(); }
   std::uint64_t misses() const { return core_.misses(); }
   std::size_t resident_entries() const { return core_.resident_entries(); }

@@ -40,6 +40,9 @@ class DiskModel {
 
   std::uint64_t bytes_read() const { return bytes_read_; }
   std::uint64_t seeks() const { return seeks_; }
+  /// Current head position (after the last Read/Write). The async disk
+  /// queue's elevator orders queued requests by distance from here.
+  std::uint64_t head() const { return head_; }
 
  private:
   DiskModelConfig config_;

@@ -1,0 +1,145 @@
+#include "sim/event/disk_queue.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace squirrel::sim::event {
+
+AsyncDiskQueue::AsyncDiskQueue(DiskModel* disk, EventLoop* loop,
+                               DiskQueueConfig config)
+    : disk_(disk), loop_(loop), config_(config) {
+  if (config_.depth == 0) {
+    throw std::invalid_argument("AsyncDiskQueue: depth must be >= 1");
+  }
+}
+
+RequestId AsyncDiskQueue::Submit(double submit_ns, std::uint64_t offset,
+                                 std::uint64_t length) {
+  loop_->RunUntil(submit_ns);
+  if (outstanding() >= config_.depth) {
+    ++stats_.submit_stalls;
+    // Bounded submission queue: stall until a completion frees a slot. The
+    // loop only holds this queue's service events, so each Step makes
+    // progress toward a completion.
+    while (outstanding() >= config_.depth) {
+      if (!loop_->Step()) {
+        throw std::logic_error("AsyncDiskQueue: full queue with no events");
+      }
+    }
+  }
+  const RequestId id = next_id_++;
+  Admit(offset, length, id);
+  return id;
+}
+
+RequestId AsyncDiskQueue::TrySubmit(double submit_ns, std::uint64_t offset,
+                                    std::uint64_t length) {
+  loop_->RunUntil(submit_ns);
+  if (outstanding() >= config_.depth) {
+    ++stats_.prefetch_drops;
+    return kInvalidRequest;
+  }
+  const RequestId id = next_id_++;
+  Admit(offset, length, id);
+  return id;
+}
+
+void AsyncDiskQueue::Admit(std::uint64_t offset, std::uint64_t length,
+                           RequestId id) {
+  ++stats_.submitted;
+  queued_.push_back(Request{id, offset, length});
+  MaybeStartService();
+}
+
+void AsyncDiskQueue::MaybeStartService() {
+  if (busy_ || queued_.empty()) return;
+  busy_ = true;
+
+  // Pick the next request: FIFO, or the queued request nearest the head
+  // (elevator / shortest-seek-first) — ties broken by submission order so the
+  // choice is deterministic.
+  std::size_t pick = 0;
+  if (config_.elevator && queued_.size() > 1) {
+    const std::uint64_t head = disk_->head();
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < queued_.size(); ++i) {
+      const std::uint64_t off = queued_[i].offset;
+      const std::uint64_t distance = off > head ? off - head : head - off;
+      if (distance < best) {
+        best = distance;
+        pick = i;
+      }
+    }
+  }
+  if (pick != 0) stats_.reordered += pick;  // serviced ahead of `pick` elders
+
+  in_service_.clear();
+  in_service_.push_back(queued_[pick]);
+  queued_.erase(queued_.begin() + static_cast<std::ptrdiff_t>(pick));
+
+  // Coalesce queued requests exactly adjacent on disk into one physical op
+  // (scan repeatedly: merging one member can make another adjacent).
+  std::uint64_t start = in_service_.front().offset;
+  std::uint64_t end = start + in_service_.front().length;
+  if (config_.max_coalesce_bytes > 0) {
+    bool grew = true;
+    while (grew && end - start < config_.max_coalesce_bytes) {
+      grew = false;
+      for (std::size_t i = 0; i < queued_.size(); ++i) {
+        const Request& r = queued_[i];
+        const bool after = r.offset == end;
+        const bool before = r.offset + r.length == start;
+        if (!after && !before) continue;
+        if (end - start + r.length > config_.max_coalesce_bytes) continue;
+        if (after) {
+          end += r.length;
+        } else {
+          start = r.offset;
+        }
+        in_service_.push_back(r);
+        queued_.erase(queued_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++stats_.coalesced;
+        grew = true;
+        break;
+      }
+    }
+  }
+
+  const double cost = disk_->Read(start, end - start);
+  ++stats_.physical_ops;
+  stats_.busy_ns += cost;
+  const double completion = loop_->now_ns() + cost;
+  loop_->Schedule(completion, "disk-complete", [this, completion] {
+    for (const Request& r : in_service_) {
+      completed_.emplace(r.id, completion);
+      ++stats_.completed;
+    }
+    in_service_.clear();
+    busy_ = false;
+    MaybeStartService();
+  });
+}
+
+double AsyncDiskQueue::CompletionNs(RequestId id) {
+  for (;;) {
+    const auto it = completed_.find(id);
+    if (it != completed_.end()) return it->second;
+    if (!loop_->Step()) {
+      throw std::logic_error("AsyncDiskQueue: waiting on unknown request");
+    }
+  }
+}
+
+double AsyncDiskQueue::Drain() {
+  double last = loop_->now_ns();
+  while (outstanding() > 0) {
+    if (!loop_->Step()) {
+      throw std::logic_error("AsyncDiskQueue: outstanding work with no events");
+    }
+    last = loop_->now_ns();
+  }
+  return last;
+}
+
+}  // namespace squirrel::sim::event

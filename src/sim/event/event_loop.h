@@ -1,0 +1,113 @@
+// Deterministic discrete-event engine — the time substrate for the async I/O
+// and transfer models.
+//
+// The loop is pure simulation time: no wall clock, no threads, no host state
+// of any kind leaks into scheduling. Events are ordered by a stable
+// (time, sequence) key — two events at the same instant fire in the order
+// they were scheduled — so an identical (seed, schedule) replays to a
+// byte-identical event trace on every run and at any host thread count (each
+// loop instance is confined to one thread; determinism is a property of the
+// data structure, not of synchronization).
+//
+// Clients (AsyncDiskQueue, ScatterGatherTransfer) schedule closures at
+// absolute times and advance the loop explicitly: Run() to exhaustion,
+// RunUntil(t) to process everything due at or before t, Step() for one
+// event. Cancellation removes a pending event by id; firing or cancelling an
+// id twice is a detectable no-op. The optional trace records every fired
+// event's (time, sequence, tag) for replay tests and debugging.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace squirrel::sim::event {
+
+/// Identifies one scheduled event. Ids are never reused within a loop.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventLoop {
+ public:
+  /// `seed` feeds the loop-owned RNG handed to clients that need
+  /// deterministic randomness tied to the schedule (unused by the loop
+  /// itself — event order never depends on it).
+  explicit EventLoop(std::uint64_t seed = 0) : rng_(seed) {}
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Schedules `fn` at absolute `time_ns` (clamped to now: the past is not
+  /// addressable). `tag` names the event in the trace.
+  EventId Schedule(double time_ns, const char* tag, std::function<void()> fn);
+
+  /// Schedules `fn` `delay_ns` after the current time.
+  EventId ScheduleAfter(double delay_ns, const char* tag,
+                        std::function<void()> fn) {
+    return Schedule(now_ns_ + delay_ns, tag, std::move(fn));
+  }
+
+  /// Removes a pending event. Returns false if it already fired, was
+  /// cancelled before, or never existed.
+  bool Cancel(EventId id);
+
+  /// Fires the next event (advancing now to its time). False when empty.
+  bool Step();
+
+  /// Runs to exhaustion; returns the final time.
+  double Run();
+
+  /// Fires every event due at or before `time_ns`, then advances now to
+  /// `time_ns` (even if no event was due). Time never moves backwards.
+  double RunUntil(double time_ns);
+
+  double now_ns() const { return now_ns_; }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t fired() const { return fired_; }
+  util::Rng& rng() { return rng_; }
+
+  // --- trace ---------------------------------------------------------------
+
+  struct TraceEntry {
+    double time_ns = 0.0;
+    std::uint64_t sequence = 0;
+    std::string tag;
+  };
+
+  void EnableTrace(bool on) { trace_enabled_ = on; }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+
+  /// One line per fired event, with the time printed exactly (hex float), so
+  /// replay tests can compare traces byte for byte.
+  std::string FormatTrace() const;
+
+ private:
+  struct OrderKey {
+    double time_ns;
+    std::uint64_t sequence;
+    bool operator<(const OrderKey& other) const {
+      if (time_ns != other.time_ns) return time_ns < other.time_ns;
+      return sequence < other.sequence;
+    }
+  };
+  struct Pending {
+    EventId id;
+    const char* tag;
+    std::function<void()> fn;
+  };
+
+  double now_ns_ = 0.0;
+  std::uint64_t next_sequence_ = 1;  // doubles as the EventId space
+  std::uint64_t fired_ = 0;
+  std::map<OrderKey, Pending> queue_;
+  std::map<EventId, OrderKey> by_id_;  // pending only
+  bool trace_enabled_ = false;
+  std::vector<TraceEntry> trace_;
+  util::Rng rng_;
+};
+
+}  // namespace squirrel::sim::event

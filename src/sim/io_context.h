@@ -1,11 +1,29 @@
 // Shared I/O simulation state for one compute node: a simulated clock, the
 // node's local disk, its page cache, and CPU cost accounting.
+//
+// Two disk charging models share this clock:
+//
+//   synchronous (default, disk_queue_depth == 0)  every read is charged
+//     inline — the disk and the guest never overlap;
+//   asynchronous (disk_queue_depth >= 1)          reads flow through an
+//     event-driven AsyncDiskQueue with bounded depth, adjacent-request
+//     coalescing and elevator ordering; the guest clock only advances to a
+//     request's completion when it consumes the data, so readahead issued
+//     ahead of consumption overlaps with guest CPU (the ZFS behaviour behind
+//     the paper's Fig 11). Depth 1 with no readahead is bit-identical to the
+//     synchronous model (see sim/event/disk_queue.h).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
 
 #include "sim/disk_model.h"
+#include "sim/event/disk_queue.h"
+#include "sim/event/event_loop.h"
 #include "sim/page_cache.h"
 
 namespace squirrel::sim {
@@ -19,6 +37,17 @@ struct IoContextConfig {
   /// (hash-walk plus the chance of an ARC miss on a cold DDT leaf).
   double ddt_lookup_base_ns = 2000.0;
   double ddt_lookup_per_log2_entry_ns = 400.0;
+  /// Async disk engine. 0 = legacy synchronous charging (the default);
+  /// >= 1 routes batched reads through an AsyncDiskQueue of this depth.
+  std::uint32_t disk_queue_depth = 0;
+  /// Adjacent-request coalescing cap for the async queue (bytes per merged
+  /// physical op; 0 disables merging).
+  std::uint64_t disk_coalesce_bytes = 1ull << 20;
+  /// Elevator (nearest-offset-first) service order among the queued window.
+  bool disk_elevator = true;
+  /// Device-level readahead in async mode: blocks prefetched past each read.
+  /// Prefetches never stall the guest and are dropped when the queue is full.
+  std::uint32_t readahead_blocks = 0;
 };
 
 /// Adapts the I/O cost model to a linearly downscaled dataset: a byte
@@ -35,15 +64,19 @@ inline IoContextConfig ScaledIoConfig(double dataset_scale,
       config.disk.track_distance + 1,
       static_cast<std::uint64_t>(
           static_cast<double>(config.disk.short_distance) * dataset_scale));
-  config.page_cache_bytes = static_cast<std::uint64_t>(
-      static_cast<double>(config.page_cache_bytes) * dataset_scale);
+  // Clamp to one page, mirroring the distance-tier guards: at deep
+  // downscales the budget would otherwise truncate to 0 bytes and silently
+  // disable the page cache (a disabled cache is a modelling decision, not a
+  // rounding artifact).
+  config.page_cache_bytes = std::max<std::uint64_t>(
+      4096, static_cast<std::uint64_t>(
+                static_cast<double>(config.page_cache_bytes) * dataset_scale));
   return config;
 }
 
 class IoContext {
  public:
-  explicit IoContext(IoContextConfig config = {})
-      : config_(config), disk_(config.disk), page_cache_(config.page_cache_bytes) {}
+  explicit IoContext(IoContextConfig config = {});
 
   DiskModel& disk() { return disk_; }
   PageCache& page_cache() { return page_cache_; }
@@ -61,11 +94,64 @@ class IoContext {
   double elapsed_ns() const { return clock_ns_; }
   double elapsed_seconds() const { return clock_ns_ / 1e9; }
 
+  // --- async disk engine ---------------------------------------------------
+
+  bool async_disk() const { return disk_queue_ != nullptr; }
+  event::AsyncDiskQueue* disk_queue() { return disk_queue_.get(); }
+  event::EventLoop* event_loop() { return loop_.get(); }
+
+  /// One read of the batched submit/reap path. `cpu_ns` is charged after the
+  /// request's completion barrier (decompression of that block); `cookie` is
+  /// handed back through `on_complete` (page-cache bookkeeping).
+  struct AsyncRead {
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+    double cpu_ns = 0.0;
+    std::uint64_t cookie = 0;
+  };
+
+  /// Batched submit/reap: issues `reads` through the async queue in windows
+  /// of the configured depth and consumes completions in completion order —
+  /// the guest clock advances to each completion (max), then pays that
+  /// read's CPU. With depth 1 this reduces exactly to the synchronous
+  /// model's charge sequence. Requires async_disk().
+  void ChargeAsyncReadBatch(
+      std::span<const AsyncRead> reads,
+      const std::function<void(std::uint64_t cookie)>& on_complete);
+
+  /// Issues a background prefetch for (device, block); never advances the
+  /// guest clock. Returns false when dropped (queue full / sync mode).
+  bool PrefetchDiskRead(std::uint64_t device, std::uint64_t block,
+                        std::uint64_t offset, std::uint64_t length);
+
+  /// True while a prefetch for (device, block) has not been consumed.
+  bool InFlight(std::uint64_t device, std::uint64_t block) const;
+
+  /// Consumes an in-flight prefetch: the guest clock advances to its
+  /// completion (a no-op if it already completed in the past) and the entry
+  /// is retired. Returns the completion time.
+  double JoinInFlight(std::uint64_t device, std::uint64_t block);
+
  private:
+  struct BlockKey {
+    std::uint64_t device;
+    std::uint64_t block;
+    bool operator==(const BlockKey&) const = default;
+  };
+  struct BlockKeyHasher {
+    std::size_t operator()(const BlockKey& k) const noexcept {
+      return static_cast<std::size_t>((k.device * 0x9e3779b97f4a7c15ULL) ^
+                                      (k.block * 0xff51afd7ed558ccdULL));
+    }
+  };
+
   IoContextConfig config_;
   DiskModel disk_;
   PageCache page_cache_;
   double clock_ns_ = 0.0;
+  std::unique_ptr<event::EventLoop> loop_;
+  std::unique_ptr<event::AsyncDiskQueue> disk_queue_;
+  std::unordered_map<BlockKey, event::RequestId, BlockKeyHasher> in_flight_;
 };
 
 }  // namespace squirrel::sim

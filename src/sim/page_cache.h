@@ -25,6 +25,13 @@ class PageCache {
   /// Inserts an entry of `bytes`; evicts LRU entries to fit.
   void Insert(std::uint64_t device, std::uint64_t block, std::uint32_t bytes);
 
+  /// Non-mutating residency probe: no LRU refresh, no hit/miss accounting.
+  /// Readahead uses this to skip cached blocks without perturbing the
+  /// demand-path statistics.
+  bool Resident(std::uint64_t device, std::uint64_t block) const {
+    return map_.contains(Key{device, block});
+  }
+
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t resident_bytes() const { return resident_; }

@@ -61,6 +61,11 @@ class BlockCache {
   /// this to decide whether a read would pay decompression CPU.
   bool ResidentPayload(const util::Digest& digest) const;
 
+  /// Rebudgets the cache: shrinking evicts down to the new byte budget in
+  /// ARC replacement order (payloads drop with their entries); growing keeps
+  /// everything and raises the ceiling.
+  void Resize(std::uint64_t capacity_bytes) { arc_.Resize(capacity_bytes); }
+
   bool enabled() const { return arc_.capacity() > 0; }
   std::uint64_t capacity_bytes() const { return arc_.capacity(); }
   /// Admitted decompressed bytes currently resident (the byte budget the

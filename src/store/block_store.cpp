@@ -385,6 +385,12 @@ std::vector<std::uint8_t> BlockStore::VerifyBatch(
   return ok;
 }
 
+void BlockStore::ResizeCache(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(read_mutex_);
+  cache_.Resize(bytes);
+  config_.read.cache_bytes = bytes;
+}
+
 bool BlockStore::CachedDecompressed(const util::Digest& digest) const {
   std::lock_guard<std::mutex> lock(read_mutex_);
   return cache_.ResidentPayload(digest);

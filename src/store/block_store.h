@@ -277,6 +277,11 @@ class BlockStore {
   /// digest is unknown.
   bool CorruptPayloadForTesting(const util::Digest& digest);
 
+  /// Rebudgets the decompressed-block ARC at runtime (the real ARC shrinks
+  /// under memory pressure and recovers). Shrinking evicts in replacement
+  /// order down to `bytes`; growing keeps contents. Takes the read lock.
+  void ResizeCache(std::uint64_t bytes);
+
   const StoreStats& stats() const { return stats_; }
   ReadStats read_stats() const;
   const SpaceMap& space_map() const { return space_map_; }

@@ -126,6 +126,35 @@ class ArcCache {
     weight_[Idx(ListId::kT1)] += weight;
   }
 
+  /// Rebudgets the cache in place (the ZFS ARC shrinks under host memory
+  /// pressure and grows back; arc_c is a tunable, not a constant). Shrinking
+  /// evicts residents through the normal REPLACE path — LRU-first, T1
+  /// preferred while it exceeds the clamped target — so the eviction order
+  /// matches what capacity pressure would have produced, then trims the
+  /// ghost lists to the classic bounds (W(T1)+W(B1) <= c, total <= 2c).
+  /// Growing just raises the budget; resident entries and ghost history are
+  /// retained.
+  void Resize(std::uint64_t new_capacity) {
+    capacity_ = new_capacity;
+    p_ = std::min(p_, capacity_);
+    if (capacity_ == 0) {
+      while (!t1_.empty()) DropLru(t1_, ListId::kT1);
+      while (!t2_.empty()) DropLru(t2_, ListId::kT2);
+      while (!b1_.empty()) DropLru(b1_, ListId::kB1);
+      while (!b2_.empty()) DropLru(b2_, ListId::kB2);
+      return;
+    }
+    while (resident_weight() > capacity_ && (!t1_.empty() || !t2_.empty())) {
+      Replace(false);
+    }
+    while (!b1_.empty() && W(ListId::kT1) + W(ListId::kB1) > capacity_) {
+      DropLru(b1_, ListId::kB1);
+    }
+    while (!b2_.empty() && TotalWeight() > 2 * capacity_) {
+      DropLru(b2_, ListId::kB2);
+    }
+  }
+
   /// Non-mutating residency probe (no counter or recency update).
   bool Resident(const Key& key) const {
     const auto it = index_.find(key);

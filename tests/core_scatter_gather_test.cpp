@@ -1,0 +1,295 @@
+// Scatter-gather fan-out transfers: window-1 bit-identity with the legacy
+// serial retry loop, windowed overlap, and determinism.
+
+#include "core/scatter_gather.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/squirrel.h"
+#include "util/fault_injector.h"
+#include "util/rng.h"
+
+namespace squirrel::core {
+namespace {
+
+using util::Bytes;
+
+class BufferSource final : public util::DataSource {
+ public:
+  explicit BufferSource(Bytes data) : data_(std::move(data)) {}
+  std::uint64_t size() const override { return data_.size(); }
+  void Read(std::uint64_t offset, util::MutableByteSpan out) const override {
+    std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(offset), out.size(),
+                out.begin());
+  }
+
+ private:
+  Bytes data_;
+};
+
+/// A small stream with payload records, so record-granular resume has
+/// something to resume past.
+zvol::SendStream TestStream(std::size_t blocks) {
+  zvol::SendStream stream;
+  stream.incremental = false;
+  stream.to_id = 1;
+  stream.to_name = "snap";
+  stream.block_size = 4096;
+  stream.codec = "gzip6";
+  zvol::FileRecord file;
+  file.name = "cache/img";
+  file.logical_size = blocks * 4096;
+  file.whole_file = true;
+  util::Rng rng(7);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    zvol::BlockRecord block;
+    block.index = i;
+    block.has_payload = true;
+    block.payload = Bytes(4096);
+    rng.Fill(block.payload);
+    block.logical_size = 4096;
+    file.blocks.push_back(std::move(block));
+  }
+  stream.files.push_back(std::move(file));
+  return stream;
+}
+
+// Reference implementation: the pre-engine serial retry loop, verbatim.
+bool LegacyDeliver(const zvol::SendStream& stream, std::uint64_t wire_size,
+                   std::uint32_t node_id, std::uint64_t transfer_id,
+                   const RetryPolicy& retry, util::FaultInjector* faults,
+                   sim::NetworkAccountant& network, TransferStats& stats,
+                   double* seconds) {
+  auto resume_bytes = [&](double progress) {
+    std::size_t payload_records = 0;
+    for (const auto& f : stream.files) {
+      for (const auto& b : f.blocks) {
+        if (b.has_payload) ++payload_records;
+      }
+    }
+    const auto kept = static_cast<std::size_t>(
+        progress * static_cast<double>(payload_records));
+    std::uint64_t kept_bytes = 0;
+    std::size_t seen = 0;
+    for (const auto& f : stream.files) {
+      for (const auto& b : f.blocks) {
+        if (!b.has_payload) continue;
+        if (seen++ == kept) return wire_size - std::min(wire_size, kept_bytes);
+        kept_bytes += b.payload.size();
+      }
+    }
+    return wire_size - std::min(wire_size, kept_bytes);
+  };
+  const std::uint32_t max_attempts =
+      std::max<std::uint32_t>(1, retry.max_attempts);
+  for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++stats.attempts;
+    if (attempt > 1) {
+      ++stats.retries;
+      const double wait = BackoffSeconds(retry, node_id, transfer_id, attempt);
+      stats.backoff_seconds += wait;
+      *seconds += wait;
+      const double progress =
+          faults->PartialProgress(node_id, transfer_id, attempt - 1);
+      const std::uint64_t resume = resume_bytes(progress);
+      stats.retransmitted_bytes += resume;
+      *seconds += network.Transfer(0, node_id, resume) / 1e9;
+    }
+    if (faults != nullptr) {
+      const bool failed = faults->TransferFails(node_id, transfer_id, attempt);
+      const bool corrupted =
+          !failed && faults->TransferCorrupts(node_id, transfer_id, attempt);
+      if (failed || corrupted) {
+        *seconds += faults->TransferDelaySeconds();
+        continue;
+      }
+    }
+    return true;
+  }
+  ++stats.abandoned;
+  return false;
+}
+
+util::FaultProfile FlakyProfile() {
+  util::FaultProfile profile;
+  profile.transfer_fail_rate = 0.4;
+  profile.transfer_corrupt_rate = 0.2;
+  profile.transfer_delay_seconds = 0.05;
+  return profile;
+}
+
+TEST(ScatterGather, WindowOneBitIdenticalToLegacyLoop) {
+  const zvol::SendStream stream = TestStream(16);
+  const std::uint64_t wire_size = stream.WireSize();
+  const std::vector<std::uint32_t> nodes = {1, 2, 3, 4, 5, 6};
+  const RetryPolicy retry{};
+
+  // Legacy pass: its own injector and accountant (decisions are keyed by
+  // (seed, node, transfer, attempt), so separate instances replay equally).
+  util::FaultInjector legacy_faults(0xfab, FlakyProfile());
+  sim::NetworkAccountant legacy_net(8);
+  TransferStats legacy_stats;
+  double legacy_makespan = 0.0;
+  std::vector<bool> legacy_delivered;
+  for (const std::uint32_t node : nodes) {
+    double seconds = 0.0;
+    legacy_delivered.push_back(LegacyDeliver(stream, wire_size, node, 1, retry,
+                                             &legacy_faults, legacy_net,
+                                             legacy_stats, &seconds));
+    legacy_makespan = std::max(legacy_makespan, seconds);
+  }
+
+  util::FaultInjector faults(0xfab, FlakyProfile());
+  sim::NetworkAccountant net(8);
+  TransferStats stats;
+  ScatterGatherTransfer transfer(&net, &faults, retry,
+                                 ScatterGatherConfig{.window = 1});
+  const ScatterGatherResult result =
+      transfer.Run(stream, wire_size, nodes, 1, stats);
+
+  EXPECT_EQ(stats.attempts, legacy_stats.attempts);
+  EXPECT_EQ(stats.retries, legacy_stats.retries);
+  EXPECT_EQ(stats.abandoned, legacy_stats.abandoned);
+  EXPECT_EQ(stats.retransmitted_bytes, legacy_stats.retransmitted_bytes);
+  EXPECT_EQ(stats.backoff_seconds, legacy_stats.backoff_seconds);  // bitwise
+  EXPECT_EQ(result.makespan_seconds, legacy_makespan);             // bitwise
+  ASSERT_EQ(result.outcomes.size(), nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(result.outcomes[i].delivered, legacy_delivered[i]) << i;
+  }
+  for (std::uint32_t node : nodes) {
+    EXPECT_EQ(net.bytes_in(node), legacy_net.bytes_in(node)) << node;
+  }
+}
+
+TEST(ScatterGather, WindowedMatchesSerialDecisionsAndOverlaps) {
+  const zvol::SendStream stream = TestStream(16);
+  const std::uint64_t wire_size = stream.WireSize();
+  const std::vector<std::uint32_t> nodes = {1, 2, 3, 4, 5, 6, 7};
+  const RetryPolicy retry{};
+
+  util::FaultInjector serial_faults(0xfab, FlakyProfile());
+  sim::NetworkAccountant serial_net(9);
+  TransferStats serial_stats;
+  ScatterGatherTransfer serial(&serial_net, &serial_faults, retry,
+                               ScatterGatherConfig{.window = 1});
+  const ScatterGatherResult serial_result =
+      serial.Run(stream, wire_size, nodes, 1, serial_stats);
+
+  util::FaultInjector faults(0xfab, FlakyProfile());
+  sim::NetworkAccountant net(9);
+  TransferStats stats;
+  ScatterGatherTransfer windowed(&net, &faults, retry,
+                                 ScatterGatherConfig{.window = 4});
+  const ScatterGatherResult result =
+      windowed.Run(stream, wire_size, nodes, 1, stats);
+
+  // Fault decisions are order-independent, so both models agree on what
+  // happened — only on when.
+  EXPECT_EQ(stats.attempts, serial_stats.attempts);
+  EXPECT_EQ(stats.retries, serial_stats.retries);
+  EXPECT_EQ(stats.abandoned, serial_stats.abandoned);
+  EXPECT_EQ(stats.retransmitted_bytes, serial_stats.retransmitted_bytes);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(result.outcomes[i].delivered,
+              serial_result.outcomes[i].delivered);
+  }
+  ASSERT_GT(serial_stats.retries, 0u) << "profile produced no retries";
+
+  // Retry tails overlap: the fan out finishes before the sum of tails, and
+  // the report says by how much.
+  EXPECT_LT(result.makespan_seconds, result.sum_seconds);
+  EXPECT_GT(stats.overlap_seconds, 0.0);
+  // Sender-link contention cannot beat the perfect-parallelism bound by
+  // more than scheduling slack, and never the serial sum.
+  EXPECT_LE(result.makespan_seconds, serial_result.sum_seconds);
+}
+
+TEST(ScatterGather, WindowedIsDeterministic) {
+  const zvol::SendStream stream = TestStream(8);
+  const std::uint64_t wire_size = stream.WireSize();
+  const std::vector<std::uint32_t> nodes = {1, 2, 3, 4};
+  auto run = [&] {
+    util::FaultInjector faults(0xfab, FlakyProfile());
+    sim::NetworkAccountant net(6);
+    TransferStats stats;
+    ScatterGatherTransfer transfer(
+        &net, &faults, RetryPolicy{},
+        ScatterGatherConfig{.window = 3, .chunk_bytes = 8 * 1024});
+    const ScatterGatherResult result =
+        transfer.Run(stream, wire_size, nodes, 1, stats);
+    return std::pair<double, double>(result.makespan_seconds,
+                                     stats.backoff_seconds);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);    // bitwise
+  EXPECT_EQ(a.second, b.second);  // bitwise
+}
+
+TEST(ScatterGather, NoFaultsDeliversEverythingInstantly) {
+  const zvol::SendStream stream = TestStream(4);
+  sim::NetworkAccountant net(4);
+  TransferStats stats;
+  ScatterGatherTransfer transfer(&net, /*faults=*/nullptr, RetryPolicy{},
+                                 ScatterGatherConfig{.window = 4});
+  const ScatterGatherResult result =
+      transfer.Run(stream, stream.WireSize(), {1, 2, 3}, 1, stats);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(result.makespan_seconds, 0.0);
+  for (const auto& outcome : result.outcomes) {
+    EXPECT_TRUE(outcome.delivered);
+  }
+}
+
+TEST(ScatterGather, ClusterRegisterWithWindowedTransfer) {
+  SquirrelConfig config;
+  config.volume = zvol::VolumeConfig{.block_size = 4096,
+                                     .codec = compress::CodecId::kGzip6,
+                                     .dedup = true};
+  config.transfer.window = 4;
+  SquirrelCluster cluster(config, 4);
+
+  Bytes content(32 * 4096);
+  util::Rng(3).Fill(content);
+  const RegistrationReport report =
+      cluster.Register("img", BufferSource(content), 1000);
+  EXPECT_EQ(report.receivers, 4u);
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    EXPECT_TRUE(cluster.compute_node(n).volume().HasFile(
+        SquirrelCluster::CacheFileName("img")));
+  }
+}
+
+TEST(ScatterGather, ClusterRetryStatsIdenticalAcrossWindows) {
+  // The same faulted registration through both delivery models: identical
+  // decisions (attempts/retries/abandoned), different timing model.
+  auto run = [](std::uint32_t window) {
+    SquirrelConfig config;
+    config.volume = zvol::VolumeConfig{.block_size = 4096,
+                                       .codec = compress::CodecId::kGzip6,
+                                       .dedup = true};
+    config.transfer.window = window;
+    SquirrelCluster cluster(config, 3);
+    util::FaultInjector faults(0xbeef, FlakyProfile());
+    cluster.SetFaultInjector(&faults);
+    Bytes content(32 * 4096);
+    util::Rng(3).Fill(content);
+    return cluster.Register("img", BufferSource(content), 1000);
+  };
+  const RegistrationReport serial = run(1);
+  const RegistrationReport windowed = run(4);
+  EXPECT_EQ(windowed.transfers.attempts, serial.transfers.attempts);
+  EXPECT_EQ(windowed.transfers.retries, serial.transfers.retries);
+  EXPECT_EQ(windowed.transfers.abandoned, serial.transfers.abandoned);
+  EXPECT_EQ(windowed.transfers.retransmitted_bytes,
+            serial.transfers.retransmitted_bytes);
+  EXPECT_EQ(windowed.receivers, serial.receivers);
+}
+
+}  // namespace
+}  // namespace squirrel::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "store/block_cache.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace squirrel::sim {
@@ -117,6 +119,104 @@ TEST(ArcCache, ZipfWorkloadBeatsPureRecency) {
     }
   }
   EXPECT_GT(static_cast<double>(hits) / static_cast<double>(total), 0.4);
+}
+
+TEST(ArcCache, ShrinkEvictsDownToBudgetInReplacementOrder) {
+  ArcCache cache(8);
+  for (std::uint64_t b = 0; b < 8; ++b) cache.Insert(1, b);
+  // Re-touch the last four so they live in T2 (frequency side).
+  for (std::uint64_t b = 4; b < 8; ++b) EXPECT_TRUE(cache.Lookup(1, b));
+
+  cache.Resize(4);
+  EXPECT_EQ(cache.capacity(), 4u);
+  EXPECT_LE(cache.resident_entries(), 4u);
+  // Shrinking runs the normal REPLACE routine, which victimizes the recency
+  // side first: the untouched T1 blocks go, the re-referenced T2 ones stay.
+  int t2_survivors = 0;
+  for (std::uint64_t b = 4; b < 8; ++b) t2_survivors += cache.Lookup(1, b);
+  EXPECT_EQ(t2_survivors, 4);
+}
+
+TEST(ArcCache, ShrinkEvictsLruFirstWithinRecencyList) {
+  ArcCache cache(6);
+  for (std::uint64_t b = 0; b < 6; ++b) cache.Insert(1, b);
+  cache.Resize(2);
+  // Pure recency contents: the two most recent inserts survive.
+  EXPECT_TRUE(cache.Lookup(1, 5));
+  EXPECT_TRUE(cache.Lookup(1, 4));
+  EXPECT_FALSE(cache.Lookup(1, 0));
+  EXPECT_FALSE(cache.Lookup(1, 3));
+}
+
+TEST(ArcCache, GrowKeepsContentsAndRaisesCeiling) {
+  ArcCache cache(3);
+  for (std::uint64_t b = 0; b < 3; ++b) cache.Insert(1, b);
+  cache.Resize(16);
+  EXPECT_EQ(cache.capacity(), 16u);
+  for (std::uint64_t b = 0; b < 3; ++b) EXPECT_TRUE(cache.Lookup(1, b));
+  // The raised budget actually admits more without evicting the old set.
+  for (std::uint64_t b = 3; b < 16; ++b) cache.Insert(1, b);
+  EXPECT_EQ(cache.resident_entries(), 16u);
+  EXPECT_TRUE(cache.Lookup(1, 0));
+}
+
+TEST(ArcCache, ResizeToZeroDropsEverything) {
+  ArcCache cache(8);
+  for (std::uint64_t b = 0; b < 8; ++b) cache.Insert(1, b);
+  cache.Resize(0);
+  EXPECT_EQ(cache.resident_entries(), 0u);
+  for (std::uint64_t b = 0; b < 8; ++b) EXPECT_FALSE(cache.Lookup(1, b));
+  // And stays disabled, like a zero-capacity construction.
+  cache.Insert(1, 0);
+  EXPECT_FALSE(cache.Lookup(1, 0));
+}
+
+TEST(ArcCache, ResizeKeepsInvariantsUnderRandomWorkload) {
+  ArcCache cache(32);
+  util::Rng rng(1234);
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t block = rng.Below(200);
+    if (!cache.Lookup(1, block)) cache.Insert(1, block);
+    if (op % 1000 == 999) {
+      // Oscillate the budget mid-workload.
+      cache.Resize(op % 2000 == 999 ? 8 : 48);
+    }
+    ASSERT_LE(cache.resident_entries(), cache.capacity());
+    ASSERT_LE(cache.target_t1(), cache.capacity());
+  }
+}
+
+TEST(ArcCache, BlockCacheResizeDropsPayloadsWithEntries) {
+  // The byte-weighted instantiation: shrinking the BlockCache must release
+  // the evicted payload bytes, and survivors must still serve hits.
+  store::BlockCache cache(4 * 4096);
+  util::Bytes payload(4096);
+  std::vector<util::Digest> digests;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    payload[0] = static_cast<util::Byte>(i);
+    const util::Digest digest = util::HashBlock(payload);
+    cache.Admit(digest, payload.size());
+    cache.Fill(digest, payload);
+    digests.push_back(digest);
+  }
+  EXPECT_EQ(cache.resident_bytes(), 4u * 4096u);
+
+  cache.Resize(4096);
+  EXPECT_EQ(cache.capacity_bytes(), 4096u);
+  EXPECT_LE(cache.resident_bytes(), 4096u);
+  util::Bytes out;
+  int hits = 0;
+  for (const util::Digest& digest : digests) {
+    if (cache.Lookup(digest, &out) == store::BlockCache::Outcome::kHit) {
+      ++hits;
+      EXPECT_EQ(out.size(), 4096u);  // payload still intact for survivors
+    }
+  }
+  EXPECT_LE(hits, 1);
+
+  cache.Resize(0);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_EQ(cache.resident_bytes(), 0u);
 }
 
 }  // namespace

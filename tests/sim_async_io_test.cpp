@@ -1,0 +1,172 @@
+// Async disk engine end to end: depth-1 reduction to the synchronous cost
+// model (bit-identical boots) and the depth>1 + readahead overlap win.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/squirrel.h"
+#include "sim/devices.h"
+#include "sim/io_context.h"
+#include "util/rng.h"
+
+namespace squirrel::core {
+namespace {
+
+using util::Bytes;
+
+class BufferSource final : public util::DataSource {
+ public:
+  explicit BufferSource(Bytes data) : data_(std::move(data)) {}
+  std::uint64_t size() const override { return data_.size(); }
+  void Read(std::uint64_t offset, util::MutableByteSpan out) const override {
+    std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(offset), out.size(),
+                out.begin());
+  }
+
+ private:
+  Bytes data_;
+};
+
+SquirrelConfig SmallConfig() {
+  SquirrelConfig config;
+  config.volume = zvol::VolumeConfig{.block_size = 4096,
+                                     .codec = compress::CodecId::kGzip6,
+                                     .dedup = true};
+  return config;
+}
+
+Bytes CacheContent(std::size_t blocks) {
+  Bytes content(blocks * 4096);
+  util::Rng(99).Fill(content);  // incompressible-ish, all blocks unique
+  return content;
+}
+
+struct BootRun {
+  BootReport report;
+  double elapsed_ns = 0.0;
+};
+
+/// Registers one image and boots it on node 1 under the given I/O config.
+/// The whole cluster is rebuilt per run so store/cache state is identical.
+BootRun RunBoot(const sim::IoContextConfig& io_config,
+                std::size_t blocks = 96) {
+  SquirrelCluster cluster(SmallConfig(), 2);
+  const Bytes content = CacheContent(blocks);
+  cluster.Register("img", BufferSource(content), 1000);
+
+  Bytes base = content;
+  BufferSource base_image(base);
+  std::vector<vmi::BootRead> trace;
+  for (std::uint64_t off = 0; off < blocks * 4096; off += 8192) {
+    trace.push_back({off, 8192});
+  }
+
+  sim::IoContext io(io_config);
+  BootRun run;
+  run.report = cluster.Boot(1, "img", base_image, trace, io);
+  run.elapsed_ns = io.elapsed_ns();
+  return run;
+}
+
+TEST(AsyncBoot, DepthOneBitIdenticalToSynchronous) {
+  sim::IoContextConfig sync_config;
+  const BootRun sync_run = RunBoot(sync_config);
+
+  sim::IoContextConfig async_config;
+  async_config.disk_queue_depth = 1;
+  async_config.readahead_blocks = 0;
+  const BootRun async_run = RunBoot(async_config);
+
+  // The acceptance bar: bit-identical clocks and BootReports, not "close".
+  EXPECT_EQ(async_run.elapsed_ns, sync_run.elapsed_ns);
+  EXPECT_EQ(async_run.report.result.seconds, sync_run.report.result.seconds);
+  EXPECT_EQ(async_run.report.result.io_seconds,
+            sync_run.report.result.io_seconds);
+  EXPECT_EQ(async_run.report.result.bytes_read,
+            sync_run.report.result.bytes_read);
+  EXPECT_EQ(async_run.report.result.base_bytes_read,
+            sync_run.report.result.base_bytes_read);
+  EXPECT_EQ(async_run.report.result.cache_bytes_read,
+            sync_run.report.result.cache_bytes_read);
+  EXPECT_EQ(async_run.report.result.page_cache_hits,
+            sync_run.report.result.page_cache_hits);
+  EXPECT_EQ(async_run.report.result.page_cache_misses,
+            sync_run.report.result.page_cache_misses);
+  EXPECT_EQ(async_run.report.network_bytes, sync_run.report.network_bytes);
+}
+
+TEST(AsyncBoot, ReadaheadStrictlyFasterThanSynchronous) {
+  sim::IoContextConfig sync_config;
+  const BootRun sync_run = RunBoot(sync_config);
+
+  sim::IoContextConfig async_config;
+  async_config.disk_queue_depth = 8;
+  async_config.readahead_blocks = 16;
+  const BootRun async_run = RunBoot(async_config);
+
+  // Same work...
+  EXPECT_EQ(async_run.report.result.bytes_read,
+            sync_run.report.result.bytes_read);
+  EXPECT_EQ(async_run.report.network_bytes, sync_run.report.network_bytes);
+  // ...strictly less simulated time: readahead overlaps disk service with
+  // guest decompression, and queued neighbours coalesce into fewer seeks.
+  EXPECT_LT(async_run.elapsed_ns, sync_run.elapsed_ns);
+  EXPECT_LT(async_run.report.result.seconds, sync_run.report.result.seconds);
+}
+
+TEST(AsyncBoot, AsyncRunsAreDeterministic) {
+  sim::IoContextConfig async_config;
+  async_config.disk_queue_depth = 8;
+  async_config.readahead_blocks = 16;
+  const BootRun a = RunBoot(async_config);
+  const BootRun b = RunBoot(async_config);
+  EXPECT_EQ(a.elapsed_ns, b.elapsed_ns);
+  EXPECT_EQ(a.report.result.seconds, b.report.result.seconds);
+  EXPECT_EQ(a.report.result.page_cache_misses,
+            b.report.result.page_cache_misses);
+}
+
+TEST(AsyncBoot, ScaledIoConfigClampsPageCacheToOnePage) {
+  // Regression: deep downscales used to truncate the budget to 0 bytes,
+  // silently disabling the page cache.
+  const sim::IoContextConfig scaled = sim::ScaledIoConfig(1e-9);
+  EXPECT_GE(scaled.page_cache_bytes, 4096u);
+  EXPECT_GE(scaled.disk.track_distance, 1u);
+  EXPECT_GT(scaled.disk.short_distance, scaled.disk.track_distance);
+}
+
+TEST(AsyncLocalFile, DepthOneBitIdenticalToSynchronous) {
+  const Bytes content = CacheContent(64);
+  BufferSource source(content);
+  Bytes out(content.size());
+
+  sim::IoContext sync_io;
+  {
+    sim::LocalFileDevice device(&source, &sync_io, /*device_id=*/7,
+                                /*disk_base=*/0);
+    device.ReadAt(0, util::MutableByteSpan(out.data(), 32 * 1024));
+    device.ReadAt(32 * 1024,
+                  util::MutableByteSpan(out.data(), 64 * 1024));
+    device.ReadAt(0, util::MutableByteSpan(out.data(), 16 * 1024));  // cached
+  }
+
+  sim::IoContextConfig async_config;
+  async_config.disk_queue_depth = 1;
+  sim::IoContext async_io(async_config);
+  {
+    sim::LocalFileDevice device(&source, &async_io, /*device_id=*/7,
+                                /*disk_base=*/0);
+    device.ReadAt(0, util::MutableByteSpan(out.data(), 32 * 1024));
+    device.ReadAt(32 * 1024,
+                  util::MutableByteSpan(out.data(), 64 * 1024));
+    device.ReadAt(0, util::MutableByteSpan(out.data(), 16 * 1024));
+  }
+
+  EXPECT_EQ(async_io.elapsed_ns(), sync_io.elapsed_ns());
+  EXPECT_EQ(async_io.page_cache().hits(), sync_io.page_cache().hits());
+  EXPECT_EQ(async_io.page_cache().misses(), sync_io.page_cache().misses());
+}
+
+}  // namespace
+}  // namespace squirrel::core
