@@ -33,27 +33,58 @@ struct SampleVm {
 // disk seek tiers / page cache to match the dataset scale.
 sim::BootSimConfig g_boot_config;
 sim::IoContextConfig g_io_config;
+bool g_profile = false;  // --profile: record first boot, replay the rest
 
 double WarmZfsBoot(const vmi::Catalog& catalog,
                    const std::vector<SampleVm>& vms, std::uint32_t block_size) {
   // One shared cVolume holding every sampled cache (as Squirrel would).
-  zvol::Volume volume(zvol::VolumeConfig{.block_size = block_size,
-                                         .codec = compress::CodecId::kGzip6,
-                                         .dedup = true,
-                                         .fast_hash = true});
+  // Profile mode gives the volume a decompressed-block ARC so the replay's
+  // warm pass has somewhere to put the profile's payloads.
+  zvol::VolumeConfig volume_config{.block_size = block_size,
+                                   .codec = compress::CodecId::kGzip6,
+                                   .dedup = true,
+                                   .fast_hash = true};
+  if (g_profile) volume_config.read.cache_bytes = 256ull << 20;
+  zvol::Volume volume(volume_config);
   for (std::size_t i = 0; i < vms.size(); ++i) {
     const vmi::CacheImage cache(*vms[i].image, *vms[i].boot);
     volume.WriteFile("cache-" + std::to_string(i), cache);
   }
   util::RunningStats stats;
   for (std::size_t i = 0; i < vms.size(); ++i) {
+    const std::string cache_file = "cache-" + std::to_string(i);
+    const std::string base_name = "base-" + std::to_string(i);
+    vmi::BootProfile profile;
+    if (g_profile) {
+      // Recording pass: a first (unmeasured) boot writes the profile.
+      // Recording itself is free — the recorded boot's timing is
+      // bit-identical to an unprofiled one.
+      sim::IoContext rio(g_io_config);
+      cow::QcowOverlay overlay(vms[i].image->size(), cow::kDefaultClusterSize);
+      sim::VolumeFileDevice cache(&volume, cache_file, &rio, 1000 + i);
+      cache.SetProfileRecorder(&profile);
+      sim::LocalFileDevice base(vms[i].image.get(), &rio, 1, 40ull << 30);
+      base.SetProfileRecorder(&profile, base_name);
+      cow::Chain chain(&overlay, &cache, &base, false);
+      sim::SimulateBoot(chain, vms[i].trace, rio, g_boot_config);
+    }
     sim::IoContext io(g_io_config);
     cow::QcowOverlay overlay(vms[i].image->size(), cow::kDefaultClusterSize);
-    sim::VolumeFileDevice cache(&volume, "cache-" + std::to_string(i), &io,
-                                1000 + i);
+    sim::VolumeFileDevice cache(&volume, cache_file, &io, 1000 + i);
     sim::LocalFileDevice base(vms[i].image.get(), &io, 1, 40ull << 30);
     cow::Chain chain(&overlay, &cache, &base, false);
-    stats.Add(sim::SimulateBoot(chain, vms[i].trace, io, g_boot_config).seconds);
+    sim::ProfilePrefetcher prefetcher(&profile, &io);
+    sim::ProfilePrefetcher* prefetch = nullptr;
+    if (g_profile) {
+      cache.WarmCacheFromBlocks(
+          profile.BlocksForFile(cache_file, /*misses_only=*/false));
+      prefetcher.Bind(cache_file, &cache);
+      prefetcher.Bind(base_name, &base);
+      prefetch = &prefetcher;
+    }
+    stats.Add(sim::SimulateBoot(chain, vms[i].trace, io, g_boot_config,
+                                nullptr, prefetch)
+                  .seconds);
   }
   (void)catalog;
   return stats.mean();
@@ -128,6 +159,11 @@ int main(int argc, char** argv) {
   if (options.disk_queue_depth > 0) {
     std::printf("async disk engine: depth %u, readahead %u blocks\n\n",
                 options.disk_queue_depth, options.readahead_blocks);
+  }
+  g_profile = options.profile;
+  if (g_profile) {
+    std::printf("profile-guided prefetch: first boot records, measured boots "
+                "replay (warm ARC + prefetch)\n\n");
   }
 
   std::vector<SampleVm> vms;

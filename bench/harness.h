@@ -21,10 +21,12 @@
 #pragma once
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "vmi/catalog.h"
@@ -40,10 +42,49 @@ struct Options {
   std::uint32_t disk_queue_depth = 0;  // 0 = synchronous disk charging
   std::uint32_t readahead_blocks = 0;
   std::uint32_t transfer_window = 1;  // 1 = serial scatter-gather
+  /// fig11: record a boot profile on the first boot of each image and
+  /// replay it (warm + prefetch) on the measured boots.
+  bool profile = false;
 };
+
+[[noreturn]] inline void FlagError(const std::string& arg, const char* why) {
+  std::fprintf(stderr, "error: bad flag %s: %s\n", arg.c_str(), why);
+  std::exit(2);
+}
+
+/// Strict double parse: the whole value must be a number (std::atof would
+/// happily read garbage as 0.0) and it must be strictly positive.
+inline double ParsePositiveDouble(const std::string& arg, const char* v) {
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (*v == '\0' || end == nullptr || *end != '\0') {
+    FlagError(arg, "not a number");
+  }
+  if (!(parsed > 0.0)) FlagError(arg, "must be > 0");  // rejects NaN too
+  return parsed;
+}
+
+/// Strict unsigned parse: rejects signs, garbage, trailing junk, overflow,
+/// and (unless `allow_zero`) zero.
+inline std::uint64_t ParseUnsigned(const std::string& arg, const char* v,
+                                   bool allow_zero,
+                                   std::uint64_t max =
+                                       std::numeric_limits<std::uint64_t>::max()) {
+  if (*v == '-' || *v == '+') FlagError(arg, "must be an unsigned integer");
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (*v == '\0' || end == nullptr || *end != '\0') {
+    FlagError(arg, "not an integer");
+  }
+  if (errno == ERANGE || parsed > max) FlagError(arg, "out of range");
+  if (!allow_zero && parsed == 0) FlagError(arg, "must be >= 1");
+  return parsed;
+}
 
 inline Options ParseOptions(int argc, char** argv) {
   Options options;
+  constexpr std::uint64_t kU32Max = std::numeric_limits<std::uint32_t>::max();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* prefix) -> const char* {
@@ -51,27 +92,36 @@ inline Options ParseOptions(int argc, char** argv) {
       return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
     };
     if (const char* v = value("--images=")) {
-      options.images = static_cast<std::uint32_t>(std::atoi(v));
+      options.images = static_cast<std::uint32_t>(
+          ParseUnsigned(arg, v, /*allow_zero=*/false, kU32Max));
     } else if (const char* v = value("--scale=")) {
-      options.scale = std::atof(v);
+      options.scale = ParsePositiveDouble(arg, v);
     } else if (const char* v = value("--cachex=")) {
-      options.cache_multiplier = std::atof(v);
+      options.cache_multiplier = ParsePositiveDouble(arg, v);
     } else if (const char* v = value("--seed=")) {
-      options.seed = std::strtoull(v, nullptr, 10);
+      options.seed = ParseUnsigned(arg, v, /*allow_zero=*/true);
     } else if (const char* v = value("--depth=")) {
-      options.disk_queue_depth = static_cast<std::uint32_t>(std::atoi(v));
+      // 0 is the *default* (synchronous charging); asking for it explicitly
+      // is almost always a typo for an async sweep, so reject it.
+      options.disk_queue_depth = static_cast<std::uint32_t>(ParseUnsigned(
+          arg, v, /*allow_zero=*/false, kU32Max));
     } else if (const char* v = value("--readahead=")) {
-      options.readahead_blocks = static_cast<std::uint32_t>(std::atoi(v));
+      options.readahead_blocks = static_cast<std::uint32_t>(
+          ParseUnsigned(arg, v, /*allow_zero=*/true, kU32Max));
     } else if (const char* v = value("--window=")) {
-      options.transfer_window =
-          std::max(1u, static_cast<std::uint32_t>(std::atoi(v)));
+      options.transfer_window = static_cast<std::uint32_t>(
+          ParseUnsigned(arg, v, /*allow_zero=*/false, kU32Max));
     } else if (arg == "--fast") {
       options.fast = true;
+    } else if (arg == "--profile") {
+      options.profile = true;
     } else if (arg == "--help") {
       std::printf(
           "flags: --images=N --scale=X --cachex=M --seed=S --fast "
-          "--depth=N --readahead=N --window=N\n");
+          "--depth=N --readahead=N --window=N --profile\n");
       std::exit(0);
+    } else {
+      FlagError(arg, "unknown flag (see --help)");
     }
   }
   if (options.fast) {

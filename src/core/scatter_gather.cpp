@@ -73,8 +73,12 @@ ScatterGatherResult ScatterGatherTransfer::Run(
                       initial_seconds)
           : RunWindowed(stream, wire_size, nodes, transfer_id, stats,
                         initial_seconds);
-  stats.makespan_seconds += result.makespan_seconds;
-  stats.overlap_seconds += result.sum_seconds - result.makespan_seconds;
+  // Clamp: with an empty receiver set (or pure float cancellation in the
+  // sums) the subtraction can dip a hair below zero; the report fields are
+  // documented non-negative.
+  stats.makespan_seconds += std::max(0.0, result.makespan_seconds);
+  stats.overlap_seconds +=
+      std::max(0.0, result.sum_seconds - result.makespan_seconds);
   return result;
 }
 

@@ -54,9 +54,12 @@ struct TransferStats {
   std::uint64_t abandoned = 0;           // nodes given up on (sync later)
   std::uint64_t retransmitted_bytes = 0; // wire bytes re-sent by retries
   double backoff_seconds = 0.0;          // summed deterministic waits
-  double makespan_seconds = 0.0;         // fan-out critical path (retry tails)
+  /// Fan-out critical path (retry tails). Never negative: clamped at
+  /// accumulation so float cancellation cannot leak a negative duration.
+  double makespan_seconds = 0.0;
   /// Receiver-seconds absorbed by running retry tails concurrently:
-  /// sum of per-node tails minus the makespan. 0 when nothing retried.
+  /// sum of per-node tails minus the makespan. 0 when nothing retried;
+  /// clamped non-negative like makespan_seconds.
   double overlap_seconds = 0.0;
 };
 

@@ -209,7 +209,8 @@ BootReport SquirrelCluster::Boot(std::uint32_t compute_node,
                                  sim::IoContext& io,
                                  const sim::BootSimConfig& boot_config,
                                  const std::vector<vmi::BootRead>* writes,
-                                 sim::RemoteImageDevice::AllocationMap allocation) {
+                                 sim::RemoteImageDevice::AllocationMap allocation,
+                                 const BootProfileRun* profile) {
   ComputeNode& node = *compute_nodes_.at(compute_node);
   const std::string file = CacheFileName(image_id);
   if (!node.volume().HasFile(file)) {
@@ -234,10 +235,62 @@ BootReport SquirrelCluster::Boot(std::uint32_t compute_node,
   cow::Chain chain(&overlay, &cache, &base, /*copy_on_read=*/false);
 
   BootReport report;
-  report.result = sim::SimulateBoot(chain, trace, io, boot_config, writes);
+  if (profile != nullptr && profile->record != nullptr) {
+    cache.SetProfileRecorder(profile->record);
+  }
+  sim::ProfilePrefetcher prefetcher(
+      profile != nullptr ? profile->replay : nullptr, &io,
+      sim::ProfilePrefetchConfig{
+          profile != nullptr ? profile->lead_blocks : 32});
+  sim::ProfilePrefetcher* prefetch = nullptr;
+  if (profile != nullptr && profile->replay != nullptr) {
+    std::vector<std::uint64_t> touched =
+        profile->replay->BlocksForFile(file, /*misses_only=*/false);
+    std::sort(touched.begin(), touched.end());
+    if (profile->pre_heal) {
+      // Pre-heal: walk the profile's blocks through the repair read path
+      // before the guest starts. A degraded replica fetches its clean
+      // copies now — off the boot's critical path — and the reads warm the
+      // decompressed-block ARC either way. The wire bytes are charged to
+      // the network accountant but not to the guest clock: the modelled
+      // prefetch daemon overlaps VM scheduling.
+      const std::uint32_t block_size = node.volume().config().block_size;
+      const std::uint64_t block_count = node.volume().FileBlockCount(file);
+      const std::uint64_t file_size = node.volume().FileSize(file);
+      std::size_t i = 0;
+      while (i < touched.size()) {
+        std::size_t j = i + 1;
+        while (j < touched.size() && touched[j] == touched[j - 1] + 1) ++j;
+        if (touched[i] < block_count) {
+          const std::uint64_t offset = touched[i] * block_size;
+          const std::uint64_t end_block =
+              std::min<std::uint64_t>(touched[j - 1] + 1, block_count);
+          const std::uint64_t length =
+              std::min<std::uint64_t>(end_block * block_size, file_size) -
+              offset;
+          std::uint64_t fetched = 0;
+          node.volume().ReadRangeRepair(file, offset, length,
+                                        sc_volume_.block_store(), &fetched);
+          if (fetched > 0) {
+            ++report.preheal_repair_fetches;
+            report.preheal_repaired_bytes += fetched;
+            network_.Transfer(/*from=*/0, compute_node + 1, fetched);
+          }
+        }
+        i = j;
+      }
+    } else {
+      cache.WarmCacheFromBlocks(touched);
+    }
+    prefetcher.Bind(file, &cache);
+    prefetch = &prefetcher;
+  }
+  report.result =
+      sim::SimulateBoot(chain, trace, io, boot_config, writes, prefetch);
   report.network_bytes = network_.bytes_in(compute_node + 1) - net_before;
   report.repaired_blocks_bytes = cache.degraded_stats().repaired_bytes;
   report.repair_reads = cache.degraded_stats().repair_reads;
+  report.prefetch_issued = prefetcher.stats().issued;
   return report;
 }
 

@@ -101,6 +101,32 @@ struct BootReport {
   /// re-fetched on demand from the storage node (included in network_bytes).
   std::uint64_t repaired_blocks_bytes = 0;
   std::uint64_t repair_reads = 0;
+  /// Pre-heal pass (profile replay with pre_heal): range reads that had to
+  /// fetch clean copies from the storage node *before* the guest started —
+  /// repairs moved off the boot's critical path. Bytes are included in
+  /// network_bytes but charge no simulated boot time.
+  std::uint64_t preheal_repair_fetches = 0;
+  std::uint64_t preheal_repaired_bytes = 0;
+  /// Profile-guided background reads issued while the guest booted.
+  std::uint64_t prefetch_issued = 0;
+};
+
+/// Profile-guided boot support (both directions of the profile lifecycle).
+struct BootProfileRun {
+  /// Profile to replay ahead of the guest: pre-heal (or ARC-warm) its
+  /// blocks before the boot, then prefetch them during it. Null = off.
+  const vmi::BootProfile* replay = nullptr;
+  /// Profile to record this boot's cache-device touches into. Recording is
+  /// pure bookkeeping — the recorded boot is bit-identical to an
+  /// unprofiled one. Null = off.
+  vmi::BootProfile* record = nullptr;
+  /// Maximum profile blocks kept in flight ahead of the guest's cursor.
+  std::uint32_t lead_blocks = 32;
+  /// Route the profile's blocks through the degraded-read repair path
+  /// before the guest starts: a corrupt replica heals off the critical
+  /// path (and the reads warm the decompressed-block ARC as a side
+  /// effect). When false, replay only warms the ARC.
+  bool pre_heal = true;
 };
 
 /// One compute node: its ccVolume and availability state.
@@ -153,12 +179,15 @@ class SquirrelCluster {
   /// replays the boot's write trace into the VM's CoW overlay; `allocation`
   /// exposes the base image's sparse map so copy-on-write fills of
   /// unallocated ranges stay off the network.
+  /// `profile` optionally records this boot's touch trace and/or replays a
+  /// recorded one (pre-heal + prefetch); see BootProfileRun.
   BootReport Boot(std::uint32_t compute_node, const std::string& image_id,
                   const util::DataSource& base_image,
                   const std::vector<vmi::BootRead>& trace, sim::IoContext& io,
                   const sim::BootSimConfig& boot_config = {},
                   const std::vector<vmi::BootRead>* writes = nullptr,
-                  sim::RemoteImageDevice::AllocationMap allocation = {});
+                  sim::RemoteImageDevice::AllocationMap allocation = {},
+                  const BootProfileRun* profile = nullptr);
 
   // --- introspection ---------------------------------------------------------
 

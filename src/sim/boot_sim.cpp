@@ -1,5 +1,6 @@
 #include "sim/boot_sim.h"
 
+#include "sim/profile_prefetch.h"
 #include "util/rng.h"
 
 namespace squirrel::sim {
@@ -7,7 +8,8 @@ namespace squirrel::sim {
 BootResult SimulateBoot(cow::Chain& chain,
                         const std::vector<vmi::BootRead>& trace,
                         IoContext& io, const BootSimConfig& config,
-                        const std::vector<vmi::BootRead>* writes) {
+                        const std::vector<vmi::BootRead>* writes,
+                        ProfilePrefetcher* prefetcher) {
   BootResult result;
   const double start_ns = io.elapsed_ns();
   const std::uint64_t hits0 = io.page_cache().hits();
@@ -19,6 +21,9 @@ BootResult SimulateBoot(cow::Chain& chain,
     const std::uint64_t len =
         std::min<std::uint64_t>(read.length, chain.size() - read.offset);
     if (len == 0) continue;
+    // Keep profile-guided background reads ahead of the cursor; the demand
+    // read below joins any that cover it.
+    if (prefetcher != nullptr) prefetcher->Pump();
     chain.Read(read.offset, len);
     io.ChargeNs(config.guest_ns_per_byte * static_cast<double>(len));
     result.bytes_read += len;

@@ -40,13 +40,19 @@ struct BootResult {
   std::uint64_t page_cache_misses = 0;
 };
 
+class ProfilePrefetcher;
+
 /// Replays `trace` through `chain`, charging costs to `io`. When `writes`
 /// is given, the boot's write trace (logs, /run, tmp) is replayed after the
 /// reads: writes land in the CoW overlay; copy-on-write fills of
 /// unallocated backing ranges are free (QCOW2 allocation-map semantics).
+/// When `prefetcher` is given, it is pumped before every demand read so
+/// profile-guided background reads stay ahead of the guest's cursor; a null
+/// prefetcher is bit-identical to the plain replay.
 BootResult SimulateBoot(cow::Chain& chain,
                         const std::vector<vmi::BootRead>& trace,
                         IoContext& io, const BootSimConfig& config = {},
-                        const std::vector<vmi::BootRead>* writes = nullptr);
+                        const std::vector<vmi::BootRead>* writes = nullptr,
+                        ProfilePrefetcher* prefetcher = nullptr);
 
 }  // namespace squirrel::sim

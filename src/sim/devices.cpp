@@ -38,19 +38,41 @@ std::uint64_t LocalFileDevice::PhysicalOffset(std::uint64_t logical) const {
          ExtentJitter(device_id_, extent) + logical % kFileExtentBytes;
 }
 
+std::uint64_t LocalFileDevice::BlockLength(std::uint64_t b) const {
+  const std::uint64_t block_start = b * io_block_;
+  const std::uint64_t file_size = content_->size();
+  // Saturate at EOF: `file_size - block_start` would wrap for blocks past
+  // the end, turning a zero-length tail into a full-block charge.
+  if (block_start >= file_size) return 0;
+  return std::min<std::uint64_t>(io_block_, file_size - block_start);
+}
+
+void LocalFileDevice::SetProfileRecorder(vmi::BootProfile* profile,
+                                         std::string name) {
+  profile_ = profile;
+  profile_name_ = std::move(name);
+}
+
 void LocalFileDevice::ReadAt(std::uint64_t offset, util::MutableByteSpan out) {
   content_->Read(offset, out);
-  if (io_ == nullptr) return;
+  if (io_ == nullptr || out.empty()) return;
   // Charge page-cache-aware block I/O.
   const bool async = io_->async_disk();
+  const std::uint64_t total_blocks =
+      (content_->size() + io_block_ - 1) / io_block_;
+  if (total_blocks == 0) return;
   const std::uint64_t first = offset / io_block_;
-  const std::uint64_t last = (offset + out.size() - 1) / io_block_;
+  if (first >= total_blocks) return;
+  // Clamp the charged window to the final (possibly partial) block: a read
+  // grazing EOF must never charge blocks past the end of the file.
+  const std::uint64_t last = std::min<std::uint64_t>(
+      (offset + out.size() - 1) / io_block_, total_blocks - 1);
   std::vector<IoContext::AsyncRead> batch;
   for (std::uint64_t b = first; b <= last; ++b) {
-    if (io_->page_cache().Lookup(device_id_, b)) continue;
-    const std::uint64_t block_start = b * io_block_;
-    const std::uint64_t len =
-        std::min<std::uint64_t>(io_block_, content_->size() - block_start);
+    const bool hit = io_->page_cache().Lookup(device_id_, b);
+    if (profile_ != nullptr) profile_->Record(profile_name_, b, hit);
+    if (hit) continue;
+    const std::uint64_t len = BlockLength(b);
     if (async && io_->InFlight(device_id_, b)) {
       // Readahead from an earlier call already has this block on the wire:
       // the barrier to its completion replaces the disk charge.
@@ -59,35 +81,44 @@ void LocalFileDevice::ReadAt(std::uint64_t offset, util::MutableByteSpan out) {
       continue;
     }
     if (!async) {
-      io_->ChargeDiskRead(PhysicalOffset(block_start), len);
+      io_->ChargeDiskRead(PhysicalOffset(b * io_block_), len);
       io_->page_cache().Insert(device_id_, b, static_cast<std::uint32_t>(len));
       continue;
     }
     batch.push_back(
-        IoContext::AsyncRead{PhysicalOffset(block_start), len, 0.0, b});
+        IoContext::AsyncRead{PhysicalOffset(b * io_block_), len, 0.0, b});
   }
   if (!batch.empty()) {
     io_->ChargeAsyncReadBatch(batch, [&](std::uint64_t b) {
-      const std::uint64_t block_start = b * io_block_;
-      const std::uint64_t len =
-          std::min<std::uint64_t>(io_block_, content_->size() - block_start);
-      io_->page_cache().Insert(device_id_, b, static_cast<std::uint32_t>(len));
+      io_->page_cache().Insert(device_id_, b,
+                               static_cast<std::uint32_t>(BlockLength(b)));
     });
   }
   if (async && io_->config().readahead_blocks > 0) {
-    const std::uint64_t blocks =
-        (content_->size() + io_block_ - 1) / io_block_;
     const std::uint64_t until = std::min<std::uint64_t>(
-        blocks, last + 1 + io_->config().readahead_blocks);
+        total_blocks, last + 1 + io_->config().readahead_blocks);
     for (std::uint64_t b = last + 1; b < until; ++b) {
       if (io_->page_cache().Resident(device_id_, b)) continue;
       if (io_->InFlight(device_id_, b)) continue;
-      const std::uint64_t block_start = b * io_block_;
-      const std::uint64_t len =
-          std::min<std::uint64_t>(io_block_, content_->size() - block_start);
-      io_->PrefetchDiskRead(device_id_, b, PhysicalOffset(block_start), len);
+      const std::uint64_t len = BlockLength(b);
+      if (len == 0) break;  // nothing left to prefetch past EOF
+      io_->PrefetchDiskRead(device_id_, b, PhysicalOffset(b * io_block_), len);
     }
   }
+}
+
+PrefetchOutcome LocalFileDevice::PrefetchBlock(std::uint64_t block) {
+  if (io_ == nullptr || !io_->async_disk()) return PrefetchOutcome::kSkipped;
+  const std::uint64_t len = BlockLength(block);
+  if (len == 0) return PrefetchOutcome::kSkipped;
+  if (io_->page_cache().Resident(device_id_, block)) {
+    return PrefetchOutcome::kSkipped;
+  }
+  if (io_->InFlight(device_id_, block)) return PrefetchOutcome::kIssued;
+  return io_->PrefetchDiskRead(device_id_, block,
+                               PhysicalOffset(block * io_block_), len)
+             ? PrefetchOutcome::kIssued
+             : PrefetchOutcome::kDropped;
 }
 
 void LocalFileDevice::WriteAt(std::uint64_t, util::ByteSpan) {
@@ -224,14 +255,64 @@ void VolumeFileDevice::SetRepairSource(const store::BlockStore* peer,
   repair_node_id_ = node_id;
 }
 
+void VolumeFileDevice::SetProfileRecorder(vmi::BootProfile* profile) {
+  profile_ = profile;
+}
+
+std::uint64_t VolumeFileDevice::BlockLength(std::uint64_t b) const {
+  const std::uint32_t block_size = volume_->config().block_size;
+  const std::uint64_t file_size = volume_->FileSize(file_);
+  const std::uint64_t block_start = b * block_size;
+  // Saturate at EOF — see LocalFileDevice::BlockLength.
+  if (block_start >= file_size) return 0;
+  return std::min<std::uint64_t>(block_size, file_size - block_start);
+}
+
+PrefetchOutcome VolumeFileDevice::PrefetchBlock(std::uint64_t block) {
+  if (io_ == nullptr || !io_->async_disk()) return PrefetchOutcome::kSkipped;
+  if (block >= volume_->FileBlockCount(file_) || BlockLength(block) == 0) {
+    return PrefetchOutcome::kSkipped;
+  }
+  const zvol::BlockPtr& ptr = volume_->FileBlock(file_, block);
+  if (ptr.hole) return PrefetchOutcome::kSkipped;
+  if (io_->page_cache().Resident(device_id_, block)) {
+    return PrefetchOutcome::kSkipped;
+  }
+  if (io_->InFlight(device_id_, block)) return PrefetchOutcome::kIssued;
+  const store::BlockStore& store = volume_->block_store();
+  return io_->PrefetchDiskRead(device_id_, block, store.DiskOffset(ptr.digest),
+                               store.PhysicalSize(ptr.digest))
+             ? PrefetchOutcome::kIssued
+             : PrefetchOutcome::kDropped;
+}
+
+std::uint64_t VolumeFileDevice::WarmCacheFromBlocks(
+    std::span<const std::uint64_t> blocks) {
+  const std::uint64_t count = volume_->FileBlockCount(file_);
+  std::vector<util::Digest> digests;
+  digests.reserve(blocks.size());
+  for (const std::uint64_t b : blocks) {
+    if (b >= count) continue;
+    const zvol::BlockPtr& ptr = volume_->FileBlock(file_, b);
+    if (ptr.hole) continue;
+    digests.push_back(ptr.digest);
+  }
+  return volume_->block_store().WarmCache(digests);
+}
+
 void VolumeFileDevice::ReadAt(std::uint64_t offset, util::MutableByteSpan out) {
   // Accounting runs before the read executes so cache residency reflects the
   // state this request found (the read itself warms the store's ARC).
-  if (io_ != nullptr) {
+  const std::uint64_t block_count = volume_->FileBlockCount(file_);
+  if (io_ != nullptr && !out.empty() && block_count > 0 &&
+      offset / volume_->config().block_size < block_count) {
     const std::uint32_t block_size = volume_->config().block_size;
     const store::BlockStore& store = volume_->block_store();
     const std::uint64_t first = offset / block_size;
-    const std::uint64_t last = (offset + out.size() - 1) / block_size;
+    // Clamp the charged window to the file's final block: a read grazing
+    // EOF must never walk (or prefetch past) blocks the file doesn't have.
+    const std::uint64_t last = std::min<std::uint64_t>(
+        (offset + out.size() - 1) / block_size, block_count - 1);
 
     // Collect the blocks that miss the page cache, then probe the store's
     // ARC for all of them in one batched call (one lock acquisition instead
@@ -241,12 +322,13 @@ void VolumeFileDevice::ReadAt(std::uint64_t offset, util::MutableByteSpan out) {
     std::vector<std::uint8_t> in_flight;  // parallel to pending
     std::vector<util::Digest> digests;
     for (std::uint64_t b = first; b <= last; ++b) {
-      if (b >= volume_->FileBlockCount(file_)) break;
       const zvol::BlockPtr& ptr = volume_->FileBlock(file_, b);
       if (ptr.hole) continue;  // holes are free
       // Every block access walks the dedup table.
       io_->ChargeDdtLookup(store.stats().unique_blocks);
-      if (io_->page_cache().Lookup(device_id_, b)) continue;
+      const bool hit = io_->page_cache().Lookup(device_id_, b);
+      if (profile_ != nullptr) profile_->Record(file_, b, hit);
+      if (hit) continue;
       pending.push_back(b);
       in_flight.push_back(async && io_->InFlight(device_id_, b) ? 1 : 0);
       digests.push_back(ptr.digest);

@@ -15,12 +15,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 
 #include "cow/device.h"
 #include "sim/io_context.h"
 #include "sim/network.h"
+#include "sim/profile_prefetch.h"
 #include "util/source.h"
+#include "vmi/boot_profile.h"
 #include "zvol/volume.h"
 
 namespace squirrel::sim {
@@ -29,7 +32,8 @@ namespace squirrel::sim {
 /// as `disk_base + fragmentation`-perturbed logical offsets: extents of
 /// `extent_bytes` stay contiguous, successive extents land a pseudo-random
 /// short distance apart (XFS allocation groups).
-class LocalFileDevice final : public cow::WritableDevice {
+class LocalFileDevice final : public cow::WritableDevice,
+                              public PrefetchTarget {
  public:
   LocalFileDevice(const util::DataSource* content, IoContext* io,
                   std::uint64_t device_id, std::uint64_t disk_base,
@@ -40,14 +44,29 @@ class LocalFileDevice final : public cow::WritableDevice {
   void ReadAt(std::uint64_t offset, util::MutableByteSpan out) override;
   void WriteAt(std::uint64_t offset, util::ByteSpan data) override;
 
+  /// Records every charged block touch into `profile` under `name`
+  /// (hit = found in the page cache). Recording is pure bookkeeping: the
+  /// clock, caches and counters are bit-identical with or without it.
+  void SetProfileRecorder(vmi::BootProfile* profile, std::string name);
+
+  /// PrefetchTarget: background-read one io_block (clamped at EOF) through
+  /// the async queue. Never advances the guest clock.
+  PrefetchOutcome PrefetchBlock(std::uint64_t block) override;
+  std::uint64_t device_id() const override { return device_id_; }
+
  private:
   std::uint64_t PhysicalOffset(std::uint64_t logical) const;
+  /// Charged bytes of block `b`: io_block, clamped at the final partial
+  /// block; 0 for blocks at or past EOF (never issue wrapped-around reads).
+  std::uint64_t BlockLength(std::uint64_t b) const;
 
   const util::DataSource* content_;
   IoContext* io_;  // may be null (functional mode)
   std::uint64_t device_id_;
   std::uint64_t disk_base_;
   std::uint32_t io_block_;
+  vmi::BootProfile* profile_ = nullptr;  // borrowed; null = not recording
+  std::string profile_name_;
 };
 
 /// A sparse cache file on the local file system, populated by copy-on-read.
@@ -92,7 +111,8 @@ class LocalCacheDevice final : public cow::WritableDevice {
 /// copy-on-read, so a cluster whose leading blocks happen to be zeros (file
 /// system slack before a misaligned package) is still present; the zvol
 /// stores those zeros as holes.
-class VolumeFileDevice final : public cow::WritableDevice {
+class VolumeFileDevice final : public cow::WritableDevice,
+                               public PrefetchTarget {
  public:
   VolumeFileDevice(zvol::Volume* volume, std::string file, IoContext* io,
                    std::uint64_t device_id,
@@ -102,6 +122,24 @@ class VolumeFileDevice final : public cow::WritableDevice {
   bool Present(std::uint64_t offset) const override;
   void ReadAt(std::uint64_t offset, util::MutableByteSpan out) override;
   void WriteAt(std::uint64_t offset, util::ByteSpan data) override;
+
+  /// Records every charged (non-hole) block touch into `profile` under this
+  /// device's volume file name. Pure bookkeeping; see LocalFileDevice.
+  void SetProfileRecorder(vmi::BootProfile* profile);
+
+  /// PrefetchTarget: background-read one volume block at its *physical*
+  /// offset through the async queue. Holes, EOF and resident blocks skip.
+  PrefetchOutcome PrefetchBlock(std::uint64_t block) override;
+  std::uint64_t device_id() const override { return device_id_; }
+
+  /// Warms the volume's decompressed-block ARC for the given volume blocks
+  /// of this file by pushing their digests through BlockStore::GetBatch in
+  /// ingest-sized rounds. Returns the number of blocks whose payloads are
+  /// now cache-resident. Costs no simulated time: warming happens before
+  /// the guest starts (the modelled prefetch daemon runs during VM
+  /// scheduling). Corrupt blocks are skipped, not healed — run the pre-heal
+  /// pass first on degraded volumes.
+  std::uint64_t WarmCacheFromBlocks(std::span<const std::uint64_t> blocks);
 
   /// Degraded-read accounting: reads that hit a corrupt local block and the
   /// bytes re-fetched from the repair peer to heal them.
@@ -121,11 +159,16 @@ class VolumeFileDevice final : public cow::WritableDevice {
   const DegradedReadStats& degraded_stats() const { return degraded_; }
 
  private:
+  /// Charged bytes of volume block `b`: block size, clamped at the final
+  /// partial block; 0 at or past EOF.
+  std::uint64_t BlockLength(std::uint64_t b) const;
+
   zvol::Volume* volume_;
   std::string file_;
   IoContext* io_;
   std::uint64_t device_id_;
   std::uint32_t presence_window_;
+  vmi::BootProfile* profile_ = nullptr;  // borrowed; null = not recording
   const store::BlockStore* repair_peer_ = nullptr;
   NetworkAccountant* repair_network_ = nullptr;
   std::uint32_t repair_node_id_ = 0;

@@ -1,8 +1,10 @@
 #include "store/block_store.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "util/fault_injector.h"
 
@@ -346,6 +348,44 @@ std::vector<util::Bytes> BlockStore::GetBatch(
     results[dst] = results[src];
   }
   return results;
+}
+
+std::uint64_t BlockStore::WarmCache(
+    std::span<const util::Digest> digests) const {
+  // Dedup first: re-reading a digest inside one warm pass buys nothing and
+  // would distort the ARC's recency order.
+  std::vector<util::Digest> unique;
+  unique.reserve(digests.size());
+  {
+    std::unordered_set<util::Digest, util::DigestHasher> seen;
+    for (const util::Digest& digest : digests) {
+      if (!entries_.contains(digest)) continue;  // advisory: skip unknowns
+      if (seen.insert(digest).second) unique.push_back(digest);
+    }
+  }
+  const std::size_t round =
+      std::max<std::size_t>(std::size_t{1}, config_.ingest.batch_blocks);
+  std::uint64_t warmed = 0;
+  for (std::size_t start = 0; start < unique.size(); start += round) {
+    const std::span<const util::Digest> chunk(
+        unique.data() + start, std::min(round, unique.size() - start));
+    try {
+      GetBatch(chunk);
+      warmed += chunk.size();
+    } catch (const BlockCorruptionError&) {
+      // A corrupt block poisons its round; retry one-by-one so the healthy
+      // blocks still warm. Corrupt ones stay cold for the demand path
+      // (which verifies, and heals when a repair source is armed).
+      for (const util::Digest& digest : chunk) {
+        try {
+          Get(digest);
+          ++warmed;
+        } catch (const BlockCorruptionError&) {
+        }
+      }
+    }
+  }
+  return warmed;
 }
 
 bool BlockStore::Contains(const util::Digest& digest) const {

@@ -229,6 +229,14 @@ class BlockStore {
   std::vector<util::Bytes> GetBatch(
       std::span<const util::Digest> digests) const;
 
+  /// Cache warm-up: pushes `digests` through GetBatch in ingest-sized
+  /// rounds purely for the side effect of filling the decompressed-block
+  /// ARC, without keeping the payloads. Unknown digests are skipped and
+  /// corrupt blocks are left cold (no throw) — warming is advisory, the
+  /// demand path still verifies and heals. Returns the number of payloads
+  /// successfully read. Bounded memory: one round of payloads at a time.
+  std::uint64_t WarmCache(std::span<const util::Digest> digests) const;
+
   bool Contains(const util::Digest& digest) const;
   std::uint32_t RefCount(const util::Digest& digest) const;
 

@@ -1,0 +1,188 @@
+#include "vmi/boot_profile.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/sha256.h"
+
+namespace squirrel::vmi {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50425153;  // "SQBP"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kShaTrailerBytes = 32;
+/// Encoded touch record: u32 file + u64 block + u8 flags.
+constexpr std::size_t kRecordBytes = 4 + 8 + 1;
+
+class Writer {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(v); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<util::Byte>(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<util::Byte>(v >> (8 * i)));
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  std::size_t size() const { return out_.size(); }
+  util::ByteSpan Tail(std::size_t from) const {
+    return util::ByteSpan(out_.data() + from, out_.size() - from);
+  }
+  util::Bytes Take() { return std::move(out_); }
+
+ private:
+  util::Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(util::ByteSpan data) : data_(data) {}
+
+  std::uint8_t U8() { return Raw(1)[0]; }
+  std::uint32_t U32() {
+    const auto* p = Raw(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t U64() {
+    const auto* p = Raw(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+  }
+  std::string Str() {
+    const std::uint32_t n = U32();
+    const auto* p = Raw(n);
+    return std::string(reinterpret_cast<const char*>(p), n);
+  }
+  util::ByteSpan Span(std::size_t from, std::size_t length) const {
+    return util::ByteSpan(data_.data() + from, length);
+  }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const util::Byte* Raw(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw ProfileCorruptError("boot profile truncated");
+    }
+    const util::Byte* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  util::ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void BootProfile::Record(const std::string& file, std::uint64_t block,
+                         bool hit) {
+  touches_.push_back(ProfileTouch{InternFile(file), block, hit});
+}
+
+std::uint32_t BootProfile::InternFile(const std::string& file) {
+  const auto [it, inserted] =
+      file_ids_.emplace(file, static_cast<std::uint32_t>(files_.size()));
+  if (inserted) files_.push_back(file);
+  return it->second;
+}
+
+std::vector<std::uint64_t> BootProfile::BlocksForFile(const std::string& file,
+                                                      bool misses_only) const {
+  std::vector<std::uint64_t> blocks;
+  const auto it = file_ids_.find(file);
+  if (it == file_ids_.end()) return blocks;
+  std::unordered_set<std::uint64_t> seen;
+  for (const ProfileTouch& touch : touches_) {
+    if (touch.file != it->second) continue;
+    if (misses_only && touch.page_cache_hit) continue;
+    if (seen.insert(touch.block).second) blocks.push_back(touch.block);
+  }
+  return blocks;
+}
+
+util::Bytes BootProfile::Serialize() const {
+  Writer w;
+  w.U32(kMagic);
+  w.U32(kVersion);
+  w.U32(static_cast<std::uint32_t>(files_.size()));
+  for (const std::string& file : files_) w.Str(file);
+  w.U64(touches_.size());
+  for (const ProfileTouch& touch : touches_) {
+    const std::size_t record_start = w.size();
+    w.U32(touch.file);
+    w.U64(touch.block);
+    w.U8(touch.page_cache_hit ? 1 : 0);
+    // Per-record checksum over the encoded record (SendStream v2 discipline):
+    // a bit flip inside one touch is caught without re-reading the trailer.
+    w.U64(util::Fnv1a64(w.Tail(record_start)));
+  }
+  util::Bytes body = w.Take();
+  util::Sha256Context sha;
+  sha.Update(body);
+  const auto trailer = sha.Finish();
+  body.insert(body.end(), trailer.begin(), trailer.end());
+  return body;
+}
+
+BootProfile BootProfile::Deserialize(util::ByteSpan wire) {
+  if (wire.size() < kShaTrailerBytes) {
+    throw ProfileCorruptError("boot profile shorter than its trailer");
+  }
+  const util::ByteSpan body(wire.data(), wire.size() - kShaTrailerBytes);
+  util::Sha256Context sha;
+  sha.Update(body);
+  const auto expected = sha.Finish();
+  const util::Byte* carried = wire.data() + body.size();
+  for (std::size_t i = 0; i < kShaTrailerBytes; ++i) {
+    if (carried[i] != expected[i]) {
+      throw ProfileCorruptError("boot profile trailer mismatch");
+    }
+  }
+
+  Reader r(body);
+  if (r.U32() != kMagic) throw ProfileCorruptError("boot profile bad magic");
+  const std::uint32_t version = r.U32();
+  if (version != kVersion) {
+    throw ProfileCorruptError("boot profile unsupported version " +
+                              std::to_string(version));
+  }
+  BootProfile profile;
+  const std::uint32_t file_count = r.U32();
+  for (std::uint32_t i = 0; i < file_count; ++i) {
+    const std::string name = r.Str();
+    if (profile.file_ids_.contains(name)) {
+      throw ProfileCorruptError("boot profile duplicate file name");
+    }
+    profile.InternFile(name);
+  }
+  const std::uint64_t touch_count = r.U64();
+  profile.touches_.reserve(
+      std::min<std::uint64_t>(touch_count, body.size() / kRecordBytes));
+  for (std::uint64_t i = 0; i < touch_count; ++i) {
+    const std::size_t record_start = r.pos();
+    ProfileTouch touch;
+    touch.file = r.U32();
+    touch.block = r.U64();
+    const std::uint8_t flags = r.U8();
+    if (flags > 1) throw ProfileCorruptError("boot profile bad touch flags");
+    touch.page_cache_hit = flags != 0;
+    const std::uint64_t checksum = r.U64();
+    if (checksum != util::Fnv1a64(r.Span(record_start, kRecordBytes))) {
+      throw ProfileCorruptError("boot profile record checksum mismatch");
+    }
+    if (touch.file >= file_count) {
+      throw ProfileCorruptError("boot profile file index out of range");
+    }
+    profile.touches_.push_back(touch);
+  }
+  return profile;
+}
+
+}  // namespace squirrel::vmi

@@ -1,0 +1,88 @@
+// Boot profile: the ordered list of (file, block) touches a simulated boot
+// performed, with a page-cache hit/miss annotation per touch.
+//
+// The paper's Fig 11 result rides on *implicit* prefetch — 64 KB QCOW2
+// clusters drag neighbouring blocks into the page cache before the guest
+// asks for them. Boot traces are stable across boots of the same image, so
+// a profile recorded from one boot generalizes that effect: replaying the
+// profile pre-issues the exact block list the next boot will touch — across
+// files, not just sequential runs within one — ahead of the guest's read
+// cursor (sim::ProfilePrefetcher), and lets a degraded node pre-heal the
+// blocks a boot needs before the VM reads them.
+//
+// Persistence follows the SendStream v2 discipline: a versioned binary
+// format ("SQBP", version 1) with a per-record FNV-1a checksum over each
+// touch record and a SHA-256 trailer over the whole encoding. Damaged
+// profiles must always surface as the typed ProfileCorruptError — a corrupt
+// profile is dropped and the boot proceeds unprefetched, never mis-prefetched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace squirrel::vmi {
+
+/// Thrown by BootProfile::Deserialize on truncation, bad magic, unsupported
+/// version, record-checksum mismatch, trailer mismatch, or malformed
+/// structure.
+class ProfileCorruptError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// One block touch of the recorded boot, in issue order.
+struct ProfileTouch {
+  std::uint32_t file = 0;    // index into BootProfile::files()
+  std::uint64_t block = 0;   // block index within that file
+  /// True when the recording boot found the block resident in the sim page
+  /// cache (cluster-overlap prefetch). Replay only pre-issues misses: a
+  /// block that hit during recording will hit again in the deterministic
+  /// replay, so prefetching it would hold a queue slot nobody ever joins.
+  bool page_cache_hit = false;
+
+  bool operator==(const ProfileTouch&) const = default;
+};
+
+class BootProfile {
+ public:
+  BootProfile() = default;
+
+  /// Appends one touch, interning `file` into the name table.
+  void Record(const std::string& file, std::uint64_t block, bool hit);
+
+  const std::vector<std::string>& files() const { return files_; }
+  const std::vector<ProfileTouch>& touches() const { return touches_; }
+  bool empty() const { return touches_.empty(); }
+
+  /// Touched block indices of `file`, in first-touch order, each block
+  /// listed once. With `misses_only` the hit-annotated touches are skipped
+  /// (the prefetch plan); without it every touched block is returned (the
+  /// pre-heal / cache-warm set).
+  std::vector<std::uint64_t> BlocksForFile(const std::string& file,
+                                           bool misses_only) const;
+
+  /// Versioned wire encoding: "SQBP" magic, version, file name table, touch
+  /// records each carrying an FNV-1a checksum, SHA-256 trailer.
+  util::Bytes Serialize() const;
+
+  /// Parses and verifies Serialize() output. Throws ProfileCorruptError on
+  /// any damage — truncation, bit flips (caught by the record checksums or
+  /// the trailer), out-of-range file indices, or an unsupported version.
+  static BootProfile Deserialize(util::ByteSpan wire);
+
+  bool operator==(const BootProfile&) const = default;
+
+ private:
+  std::uint32_t InternFile(const std::string& file);
+
+  std::vector<std::string> files_;
+  std::vector<ProfileTouch> touches_;
+  std::unordered_map<std::string, std::uint32_t> file_ids_;
+};
+
+}  // namespace squirrel::vmi

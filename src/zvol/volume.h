@@ -268,6 +268,10 @@ class Volume {
   VolumeStats Stats() const;
   const store::BlockStore& block_store() const { return store_; }
 
+  /// Rebudgets the store's decompressed-block ARC at runtime (memory
+  /// pressure shrinks it, recovery grows it); see BlockStore::ResizeCache.
+  void ResizeReadCache(std::uint64_t bytes) { store_.ResizeCache(bytes); }
+
   /// Test hook: corrupts the stored payload of the block backing file
   /// `name` at block `index` (flips one byte). Returns false for holes.
   /// Exists for scrub and failure-injection tests only.

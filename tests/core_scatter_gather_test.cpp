@@ -208,6 +208,38 @@ TEST(ScatterGather, WindowedMatchesSerialDecisionsAndOverlaps) {
   EXPECT_LE(result.makespan_seconds, serial_result.sum_seconds);
 }
 
+TEST(ScatterGather, AggregateSecondsAreNeverNegative) {
+  // Regression: overlap_seconds is derived as sum - makespan per batch; a
+  // scheduling path that reports makespan within float slack of (or above)
+  // the sum must clamp at zero rather than accumulate a negative overlap.
+  const zvol::SendStream stream = TestStream(6);
+  const std::uint64_t wire_size = stream.WireSize();
+  for (const std::uint32_t window : {1u, 2u, 4u, 8u}) {
+    for (const std::size_t fan_out : {std::size_t{1}, std::size_t{3}}) {
+      std::vector<std::uint32_t> nodes;
+      for (std::size_t i = 0; i < fan_out; ++i) {
+        nodes.push_back(static_cast<std::uint32_t>(i + 1));
+      }
+      sim::NetworkAccountant net(10.0);
+      util::FaultInjector faults(11, FlakyProfile());
+      TransferStats stats;
+      ScatterGatherTransfer transfer(
+          &net, fan_out > 1 ? &faults : nullptr, RetryPolicy{},
+          ScatterGatherConfig{.window = window, .chunk_bytes = 8 * 1024});
+      const ScatterGatherResult result =
+          transfer.Run(stream, wire_size, nodes, 1, stats);
+      EXPECT_GE(result.makespan_seconds, 0.0) << "window " << window;
+      EXPECT_GE(result.sum_seconds, 0.0) << "window " << window;
+      EXPECT_GE(stats.makespan_seconds, 0.0) << "window " << window;
+      EXPECT_GE(stats.overlap_seconds, 0.0) << "window " << window;
+      // The clamp never manufactures overlap a single-stream run cannot have.
+      if (fan_out == 1) {
+        EXPECT_EQ(stats.overlap_seconds, 0.0);
+      }
+    }
+  }
+}
+
 TEST(ScatterGather, WindowedIsDeterministic) {
   const zvol::SendStream stream = TestStream(8);
   const std::uint64_t wire_size = stream.WireSize();

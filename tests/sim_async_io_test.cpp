@@ -136,6 +136,119 @@ TEST(AsyncBoot, ScaledIoConfigClampsPageCacheToOnePage) {
   EXPECT_GT(scaled.disk.short_distance, scaled.disk.track_distance);
 }
 
+TEST(AsyncLocalFile, ReadaheadClampedAtEof) {
+  // Regression: reading the final (partial) block with readahead enabled
+  // used to size the charged window from `size - block_start`, which wraps
+  // past EOF, and to let the prefetch loop issue zero/garbage-length reads.
+  Bytes content(64 * 1024 + 512);  // one full 64K io block + a 512-byte tail
+  util::Rng(7).Fill(content);
+  BufferSource source(content);
+
+  sim::IoContextConfig config;
+  config.disk_queue_depth = 4;
+  config.readahead_blocks = 8;
+  sim::IoContext io(config);
+  sim::LocalFileDevice device(&source, &io, /*device_id=*/7, /*disk_base=*/0);
+
+  Bytes out(512);
+  device.ReadAt(64 * 1024, util::MutableByteSpan(out.data(), out.size()));
+  EXPECT_TRUE(
+      std::equal(out.begin(), out.end(), content.begin() + 64 * 1024));
+  EXPECT_GT(io.elapsed_ns(), 0.0);
+  // Nothing may be left in flight past EOF.
+  for (std::uint64_t b = 2; b < 12; ++b) EXPECT_FALSE(io.InFlight(7, b));
+  // Re-reading the tail is a pure page-cache hit: no further charges.
+  const double before = io.elapsed_ns();
+  const std::uint64_t hits = io.page_cache().hits();
+  device.ReadAt(64 * 1024, util::MutableByteSpan(out.data(), out.size()));
+  EXPECT_EQ(io.page_cache().hits(), hits + 1);
+  EXPECT_EQ(io.elapsed_ns(), before);
+}
+
+TEST(AsyncLocalFile, VolumeFileReadaheadClampedAtEof) {
+  // Same regression on the volume device: a read grazing the file's final
+  // partial block must clamp both the charged window and the readahead.
+  zvol::Volume volume(zvol::VolumeConfig{.block_size = 4096,
+                                         .codec = compress::CodecId::kGzip6,
+                                         .dedup = true});
+  Bytes content(10 * 4096 + 100);  // ten full blocks + a 100-byte tail
+  util::Rng(3).Fill(content);
+  volume.WriteFile("f", BufferSource(content));
+
+  sim::IoContextConfig config;
+  config.disk_queue_depth = 4;
+  config.readahead_blocks = 8;
+  sim::IoContext io(config);
+  sim::VolumeFileDevice device(&volume, "f", &io, /*device_id=*/9);
+
+  // A mid-file read whose readahead window crosses EOF...
+  Bytes mid(4096);
+  device.ReadAt(8 * 4096, util::MutableByteSpan(mid.data(), mid.size()));
+  // ...prefetches at most up to the last real block, never past it.
+  for (std::uint64_t b = 11; b < 20; ++b) EXPECT_FALSE(io.InFlight(9, b));
+
+  // And the tail block itself reads back exactly.
+  Bytes tail(100);
+  device.ReadAt(10 * 4096, util::MutableByteSpan(tail.data(), tail.size()));
+  EXPECT_TRUE(
+      std::equal(tail.begin(), tail.end(), content.begin() + 10 * 4096));
+}
+
+TEST(AsyncBoot, ArcResizeBetweenPrefetchAndJoinStaysConsistent) {
+  // ArcCache::Resize racing in-flight readahead: shrink the store's ARC
+  // after prefetches are issued but before the guest joins them. The joins
+  // must complete, the payloads must be correct, and no stale residency may
+  // linger — not in the ARC and not in PageCache::Resident.
+  zvol::VolumeConfig volume_config{.block_size = 4096,
+                                   .codec = compress::CodecId::kGzip6,
+                                   .dedup = true};
+  volume_config.read.cache_bytes = 1ull << 20;
+  zvol::Volume volume(volume_config);
+  // Compressible but unique blocks: only compressed payloads are ARC
+  // candidates (raw blocks bypass the cache), and dedup must not collapse
+  // the file to one block.
+  Bytes content(32 * 4096, util::Byte{0});
+  util::Rng rng(99);
+  for (std::size_t b = 0; b < 32; ++b) {
+    rng.Fill(util::MutableByteSpan(content.data() + b * 4096, 512));
+  }
+  volume.WriteFile("f", BufferSource(content));
+
+  sim::IoContextConfig config;
+  config.disk_queue_depth = 8;
+  sim::IoContext io(config);
+  sim::VolumeFileDevice device(&volume, "f", &io, /*device_id=*/11);
+
+  // Warm the ARC, then put the first eight blocks on the wire.
+  std::vector<std::uint64_t> all(32);
+  for (std::uint64_t b = 0; b < 32; ++b) all[b] = b;
+  EXPECT_EQ(device.WarmCacheFromBlocks(all), 32u);
+  EXPECT_GT(volume.block_store().read_stats().cached_bytes, 0u);
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    EXPECT_EQ(device.PrefetchBlock(b), sim::PrefetchOutcome::kIssued);
+    EXPECT_TRUE(io.InFlight(11, b));
+    // In flight is not resident: the page cache only fills at the join.
+    EXPECT_FALSE(io.page_cache().Resident(11, b));
+  }
+
+  // Shrink-to-zero evicts every ARC payload while the reads are in flight;
+  // growing back must not resurrect anything.
+  volume.ResizeReadCache(0);
+  volume.ResizeReadCache(1ull << 20);
+  EXPECT_EQ(volume.block_store().read_stats().cached_bytes, 0u);
+
+  Bytes out(4096);
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    device.ReadAt(b * 4096, util::MutableByteSpan(out.data(), out.size()));
+    EXPECT_TRUE(std::equal(out.begin(), out.end(),
+                           content.begin() + static_cast<std::ptrdiff_t>(
+                                                 b * 4096)))
+        << "block " << b;
+    EXPECT_FALSE(io.InFlight(11, b));
+    EXPECT_TRUE(io.page_cache().Resident(11, b));
+  }
+}
+
 TEST(AsyncLocalFile, DepthOneBitIdenticalToSynchronous) {
   const Bytes content = CacheContent(64);
   BufferSource source(content);

@@ -8,6 +8,7 @@
 
 #include "util/fault_injector.h"
 #include "util/rng.h"
+#include "vmi/boot_profile.h"
 #include "zvol/volume.h"
 
 namespace squirrel::zvol {
@@ -256,6 +257,40 @@ TEST_P(CorruptionFuzz, DamagedSendStreamsRaiseTypedErrors) {
       // Typed rejection; the replica must stay untouched.
       EXPECT_TRUE(replica.FileNames().empty());
       EXPECT_EQ(replica.Stats().unique_blocks, 0u);
+    } catch (const std::exception& e) {
+      FAIL() << "untyped exception at trial " << trial << ": " << e.what();
+    }
+  }
+}
+
+TEST_P(CorruptionFuzz, DamagedBootProfilesRaiseTypedErrors) {
+  // Boot profiles follow the same wire discipline as send streams
+  // (per-record checksums + whole-buffer trailer); damaged bytes must
+  // surface as vmi::ProfileCorruptError, never a crash or silent success.
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed + 2);
+  vmi::BootProfile donor;
+  static const char* kFiles[] = {"cache/a", "cache/b", "base/a"};
+  for (int i = 0; i < 60; ++i) {
+    donor.Record(kFiles[rng.Below(3)], rng.Below(1 << 20), rng.Chance(0.5));
+  }
+  const Bytes wire = donor.Serialize();
+  ASSERT_EQ(vmi::BootProfile::Deserialize(wire), donor);
+
+  util::FaultInjector faults(seed,
+                             util::FaultProfile{.image_corrupt_rate = 1.0});
+  for (std::uint64_t trial = 0; trial < 40; ++trial) {
+    Bytes damaged = wire;
+    if (rng.Chance(0.5)) {
+      ASSERT_TRUE(faults.CorruptImage(damaged, trial));
+    } else {
+      faults.Truncate(damaged, trial);
+    }
+    try {
+      vmi::BootProfile::Deserialize(damaged);
+      FAIL() << "damaged profile accepted at trial " << trial;
+    } catch (const vmi::ProfileCorruptError&) {
+      // Typed rejection — the only acceptable outcome.
     } catch (const std::exception& e) {
       FAIL() << "untyped exception at trial " << trial << ": " << e.what();
     }
