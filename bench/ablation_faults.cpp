@@ -51,7 +51,7 @@ void PopulateCluster(core::SquirrelCluster& cluster,
     const vmi::VmImage image(catalog, spec);
     const vmi::BootWorkingSet boot(catalog, image);
     const auto report =
-        cluster.Register(spec.name, vmi::CacheImage(image, boot), now += 60);
+        cluster.Register({spec.name, vmi::CacheImage(image, boot), core::SimClock::FromSeconds(now += 60)});
     if (totals != nullptr) {
       totals->attempts += report.transfers.attempts;
       totals->retries += report.transfers.retries;

@@ -37,7 +37,7 @@ StrategyResult RunRegistrations(const vmi::Catalog& catalog,
     const vmi::VmImage image(catalog, spec);
     const vmi::BootWorkingSet boot(catalog, image);
     const auto report =
-        cluster.Register(spec.name, vmi::CacheImage(image, boot), now += 60);
+        cluster.Register({spec.name, vmi::CacheImage(image, boot), core::SimClock::FromSeconds(now += 60)});
     seconds.Add(report.total_seconds);
   }
   return {seconds.mean(), cluster.network().bytes_out(0)};

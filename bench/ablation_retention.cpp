@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
       for (std::uint32_t node = 0; node < kNodes; ++node) {
         if (!cluster.compute_node(node).online() && down_until[node] <= now) {
           cluster.compute_node(node).set_online(true);
-          const core::SyncReport report = cluster.SyncNode(node, now);
+          const core::SyncReport report = cluster.SyncNode(node, core::SimClock::FromSeconds(now));
           if (report.wire_bytes > 0) {
             ++syncs;
             sync_bytes += report.wire_bytes;
@@ -62,8 +62,8 @@ int main(int argc, char** argv) {
       }
       const vmi::VmImage image(catalog, spec);
       const vmi::BootWorkingSet boot(catalog, image);
-      cluster.Register(spec.name, vmi::CacheImage(image, boot), now);
-      cluster.RunGc(now + 3600);
+      cluster.Register({spec.name, vmi::CacheImage(image, boot), core::SimClock::FromSeconds(now)});
+      cluster.RunGc(core::SimClock::FromSeconds(now + 3600));
     }
     table.AddRow(
         {std::to_string(n_days), std::to_string(full),

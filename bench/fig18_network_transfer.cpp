@@ -121,8 +121,7 @@ int main(int argc, char** argv) {
          ++i) {
       const vmi::VmImage image(catalog, images[i]);
       const vmi::BootWorkingSet boot(catalog, image);
-      const auto report = cluster.Register(
-          images[i].name, vmi::CacheImage(image, boot), now += 60);
+      const auto report = cluster.Register({images[i].name, vmi::CacheImage(image, boot), core::SimClock::FromSeconds(now += 60)});
       totals.attempts += report.transfers.attempts;
       totals.retries += report.transfers.retries;
       totals.abandoned += report.transfers.abandoned;

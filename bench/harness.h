@@ -28,6 +28,7 @@
 #include <cstring>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "vmi/catalog.h"
 
@@ -128,6 +129,56 @@ inline Options ParseOptions(int argc, char** argv) {
     options.images = std::min<std::uint32_t>(options.images, 96);
     options.scale = std::min(options.scale, 1.0 / 2048.0);
   }
+  return options;
+}
+
+/// Options for the fleet_boot_storm bench: the shared Options plus the
+/// fleet axes. The fleet flags accept both `--flag=value` and
+/// `--flag value` forms and reject garbage with exit 2, same as the rest
+/// of the harness.
+struct FleetOptions {
+  Options base;
+  std::uint32_t nodes = 2000;
+  double zipf_s = 0.9;
+  /// Storm selection: "all" or one of deploy|autoscale|patch|churn.
+  std::string storm = "all";
+};
+
+inline FleetOptions ParseFleetOptions(int argc, char** argv) {
+  FleetOptions options;
+  constexpr std::uint64_t kU32Max = std::numeric_limits<std::uint32_t>::max();
+  std::vector<char*> rest = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    // Accept --flag=value and --flag value; a missing value is an error.
+    auto value = [&](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      if (arg.compare(0, n, flag) == 0 && arg.size() > n && arg[n] == '=') {
+        return arg.c_str() + n + 1;
+      }
+      if (arg == flag) {
+        if (i + 1 >= argc) FlagError(arg, "missing value");
+        return argv[++i];
+      }
+      return nullptr;
+    };
+    if (const char* v = value("--nodes")) {
+      options.nodes = static_cast<std::uint32_t>(
+          ParseUnsigned(arg, v, /*allow_zero=*/false, kU32Max));
+    } else if (const char* v = value("--zipf")) {
+      options.zipf_s = ParsePositiveDouble(arg, v);
+    } else if (const char* v = value("--storm")) {
+      const std::string storm = v;
+      if (storm != "all" && storm != "deploy" && storm != "autoscale" &&
+          storm != "patch" && storm != "churn") {
+        FlagError(arg, "must be all|deploy|autoscale|patch|churn");
+      }
+      options.storm = storm;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  options.base = ParseOptions(static_cast<int>(rest.size()), rest.data());
   return options;
 }
 

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     const vmi::BootWorkingSet boot(catalog, image);
     const vmi::CacheImage cache(image, boot);
     const core::RegistrationReport report =
-        cluster.Register(spec.name, cache, now += 60);
+        cluster.Register({spec.name, cache, core::SimClock::FromSeconds(now += 60)});
     seconds.Add(report.total_seconds);
     diff_bytes.Add(static_cast<double>(report.diff_wire_bytes));
     cache_bytes.Add(static_cast<double>(report.cache_logical_bytes));

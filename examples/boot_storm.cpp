@@ -47,8 +47,7 @@ int main(int argc, char** argv) {
   for (const vmi::ImageSpec& spec : catalog.images()) {
     images.push_back(std::make_unique<vmi::VmImage>(catalog, spec));
     boots.push_back(std::make_unique<vmi::BootWorkingSet>(catalog, *images.back()));
-    cluster.Register(spec.name, vmi::CacheImage(*images.back(), *boots.back()),
-                     now += 60);
+    cluster.Register({spec.name, vmi::CacheImage(*images.back(), *boots.back()), core::SimClock::FromSeconds(now += 60)});
   }
 
   sim::BootSimConfig boot_config;
@@ -95,12 +94,11 @@ int main(int argc, char** argv) {
   for (std::uint32_t vm = 0; vm < vm_count; ++vm) {
     sim::IoContext io(sim::ScaledIoConfig(dataset_scale));
     const auto writes = boots[vm]->WriteTrace(vm);
-    const core::BootReport report = cluster.Boot(
-        0, catalog.images()[vm].name, *images[vm], boots[vm]->Trace(vm), io,
-        boot_config, &writes,
-        [&](std::uint64_t off, std::uint64_t len) {
+    const core::BootReport report = cluster.Boot(0,
+      {.image_id = catalog.images()[vm].name, .base_image = *images[vm], .trace = boots[vm]->Trace(vm), .writes = &writes, .allocation = [&](std::uint64_t off, std::uint64_t len) {
           return images[vm]->RangeHasData(off, len);
-        });
+        }, .boot_config = boot_config},
+      io);
     squirrel_seconds.Add(report.result.seconds);
     squirrel_network += report.network_bytes;
   }

@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
     for (std::uint32_t node = 0; node < kNodes; ++node) {
       if (!cluster.compute_node(node).online() && down_until[node] <= day_start) {
         cluster.compute_node(node).set_online(true);
-        const core::SyncReport sync = cluster.SyncNode(node, day_start);
+        const core::SyncReport sync = cluster.SyncNode(node, core::SimClock::FromSeconds(day_start));
         if (sync.wire_bytes > 0) sync.full_resync ? ++full_syncs : ++incr_syncs;
       }
     }
@@ -79,8 +79,7 @@ int main(int argc, char** argv) {
     for (std::size_t r = 0; r < per_day && registered < images.size(); ++r) {
       const std::size_t idx = registered++;
       const vmi::CacheImage cache(*images[idx], *boots[idx]);
-      cluster.Register(catalog.images()[idx].name, cache,
-                       day_start + 3600 + r * 60);
+      cluster.Register({catalog.images()[idx].name, cache, core::SimClock::FromSeconds(day_start + 3600 + r * 60)});
     }
 
     // VM boots all day on online, synced nodes.
@@ -97,12 +96,12 @@ int main(int argc, char** argv) {
               core::SquirrelCluster::CacheFileName(name))) {
         // Replica lagging (node was offline during registration): sync first,
         // exactly as a node-boot would.
-        cluster.SyncNode(node, day_start + 7200);
+        cluster.SyncNode(node, core::SimClock::FromSeconds(day_start + 7200));
       }
       sim::IoContext io;
-      const core::BootReport report = cluster.Boot(
-          node, name, *images[image_idx],
-          boots[image_idx]->Trace(rng.Next()), io);
+      const core::BootReport report = cluster.Boot(node,
+      {.image_id = name, .base_image = *images[image_idx], .trace = boots[image_idx]->Trace(rng.Next())},
+      io);
       ++boots_done;
       boot_network_bytes += report.network_bytes;
       boot_seconds_total += report.result.seconds;
@@ -114,12 +113,12 @@ int main(int argc, char** argv) {
           catalog.images()[rng.Below(registered)].name;
       if (cluster.storage_volume().HasFile(
               core::SquirrelCluster::CacheFileName(name))) {
-        cluster.Deregister(name, day_start + 80000);
+        cluster.Deregister(name, core::SimClock::FromSeconds(day_start + 80000));
       }
     }
 
     // Nightly GC cron (Section 3.4).
-    cluster.RunGc(day_start + 86000);
+    cluster.RunGc(core::SimClock::FromSeconds(day_start + 86000));
 
     const zvol::VolumeStats stats = cluster.storage_volume().Stats();
     std::printf(

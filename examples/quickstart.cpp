@@ -43,7 +43,7 @@ int main() {
     const vmi::BootWorkingSet boot(catalog, image);
     const vmi::CacheImage cache(image, boot);
     const core::RegistrationReport report =
-        cluster.Register(spec.name, cache, now += 60);
+        cluster.Register({spec.name, cache, core::SimClock::FromSeconds(now += 60)});
     raw_cache_bytes += report.cache_logical_bytes;
     std::printf("registered %-28s cache=%-9s diff=%-9s %.1fs\n",
                 spec.name.c_str(),
@@ -59,9 +59,9 @@ int main() {
     const vmi::VmImage image(catalog, spec);
     const vmi::BootWorkingSet boot(catalog, image);
     sim::IoContext io;
-    const core::BootReport report = cluster.Boot(
-        static_cast<std::uint32_t>(i % cluster.compute_count()), spec.name,
-        image, boot.Trace(spec.seed), io);
+    const core::BootReport report = cluster.Boot(static_cast<std::uint32_t>(i % cluster.compute_count()),
+      {.image_id = spec.name, .base_image = image, .trace = boot.Trace(spec.seed)},
+      io);
     std::printf("  node %zu boots %-28s in %5.1fs, network bytes: %llu\n",
                 i % cluster.compute_count(), spec.name.c_str(),
                 report.result.seconds,

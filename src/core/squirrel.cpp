@@ -29,9 +29,8 @@ SquirrelCluster::SquirrelCluster(SquirrelConfig config,
   }
 }
 
-RegistrationReport SquirrelCluster::Register(
-    const std::string& image_id, const util::DataSource& cache_content,
-    std::uint64_t now) {
+RegistrationReport SquirrelCluster::Register(const RegisterRequest& request) {
+  const std::string& image_id = request.image_id;
   if (sc_volume_.HasFile(CacheFileName(image_id))) {
     throw std::invalid_argument("image already registered: " + image_id);
   }
@@ -43,12 +42,12 @@ RegistrationReport SquirrelCluster::Register(
   //    copy-on-read; we ingest its final state directly (§3.2 step 1-2).
   const std::string previous_snapshot =
       sc_volume_.LatestSnapshot() ? sc_volume_.LatestSnapshot()->name : "";
-  sc_volume_.WriteFile(CacheFileName(image_id), cache_content);
+  sc_volume_.WriteFile(CacheFileName(image_id), request.cache_content);
   report.total_seconds += config_.registration_boot_seconds;
 
   // 2. Snapshot the scVolume for this registration (§3.2 step 3).
   report.snapshot_name = SnapshotName(++registration_counter_);
-  sc_volume_.CreateSnapshot(report.snapshot_name, now);
+  sc_volume_.CreateSnapshot(report.snapshot_name, request.now.seconds());
   report.total_seconds += config_.snapshot_seconds;
 
   // 3. Incremental diff against the previous snapshot, multicast to every
@@ -125,7 +124,7 @@ RegistrationReport SquirrelCluster::Register(
   return report;
 }
 
-void SquirrelCluster::Deregister(const std::string& image_id, std::uint64_t) {
+void SquirrelCluster::Deregister(const std::string& image_id, SimClock) {
   const std::string file = CacheFileName(image_id);
   if (!sc_volume_.HasFile(file)) {
     throw std::invalid_argument("image not registered: " + image_id);
@@ -137,9 +136,7 @@ void SquirrelCluster::Deregister(const std::string& image_id, std::uint64_t) {
   // until garbage collection prunes them.
 }
 
-SyncReport SquirrelCluster::SyncNode(std::uint32_t compute_node,
-                                     std::uint64_t now) {
-  (void)now;
+SyncReport SquirrelCluster::SyncNode(std::uint32_t compute_node, SimClock) {
   ComputeNode& node = *compute_nodes_.at(compute_node);
   SyncReport report;
 
@@ -193,29 +190,25 @@ SyncReport SquirrelCluster::SyncNode(std::uint32_t compute_node,
   return report;
 }
 
-void SquirrelCluster::RunGc(std::uint64_t now) {
-  sc_volume_.PruneSnapshots(config_.retention_seconds, now);
+void SquirrelCluster::RunGc(SimClock now) {
+  sc_volume_.PruneSnapshots(config_.retention_seconds, now.seconds());
   for (const auto& node : compute_nodes_) {
     if (node->online()) {
-      node->volume().PruneSnapshots(config_.retention_seconds, now);
+      node->volume().PruneSnapshots(config_.retention_seconds, now.seconds());
     }
   }
 }
 
 BootReport SquirrelCluster::Boot(std::uint32_t compute_node,
-                                 const std::string& image_id,
-                                 const util::DataSource& base_image,
-                                 const std::vector<vmi::BootRead>& trace,
-                                 sim::IoContext& io,
-                                 const sim::BootSimConfig& boot_config,
-                                 const std::vector<vmi::BootRead>* writes,
-                                 sim::RemoteImageDevice::AllocationMap allocation,
-                                 const BootProfileRun* profile) {
+                                 const BootRequest& request,
+                                 sim::IoContext& io) {
+  const util::DataSource& base_image = request.base_image;
+  const BootProfileRun* profile = request.profile;
   ComputeNode& node = *compute_nodes_.at(compute_node);
-  const std::string file = CacheFileName(image_id);
+  const std::string file = CacheFileName(request.image_id);
   if (!node.volume().HasFile(file)) {
-    throw std::invalid_argument("ccVolume has no cache for " + image_id +
-                                " — sync the node first");
+    throw std::invalid_argument("ccVolume has no cache for " +
+                                request.image_id + " — sync the node first");
   }
 
   const std::uint64_t net_before = network_.bytes_in(compute_node + 1);
@@ -230,7 +223,7 @@ BootReport SquirrelCluster::Boot(std::uint32_t compute_node,
   cache.SetRepairSource(&sc_volume_.block_store(), &network_,
                         compute_node + 1);
   sim::RemoteImageDevice base(&base_image, &io, &network_, compute_node + 1,
-                              std::move(allocation));
+                              request.allocation);
   // The ccVolume is read-only to VMs: copy-on-read happened at registration.
   cow::Chain chain(&overlay, &cache, &base, /*copy_on_read=*/false);
 
@@ -285,8 +278,9 @@ BootReport SquirrelCluster::Boot(std::uint32_t compute_node,
     prefetcher.Bind(file, &cache);
     prefetch = &prefetcher;
   }
-  report.result =
-      sim::SimulateBoot(chain, trace, io, boot_config, writes, prefetch);
+  report.result = sim::SimulateBoot(chain, request.trace, io,
+                                    request.boot_config, request.writes,
+                                    prefetch);
   report.network_bytes = network_.bytes_in(compute_node + 1) - net_before;
   report.repaired_blocks_bytes = cache.degraded_stats().repaired_bytes;
   report.repair_reads = cache.degraded_stats().repair_reads;

@@ -6,19 +6,24 @@
 // ccVolume — a full replica kept in sync through ZFS-style incremental
 // snapshot streams:
 //
-//   register(image):   boot once near the storage node to produce the cache,
-//                      store it in the scVolume, snapshot, and multicast the
-//                      snapshot diff to all online compute nodes (§3.2).
-//   boot(node, image): chain an empty CoW overlay over the node's ccVolume
-//                      cache file over the (remote) base VMI; a warm replica
-//                      serves every boot read locally (§3.3).
-//   deregister(image): delete the cache (no snapshot; the deletion
-//                      propagates with the next registration) (§3.4).
-//   sync(node):        on node boot, catch up from its latest local snapshot;
-//                      if the storage side already pruned that snapshot, fall
-//                      back to full replication (§3.5).
-//   gc():              daily cron — prune snapshots older than the retention
-//                      window, always keeping the latest (§3.4).
+//   Register(request):   boot once near the storage node to produce the
+//                        cache, store it in the scVolume, snapshot, and
+//                        multicast the snapshot diff to all online compute
+//                        nodes (§3.2).
+//   Boot(node, request): chain an empty CoW overlay over the node's ccVolume
+//                        cache file over the (remote) base VMI; a warm
+//                        replica serves every boot read locally (§3.3).
+//   Deregister(image):   delete the cache (no snapshot; the deletion
+//                        propagates with the next registration) (§3.4).
+//   SyncNode(node):      on node boot, catch up from its latest local
+//                        snapshot; if the storage side already pruned that
+//                        snapshot, fall back to full replication (§3.5).
+//   RunGc():             daily cron — prune snapshots older than the
+//                        retention window, always keeping the latest (§3.4).
+//
+// Workflow inputs travel in request structs (RegisterRequest, BootRequest)
+// with a shared SimClock `now` convention — see core/config.h for the
+// configuration and clock types.
 #pragma once
 
 #include <cstdint>
@@ -27,7 +32,7 @@
 #include <string>
 #include <vector>
 
-#include "core/scatter_gather.h"
+#include "core/config.h"
 #include "cow/chain.h"
 #include "sim/boot_sim.h"
 #include "sim/devices.h"
@@ -39,41 +44,32 @@
 
 namespace squirrel::core {
 
-/// How a registration diff reaches the compute nodes (§3.2 discusses IP
-/// multicast; §5.2 the peer-to-peer / LANTorrent-style alternatives).
-enum class PropagationStrategy {
-  kMulticast,  // one stream on the wire, all online nodes receive (default)
-  kUnicast,    // one stream per node — storage-node egress scales with n
-  kPipeline,   // LANTorrent-style chain: each node receives and forwards once
+/// Register a VMI's boot cache with the cluster (§3.2).
+struct RegisterRequest {
+  std::string image_id;
+  /// The boot working set view of the image — what the registration boot
+  /// writes copy-on-read. Borrowed for the duration of the call.
+  const util::DataSource& cache_content;
+  /// Simulated time of the registration (snapshot timestamp).
+  SimClock now{};
 };
 
-// RetryPolicy, BackoffSeconds, and TransferStats live in
-// core/scatter_gather.h with the delivery engine; this header re-exposes
-// them through its include for existing users.
-
-struct SquirrelConfig {
-  /// 64 KiB, gzip6, dedup — the paper's choice. `volume.ingest` (threads,
-  /// batch size) flows through to the scVolume and every ccVolume, so
-  /// Register's cache ingest runs on the batch hash/compress pipeline;
-  /// accounting is identical at any thread count.
-  zvol::VolumeConfig volume{};
-  PropagationStrategy propagation = PropagationStrategy::kMulticast;
-  /// Offline-propagation window `n` (§3.4/§3.5), in simulated seconds.
-  std::uint64_t retention_seconds = 7ull * 24 * 3600;
-  /// Time one registration boot takes on the storage node (the paper
-  /// measured < 20 s average for the dataset).
-  double registration_boot_seconds = 20.0;
-  /// Snapshot creation cost (read-only snapshots are cheap).
-  double snapshot_seconds = 0.1;
-  /// Throughput of generating/apply a send stream, bytes/s.
-  double stream_processing_bytes_per_second = 200e6;
-  /// Retry schedule for registration propagation and node sync transfers.
-  RetryPolicy retry{};
-  /// Delivery engine for the fan out: window 1 is the serial per-node retry
-  /// model (legacy accounting, bit-identical); window > 1 runs retries
-  /// event-driven with chunked retransmissions contending for the sender
-  /// link (see core/scatter_gather.h).
-  ScatterGatherConfig transfer{};
+/// Boot a VM from a compute node's local ccVolume replica (§3.3).
+struct BootRequest {
+  std::string image_id;
+  /// The (remote) base VMI the CoW chain bottoms out in.
+  const util::DataSource& base_image;
+  /// The boot's read trace, replayed through the chain.
+  const std::vector<vmi::BootRead>& trace;
+  /// Optional write trace (logs, /run, tmp) replayed into the VM's CoW
+  /// overlay after the reads.
+  const std::vector<vmi::BootRead>* writes = nullptr;
+  /// Optional sparse map of the base image, so copy-on-write fills of
+  /// unallocated ranges stay off the network.
+  sim::RemoteImageDevice::AllocationMap allocation = {};
+  /// Optional profile recording/replay (pre-heal + prefetch).
+  const BootProfileRun* profile = nullptr;
+  sim::BootSimConfig boot_config{};
 };
 
 struct RegistrationReport {
@@ -111,24 +107,6 @@ struct BootReport {
   std::uint64_t prefetch_issued = 0;
 };
 
-/// Profile-guided boot support (both directions of the profile lifecycle).
-struct BootProfileRun {
-  /// Profile to replay ahead of the guest: pre-heal (or ARC-warm) its
-  /// blocks before the boot, then prefetch them during it. Null = off.
-  const vmi::BootProfile* replay = nullptr;
-  /// Profile to record this boot's cache-device touches into. Recording is
-  /// pure bookkeeping — the recorded boot is bit-identical to an
-  /// unprofiled one. Null = off.
-  vmi::BootProfile* record = nullptr;
-  /// Maximum profile blocks kept in flight ahead of the guest's cursor.
-  std::uint32_t lead_blocks = 32;
-  /// Route the profile's blocks through the degraded-read repair path
-  /// before the guest starts: a corrupt replica heals off the critical
-  /// path (and the reads warm the decompressed-block ARC as a side
-  /// effect). When false, replay only warms the ARC.
-  bool pre_heal = true;
-};
-
 /// One compute node: its ccVolume and availability state.
 class ComputeNode {
  public:
@@ -156,38 +134,26 @@ class SquirrelCluster {
 
   // --- workflows -----------------------------------------------------------
 
-  /// Registers a VMI: `cache_content` is the boot working set view of the
-  /// image (what the registration boot writes copy-on-read). Creates the
-  /// scVolume snapshot and multicasts the diff to all online nodes.
-  RegistrationReport Register(const std::string& image_id,
-                              const util::DataSource& cache_content,
-                              std::uint64_t now);
+  /// Registers a VMI: ingest the cache, snapshot the scVolume, and fan the
+  /// incremental diff out to all online nodes.
+  RegistrationReport Register(const RegisterRequest& request);
 
   /// Deletes the cache from the scVolume. No snapshot (§3.4); ccVolumes
   /// learn about it with the next registration's snapshot.
-  void Deregister(const std::string& image_id, std::uint64_t now);
+  void Deregister(const std::string& image_id, SimClock now);
 
   /// Brings one node's ccVolume up to date (the node-boot path, §3.5).
-  SyncReport SyncNode(std::uint32_t compute_node, std::uint64_t now);
+  SyncReport SyncNode(std::uint32_t compute_node, SimClock now);
 
   /// Daily garbage collection on the scVolume and every online ccVolume.
-  void RunGc(std::uint64_t now);
+  void RunGc(SimClock now);
 
-  /// Boots a VM on a compute node from its local ccVolume replica, chained
+  /// Boots a VM on `compute_node` from its local ccVolume replica, chained
   /// over the remote base image. Returns boot timing and the network bytes
-  /// the boot consumed (zero when the replica is warm). `writes` optionally
-  /// replays the boot's write trace into the VM's CoW overlay; `allocation`
-  /// exposes the base image's sparse map so copy-on-write fills of
-  /// unallocated ranges stay off the network.
-  /// `profile` optionally records this boot's touch trace and/or replays a
-  /// recorded one (pre-heal + prefetch); see BootProfileRun.
-  BootReport Boot(std::uint32_t compute_node, const std::string& image_id,
-                  const util::DataSource& base_image,
-                  const std::vector<vmi::BootRead>& trace, sim::IoContext& io,
-                  const sim::BootSimConfig& boot_config = {},
-                  const std::vector<vmi::BootRead>* writes = nullptr,
-                  sim::RemoteImageDevice::AllocationMap allocation = {},
-                  const BootProfileRun* profile = nullptr);
+  /// the boot consumed (zero when the replica is warm). See BootRequest for
+  /// the optional write trace, allocation map, and profile run.
+  BootReport Boot(std::uint32_t compute_node, const BootRequest& request,
+                  sim::IoContext& io);
 
   // --- introspection ---------------------------------------------------------
 

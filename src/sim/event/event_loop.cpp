@@ -1,11 +1,19 @@
 #include "sim/event/event_loop.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
 
 namespace squirrel::sim::event {
+namespace {
+
+// Compaction kicks in only once the tombstone population is both absolutely
+// large and the majority of the heap — small scenarios never pay for it.
+constexpr std::size_t kCompactMinTombstones = 64;
+
+}  // namespace
 
 EventId EventLoop::Schedule(double time_ns, const char* tag,
                             std::function<void()> fn) {
@@ -14,32 +22,54 @@ EventId EventLoop::Schedule(double time_ns, const char* tag,
   }
   const double at = time_ns < now_ns_ ? now_ns_ : time_ns;
   const EventId id = next_sequence_++;
-  const OrderKey key{at, id};
-  queue_.emplace(key, Pending{id, tag, std::move(fn)});
-  by_id_.emplace(id, key);
+  heap_.push_back(Pending{at, id, tag, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), FiresLater);
+  pending_ids_.insert(id);
   return id;
 }
 
 bool EventLoop::Cancel(EventId id) {
-  const auto it = by_id_.find(id);
-  if (it == by_id_.end()) return false;
-  queue_.erase(it->second);
-  by_id_.erase(it);
+  if (pending_ids_.erase(id) == 0) return false;
+  tombstones_.insert(id);
+  MaybeCompact();
   return true;
 }
 
+void EventLoop::PruneTop() {
+  while (!heap_.empty() && tombstones_.count(heap_.front().id) != 0) {
+    tombstones_.erase(heap_.front().id);
+    std::pop_heap(heap_.begin(), heap_.end(), FiresLater);
+    heap_.pop_back();
+  }
+}
+
+void EventLoop::MaybeCompact() {
+  if (tombstones_.size() < kCompactMinTombstones ||
+      tombstones_.size() * 2 < heap_.size()) {
+    return;
+  }
+  std::vector<Pending> live;
+  live.reserve(heap_.size() - tombstones_.size());
+  for (Pending& entry : heap_) {
+    if (tombstones_.count(entry.id) == 0) live.push_back(std::move(entry));
+  }
+  heap_ = std::move(live);
+  std::make_heap(heap_.begin(), heap_.end(), FiresLater);
+  tombstones_.clear();
+}
+
 bool EventLoop::Step() {
-  if (queue_.empty()) return false;
-  auto it = queue_.begin();
+  PruneTop();
+  if (heap_.empty()) return false;
   // Detach before firing: the handler may schedule or cancel freely.
-  const OrderKey key = it->first;
-  Pending pending = std::move(it->second);
-  queue_.erase(it);
-  by_id_.erase(pending.id);
-  now_ns_ = key.time_ns;
+  std::pop_heap(heap_.begin(), heap_.end(), FiresLater);
+  Pending pending = std::move(heap_.back());
+  heap_.pop_back();
+  pending_ids_.erase(pending.id);
+  now_ns_ = pending.time_ns;
   ++fired_;
   if (trace_enabled_) {
-    trace_.push_back(TraceEntry{key.time_ns, key.sequence, pending.tag});
+    trace_.push_back(TraceEntry{pending.time_ns, pending.id, pending.tag});
   }
   if (pending.fn) pending.fn();
   return true;
@@ -52,7 +82,9 @@ double EventLoop::Run() {
 }
 
 double EventLoop::RunUntil(double time_ns) {
-  while (!queue_.empty() && queue_.begin()->first.time_ns <= time_ns) {
+  for (;;) {
+    PruneTop();
+    if (heap_.empty() || heap_.front().time_ns > time_ns) break;
     Step();
   }
   if (time_ns > now_ns_) now_ns_ = time_ns;

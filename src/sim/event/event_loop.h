@@ -9,18 +9,29 @@
 // loop instance is confined to one thread; determinism is a property of the
 // data structure, not of synchronization).
 //
-// Clients (AsyncDiskQueue, ScatterGatherTransfer) schedule closures at
-// absolute times and advance the loop explicitly: Run() to exhaustion,
-// RunUntil(t) to process everything due at or before t, Step() for one
-// event. Cancellation removes a pending event by id; firing or cancelling an
-// id twice is a detectable no-op. The optional trace records every fired
-// event's (time, sequence, tag) for replay tests and debugging.
+// Storage is a contiguous binary min-heap on the (time, sequence) key —
+// fleet-scale scenarios keep hundreds of thousands of events pending, and a
+// node-based std::map burns both cache locality and an allocation per event.
+// Cancellation is lazy: Cancel() drops the id into a tombstone set and the
+// entry is discarded when it surfaces at the heap top (or at the next
+// compaction, once tombstones dominate), so cancel stays O(1) without
+// breaking the total order. Because every key is unique, heap pop order is
+// the same total order the map gave — the byte-identical trace contract is
+// unchanged.
+//
+// Clients (AsyncDiskQueue, ScatterGatherTransfer, fleet::FleetScenario)
+// schedule closures at absolute times and advance the loop explicitly:
+// Run() to exhaustion, RunUntil(t) to process everything due at or before t,
+// Step() for one event. Cancellation removes a pending event by id; firing
+// or cancelling an id twice is a detectable no-op. The optional trace
+// records every fired event's (time, sequence, tag) for replay tests and
+// debugging.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "util/rng.h"
@@ -66,7 +77,7 @@ class EventLoop {
   double RunUntil(double time_ns);
 
   double now_ns() const { return now_ns_; }
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return pending_ids_.size(); }
   std::uint64_t fired() const { return fired_; }
   util::Rng& rng() { return rng_; }
 
@@ -86,25 +97,34 @@ class EventLoop {
   std::string FormatTrace() const;
 
  private:
-  struct OrderKey {
-    double time_ns;
-    std::uint64_t sequence;
-    bool operator<(const OrderKey& other) const {
-      if (time_ns != other.time_ns) return time_ns < other.time_ns;
-      return sequence < other.sequence;
-    }
-  };
   struct Pending {
-    EventId id;
+    double time_ns;
+    EventId id;  // doubles as the tie-breaking sequence number
     const char* tag;
     std::function<void()> fn;
   };
 
+  /// Heap comparator: "a fires later than b". With std::push/pop_heap this
+  /// makes the front the earliest (time, sequence) — a total order, since
+  /// ids are unique.
+  static bool FiresLater(const Pending& a, const Pending& b) {
+    if (a.time_ns != b.time_ns) return a.time_ns > b.time_ns;
+    return a.id > b.id;
+  }
+
+  /// Discards tombstoned entries sitting at the heap top so the front is
+  /// always a live event (or the heap is empty).
+  void PruneTop();
+
+  /// Rebuilds the heap without tombstoned entries once they dominate.
+  void MaybeCompact();
+
   double now_ns_ = 0.0;
   std::uint64_t next_sequence_ = 1;  // doubles as the EventId space
   std::uint64_t fired_ = 0;
-  std::map<OrderKey, Pending> queue_;
-  std::map<EventId, OrderKey> by_id_;  // pending only
+  std::vector<Pending> heap_;
+  std::unordered_set<EventId> pending_ids_;  // live (scheduled, not fired/cancelled)
+  std::unordered_set<EventId> tombstones_;   // cancelled but still in heap_
   bool trace_enabled_ = false;
   std::vector<TraceEntry> trace_;
   util::Rng rng_;

@@ -49,4 +49,78 @@ double Percentile(std::span<const double> values, double p) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+StreamingHistogram::StreamingHistogram(std::size_t exact_budget,
+                                       double relative_error)
+    : exact_budget_(std::max<std::size_t>(exact_budget, 1)),
+      gamma_((1.0 + relative_error) / (1.0 - relative_error)),
+      log_gamma_(std::log(gamma_)) {
+  assert(relative_error > 0.0 && relative_error < 1.0);
+}
+
+void StreamingHistogram::Add(double x) {
+  assert(!std::isnan(x));
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  if (exact_mode_) {
+    ++exact_[x];
+    if (exact_.size() > exact_budget_) CollapseToSketch();
+    return;
+  }
+  AddToSketch(x, 1);
+}
+
+void StreamingHistogram::AddToSketch(double x, std::uint64_t weight) {
+  if (x <= 0.0) {
+    non_positive_ += weight;
+    return;
+  }
+  // Bucket i covers (gamma^(i-1), gamma^i]; ceil() picks the covering index.
+  const auto index =
+      static_cast<std::int32_t>(std::ceil(std::log(x) / log_gamma_));
+  buckets_[index] += weight;
+}
+
+void StreamingHistogram::CollapseToSketch() {
+  exact_mode_ = false;
+  for (const auto& [value, n] : exact_) AddToSketch(value, n);
+  exact_.clear();
+}
+
+double StreamingHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double fraction = std::clamp(q, 0.0, 100.0) / 100.0;
+  // Nearest rank: the k-th smallest sample, k in [1, count].
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(fraction * static_cast<double>(count_))));
+  if (exact_mode_) {
+    std::uint64_t seen = 0;
+    for (const auto& [value, n] : exact_) {
+      seen += n;
+      if (seen >= rank) return value;
+    }
+    return max_;
+  }
+  if (rank <= non_positive_) return min_;
+  std::vector<std::pair<std::int32_t, std::uint64_t>> sorted(buckets_.begin(),
+                                                             buckets_.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t seen = non_positive_;
+  for (const auto& [index, n] : sorted) {
+    seen += n;
+    if (seen >= rank) {
+      // Bucket midpoint 2γ^i/(γ+1) keeps the relative error within ε.
+      const double upper = std::exp(static_cast<double>(index) * log_gamma_);
+      return std::clamp(2.0 * upper / (gamma_ + 1.0), min_, max_);
+    }
+  }
+  return max_;
+}
+
 }  // namespace squirrel::util

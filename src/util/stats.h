@@ -2,7 +2,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 namespace squirrel::util {
@@ -33,5 +36,64 @@ double Rmse(std::span<const double> predicted, std::span<const double> observed)
 
 /// p-th percentile (0..100) by linear interpolation; copies and sorts.
 double Percentile(std::span<const double> values, double p);
+
+/// Streaming percentile accumulator with a fixed memory budget — built for
+/// fleet-scale runs that record millions of boot latencies, where
+/// Percentile()'s copy-and-sort would dominate both memory and time.
+///
+/// Two regimes:
+///   * While the input holds at most `exact_budget` *distinct* values, the
+///     histogram is an exact value→count map: Quantile() returns exact
+///     nearest-rank percentiles regardless of total sample count (millions
+///     of samples drawn from a bounded value set stay exact).
+///   * Past the budget it collapses once into logarithmic buckets (DDSketch
+///     style: bucket i covers (γ^(i-1), γ^i] with γ = (1+ε)/(1−ε)), after
+///     which every positive quantile is within relative error ε of the true
+///     value. Memory stays O(exact_budget + log-range/ε).
+///
+/// Quantiles use the nearest-rank definition (k = ⌈q/100·N⌉, the k-th
+/// smallest sample), so p0 is the minimum and p100 the maximum; results are
+/// clamped to the observed [min, max]. Non-positive samples are legal but
+/// tracked only as a count below the first bucket (they all report min()
+/// once in sketch mode) — fleet latencies are strictly positive.
+class StreamingHistogram {
+ public:
+  explicit StreamingHistogram(std::size_t exact_budget = 4096,
+                              double relative_error = 0.01);
+
+  void Add(double x);
+
+  /// q-th percentile in 0..100, nearest-rank. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  std::uint64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  /// True while percentiles are still exact (within the distinct-value
+  /// budget); false once collapsed to the log-bucket sketch.
+  bool exact() const { return exact_mode_; }
+
+ private:
+  void AddToSketch(double x, std::uint64_t weight);
+  void CollapseToSketch();
+
+  std::size_t exact_budget_;
+  double gamma_;      // log-bucket growth factor
+  double log_gamma_;  // cached std::log(gamma_)
+  bool exact_mode_ = true;
+
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+
+  std::map<double, std::uint64_t> exact_;             // exact mode
+  std::unordered_map<std::int32_t, std::uint64_t> buckets_;  // sketch mode
+  std::uint64_t non_positive_ = 0;                    // sketch mode, x <= 0
+};
 
 }  // namespace squirrel::util

@@ -61,17 +61,17 @@ TEST(BootWrites, WarmBootWithWritesStaysNetworkFree) {
   const vmi::ImageSpec& spec = catalog.images()[0];
   const vmi::VmImage image(catalog, spec);
   const vmi::BootWorkingSet boot(catalog, image);
-  cluster.Register(spec.name, vmi::CacheImage(image, boot), 60);
+  cluster.Register({spec.name, vmi::CacheImage(image, boot), core::SimClock::FromSeconds(60)});
 
   const auto trace = boot.Trace(1);
   const auto writes = boot.WriteTrace(1);
   ASSERT_FALSE(writes.empty());
   sim::IoContext io;
-  const core::BootReport report = cluster.Boot(
-      0, spec.name, image, trace, io, {}, &writes,
-      [&image](std::uint64_t offset, std::uint64_t length) {
+  const core::BootReport report = cluster.Boot(0,
+      {.image_id = spec.name, .base_image = image, .trace = trace, .writes = &writes, .allocation = [&image](std::uint64_t offset, std::uint64_t length) {
         return image.RangeHasData(offset, length);
-      });
+      }},
+      io);
   EXPECT_GT(report.result.bytes_written, 0u);
   EXPECT_EQ(report.network_bytes, 0u);
   EXPECT_EQ(report.result.base_bytes_read, 0u);
@@ -88,11 +88,13 @@ TEST(BootWrites, WithoutAllocationMapWritesPullBaseClusters) {
   const vmi::ImageSpec& spec = catalog.images()[0];
   const vmi::VmImage image(catalog, spec);
   const vmi::BootWorkingSet boot(catalog, image);
-  cluster.Register(spec.name, vmi::CacheImage(image, boot), 60);
+  cluster.Register({spec.name, vmi::CacheImage(image, boot), core::SimClock::FromSeconds(60)});
   const auto writes = boot.WriteTrace(1);
   sim::IoContext io;
   const core::BootReport report =
-      cluster.Boot(0, spec.name, image, boot.Trace(1), io, {}, &writes);
+      cluster.Boot(0,
+      {.image_id = spec.name, .base_image = image, .trace = boot.Trace(1), .writes = &writes},
+      io);
   EXPECT_GT(report.network_bytes, 0u);  // CoW fills fetched zero clusters
 }
 

@@ -289,7 +289,7 @@ TEST(ScatterGather, ClusterRegisterWithWindowedTransfer) {
   Bytes content(32 * 4096);
   util::Rng(3).Fill(content);
   const RegistrationReport report =
-      cluster.Register("img", BufferSource(content), 1000);
+      cluster.Register({"img", BufferSource(content), SimClock::FromSeconds(1000)});
   EXPECT_EQ(report.receivers, 4u);
   for (std::uint32_t n = 0; n < 4; ++n) {
     EXPECT_TRUE(cluster.compute_node(n).volume().HasFile(
@@ -311,7 +311,7 @@ TEST(ScatterGather, ClusterRetryStatsIdenticalAcrossWindows) {
     cluster.SetFaultInjector(&faults);
     Bytes content(32 * 4096);
     util::Rng(3).Fill(content);
-    return cluster.Register("img", BufferSource(content), 1000);
+    return cluster.Register({"img", BufferSource(content), SimClock::FromSeconds(1000)});
   };
   const RegistrationReport serial = run(1);
   const RegistrationReport windowed = run(4);

@@ -45,7 +45,7 @@ Bytes MakeCacheContent(std::uint64_t seed, std::size_t blocks = 32) {
 TEST(Squirrel, RegisterPropagatesToAllOnlineNodes) {
   SquirrelCluster cluster(SmallConfig(), 4);
   const RegistrationReport report =
-      cluster.Register("img-1", BufferSource(MakeCacheContent(1)), 1000);
+      cluster.Register({"img-1", BufferSource(MakeCacheContent(1)), SimClock::FromSeconds(1000)});
   EXPECT_EQ(report.receivers, 4u);
   EXPECT_LT(report.total_seconds, 60.0);  // §3.2: well under a minute
   EXPECT_GT(report.diff_wire_bytes, 0u);
@@ -58,26 +58,26 @@ TEST(Squirrel, RegisterPropagatesToAllOnlineNodes) {
 TEST(Squirrel, SecondRegistrationDiffIsSmall) {
   SquirrelCluster cluster(SmallConfig(), 2);
   const auto first =
-      cluster.Register("img-1", BufferSource(MakeCacheContent(1)), 1000);
+      cluster.Register({"img-1", BufferSource(MakeCacheContent(1)), SimClock::FromSeconds(1000)});
   // Second cache shares 24 of 28 nonzero blocks: its diff must carry only
   // the unique tail (the paper's O(10 MB) observation).
   const auto second =
-      cluster.Register("img-2", BufferSource(MakeCacheContent(2)), 2000);
+      cluster.Register({"img-2", BufferSource(MakeCacheContent(2)), SimClock::FromSeconds(2000)});
   EXPECT_LT(second.diff_wire_bytes, first.diff_wire_bytes / 3);
 }
 
 TEST(Squirrel, DuplicateRegistrationRejected) {
   SquirrelCluster cluster(SmallConfig(), 1);
-  cluster.Register("img-1", BufferSource(MakeCacheContent(1)), 1000);
+  cluster.Register({"img-1", BufferSource(MakeCacheContent(1)), SimClock::FromSeconds(1000)});
   EXPECT_THROW(
-      cluster.Register("img-1", BufferSource(MakeCacheContent(1)), 2000),
+      cluster.Register({"img-1", BufferSource(MakeCacheContent(1)), SimClock::FromSeconds(2000)}),
       std::invalid_argument);
 }
 
 TEST(Squirrel, WarmBootUsesZeroNetwork) {
   SquirrelCluster cluster(SmallConfig(), 2);
   const Bytes cache_content = MakeCacheContent(7, 64);
-  cluster.Register("img-1", BufferSource(cache_content), 1000);
+  cluster.Register({"img-1", BufferSource(cache_content), SimClock::FromSeconds(1000)});
 
   // The base image equals the cache content where cached (plus more data
   // beyond it that the boot does not touch).
@@ -93,7 +93,9 @@ TEST(Squirrel, WarmBootUsesZeroNetwork) {
 
   sim::IoContext io;
   const BootReport report =
-      cluster.Boot(1, "img-1", base_image, trace, io);
+      cluster.Boot(1,
+      {.image_id = "img-1", .base_image = base_image, .trace = trace},
+      io);
   EXPECT_EQ(report.network_bytes, 0u);  // the headline property
   EXPECT_GT(report.result.bytes_read, 0u);
   EXPECT_EQ(report.result.base_bytes_read, 0u);
@@ -104,21 +106,23 @@ TEST(Squirrel, BootOfUnsyncedImageThrows) {
   SquirrelCluster cluster(SmallConfig(), 1);
   BufferSource base(Bytes(4096, 1));
   sim::IoContext io;
-  EXPECT_THROW(cluster.Boot(0, "missing", base, {}, io),
+  EXPECT_THROW(cluster.Boot(0,
+      {.image_id = "missing", .base_image = base, .trace = {}},
+      io),
                std::invalid_argument);
 }
 
 TEST(Squirrel, OfflineNodeMissesDiffThenCatchesUp) {
   SquirrelCluster cluster(SmallConfig(), 3);
-  cluster.Register("img-1", BufferSource(MakeCacheContent(1)), 1000);
+  cluster.Register({"img-1", BufferSource(MakeCacheContent(1)), SimClock::FromSeconds(1000)});
 
   cluster.compute_node(2).set_online(false);
-  cluster.Register("img-2", BufferSource(MakeCacheContent(2)), 2000);
+  cluster.Register({"img-2", BufferSource(MakeCacheContent(2)), SimClock::FromSeconds(2000)});
   EXPECT_FALSE(cluster.compute_node(2).volume().HasFile(
       SquirrelCluster::CacheFileName("img-2")));
 
   cluster.compute_node(2).set_online(true);
-  const SyncReport sync = cluster.SyncNode(2, 3000);
+  const SyncReport sync = cluster.SyncNode(2, SimClock::FromSeconds(3000));
   EXPECT_FALSE(sync.full_resync);
   EXPECT_EQ(sync.snapshots_advanced, 1u);
   EXPECT_TRUE(cluster.compute_node(2).volume().HasFile(
@@ -127,8 +131,8 @@ TEST(Squirrel, OfflineNodeMissesDiffThenCatchesUp) {
 
 TEST(Squirrel, SyncIsNoOpWhenCurrent) {
   SquirrelCluster cluster(SmallConfig(), 1);
-  cluster.Register("img-1", BufferSource(MakeCacheContent(1)), 1000);
-  const SyncReport sync = cluster.SyncNode(0, 2000);
+  cluster.Register({"img-1", BufferSource(MakeCacheContent(1)), SimClock::FromSeconds(1000)});
+  const SyncReport sync = cluster.SyncNode(0, SimClock::FromSeconds(2000));
   EXPECT_EQ(sync.wire_bytes, 0u);
   EXPECT_EQ(sync.snapshots_advanced, 0u);
 }
@@ -138,19 +142,17 @@ TEST(Squirrel, LongOfflineNodeFallsBackToFullResync) {
   config.retention_seconds = 2 * 86400;  // n = 2 days
   SquirrelCluster cluster(config, 2);
 
-  cluster.Register("img-1", BufferSource(MakeCacheContent(1)), 0);
+  cluster.Register({"img-1", BufferSource(MakeCacheContent(1)), SimClock::FromSeconds(0)});
   cluster.compute_node(1).set_online(false);
 
   // A week of registrations and daily GC while node 1 is down.
   for (int day = 1; day <= 7; ++day) {
-    cluster.Register("img-" + std::to_string(day + 1),
-                     BufferSource(MakeCacheContent(day + 1)),
-                     day * 86400ull);
-    cluster.RunGc(day * 86400ull + 3600);
+    cluster.Register({"img-" + std::to_string(day + 1), BufferSource(MakeCacheContent(day + 1)), SimClock::FromSeconds(day * 86400ull)});
+    cluster.RunGc(SimClock::FromSeconds(day * 86400ull + 3600));
   }
 
   cluster.compute_node(1).set_online(true);
-  const SyncReport sync = cluster.SyncNode(1, 8 * 86400ull);
+  const SyncReport sync = cluster.SyncNode(1, SimClock::FromSeconds(8 * 86400ull));
   EXPECT_TRUE(sync.full_resync);
   for (int i = 1; i <= 8; ++i) {
     EXPECT_TRUE(cluster.compute_node(1).volume().HasFile(
@@ -164,9 +166,9 @@ TEST(Squirrel, BrandNewNodeSyncsFully) {
   // they were offline during it.
   SquirrelCluster cluster(SmallConfig(), 2);
   cluster.compute_node(1).set_online(false);
-  cluster.Register("img-1", BufferSource(MakeCacheContent(1)), 1000);
+  cluster.Register({"img-1", BufferSource(MakeCacheContent(1)), SimClock::FromSeconds(1000)});
   cluster.compute_node(1).set_online(true);
-  const SyncReport sync = cluster.SyncNode(1, 2000);
+  const SyncReport sync = cluster.SyncNode(1, SimClock::FromSeconds(2000));
   EXPECT_TRUE(sync.full_resync);
   EXPECT_TRUE(cluster.compute_node(1).volume().HasFile(
       SquirrelCluster::CacheFileName("img-1")));
@@ -174,14 +176,14 @@ TEST(Squirrel, BrandNewNodeSyncsFully) {
 
 TEST(Squirrel, DeregisterPropagatesWithNextRegistration) {
   SquirrelCluster cluster(SmallConfig(), 2);
-  cluster.Register("img-1", BufferSource(MakeCacheContent(1)), 1000);
-  cluster.Register("img-2", BufferSource(MakeCacheContent(2)), 2000);
-  cluster.Deregister("img-1", 3000);
+  cluster.Register({"img-1", BufferSource(MakeCacheContent(1)), SimClock::FromSeconds(1000)});
+  cluster.Register({"img-2", BufferSource(MakeCacheContent(2)), SimClock::FromSeconds(2000)});
+  cluster.Deregister("img-1", SimClock::FromSeconds(3000));
   // ccVolumes still have the stale cache (no snapshot on delete, §3.4).
   EXPECT_TRUE(cluster.compute_node(0).volume().HasFile(
       SquirrelCluster::CacheFileName("img-1")));
   // The next registration's snapshot carries the deletion.
-  cluster.Register("img-3", BufferSource(MakeCacheContent(3)), 4000);
+  cluster.Register({"img-3", BufferSource(MakeCacheContent(3)), SimClock::FromSeconds(4000)});
   EXPECT_FALSE(cluster.compute_node(0).volume().HasFile(
       SquirrelCluster::CacheFileName("img-1")));
   EXPECT_TRUE(cluster.compute_node(0).volume().HasFile(
@@ -192,14 +194,14 @@ TEST(Squirrel, GcReclaimsDeregisteredBlocks) {
   SquirrelConfig config = SmallConfig();
   config.retention_seconds = 86400;
   SquirrelCluster cluster(config, 1);
-  cluster.Register("img-1", BufferSource(MakeCacheContent(1)), 0);
+  cluster.Register({"img-1", BufferSource(MakeCacheContent(1)), SimClock::FromSeconds(0)});
   const std::uint64_t with_one =
       cluster.storage_volume().Stats().unique_blocks;
-  cluster.Deregister("img-1", 100);
-  cluster.Register("img-2", BufferSource(MakeCacheContent(2)), 200);
+  cluster.Deregister("img-1", SimClock::FromSeconds(100));
+  cluster.Register({"img-2", BufferSource(MakeCacheContent(2)), SimClock::FromSeconds(200)});
   // Old snapshot still pins img-1's unique blocks.
   EXPECT_GE(cluster.storage_volume().Stats().unique_blocks, with_one);
-  cluster.RunGc(10 * 86400ull);
+  cluster.RunGc(SimClock::FromSeconds(10 * 86400ull));
   // After GC, only img-2's blocks remain (shared head + its tail).
   EXPECT_LE(cluster.storage_volume().Stats().unique_blocks, with_one);
   EXPECT_EQ(cluster.storage_volume().snapshots().size(), 1u);
@@ -208,8 +210,7 @@ TEST(Squirrel, GcReclaimsDeregisteredBlocks) {
 TEST(Squirrel, ReplicasBitIdenticalToStorageVolume) {
   SquirrelCluster cluster(SmallConfig(), 2);
   for (int i = 1; i <= 5; ++i) {
-    cluster.Register("img-" + std::to_string(i),
-                     BufferSource(MakeCacheContent(i)), i * 1000ull);
+    cluster.Register({"img-" + std::to_string(i), BufferSource(MakeCacheContent(i)), SimClock::FromSeconds(i * 1000ull)});
   }
   zvol::Volume& sc = cluster.storage_volume();
   for (std::uint32_t n = 0; n < 2; ++n) {

@@ -311,8 +311,8 @@ TEST(Retry, DisarmedClusterMatchesNoInjectorBitForBit) {
   FaultInjector faults(1, FaultProfile{});  // all-zero rates
   armed.SetFaultInjector(&faults);
 
-  const auto a = plain.Register("img", BufferSource(CacheContent(5)), 1000);
-  const auto b = armed.Register("img", BufferSource(CacheContent(5)), 1000);
+  const auto a = plain.Register({"img", BufferSource(CacheContent(5)), core::SimClock::FromSeconds(1000)});
+  const auto b = armed.Register({"img", BufferSource(CacheContent(5)), core::SimClock::FromSeconds(1000)});
   EXPECT_EQ(a.receivers, b.receivers);
   EXPECT_EQ(a.diff_wire_bytes, b.diff_wire_bytes);
   EXPECT_EQ(a.total_seconds, b.total_seconds);
@@ -332,8 +332,7 @@ TEST(Retry, FaultedTransfersRetryAndStillDeliver) {
 
   core::TransferStats totals;
   for (int i = 0; i < 6; ++i) {
-    const auto report = cluster.Register("img-" + std::to_string(i),
-                                         BufferSource(CacheContent(i)), 1000 + i);
+    const auto report = cluster.Register({"img-" + std::to_string(i), BufferSource(CacheContent(i)), core::SimClock::FromSeconds(1000 + i)});
     totals.attempts += report.transfers.attempts;
     totals.retries += report.transfers.retries;
     totals.abandoned += report.transfers.abandoned;
@@ -354,7 +353,7 @@ TEST(Retry, FaultedTransfersRetryAndStillDeliver) {
     if (!complete) {
       ASSERT_GT(abandoned_nodes, 0u);
       // An abandoned node reconciles through the boot-time sync path.
-      const auto sync = cluster.SyncNode(n, 2000);
+      const auto sync = cluster.SyncNode(n, core::SimClock::FromSeconds(2000));
       if (sync.transfers.abandoned == 0) {
         EXPECT_GT(sync.snapshots_advanced, 0u);
       }
@@ -370,7 +369,7 @@ TEST(Retry, AbandonsAfterMaxAttempts) {
   cluster.SetFaultInjector(&faults);
 
   const auto report =
-      cluster.Register("img", BufferSource(CacheContent(1)), 1000);
+      cluster.Register({"img", BufferSource(CacheContent(1)), core::SimClock::FromSeconds(1000)});
   EXPECT_EQ(report.receivers, 0u);
   EXPECT_EQ(report.transfers.abandoned, 2u);
   EXPECT_EQ(report.transfers.attempts, 6u);  // 3 per node
@@ -380,7 +379,7 @@ TEST(Retry, AbandonsAfterMaxAttempts) {
 TEST(FaultRepair, DegradedBootHealsFromStorageNodeAndChargesNetwork) {
   core::SquirrelCluster cluster(ClusterConfig(), 2);
   const Bytes cache = CacheContent(3);
-  cluster.Register("img", BufferSource(cache), 1000);
+  cluster.Register({"img", BufferSource(cache), core::SimClock::FromSeconds(1000)});
 
   // Corrupt the booting node's ccVolume; the scVolume stays healthy.
   FaultInjector faults(14, FaultProfile{.block_corrupt_rate = 0.2});
@@ -392,7 +391,9 @@ TEST(FaultRepair, DegradedBootHealsFromStorageNodeAndChargesNetwork) {
   }
   sim::IoContext io;
   const core::BootReport report =
-      cluster.Boot(0, "img", BufferSource(cache), trace, io);
+      cluster.Boot(0,
+      {.image_id = "img", .base_image = BufferSource(cache), .trace = trace},
+      io);
   EXPECT_GT(report.repair_reads, 0u);
   EXPECT_GT(report.repaired_blocks_bytes, 0u);
   // Healing traffic comes from the storage node over the network — the
@@ -411,8 +412,8 @@ TEST(Retry, RetrySecondsExtendRegistrationByTheSlowestNode) {
   FaultInjector faults(9, FaultProfile{.transfer_fail_rate = 0.6});
   faulty.SetFaultInjector(&faults);
 
-  const auto clean = plain.Register("img", BufferSource(CacheContent(2)), 0);
-  const auto retried = faulty.Register("img", BufferSource(CacheContent(2)), 0);
+  const auto clean = plain.Register({"img", BufferSource(CacheContent(2)), core::SimClock::FromSeconds(0)});
+  const auto retried = faulty.Register({"img", BufferSource(CacheContent(2)), core::SimClock::FromSeconds(0)});
   if (retried.transfers.retries > 0) {
     EXPECT_GT(retried.total_seconds, clean.total_seconds);
   } else {

@@ -37,7 +37,7 @@ TEST(Integration, RegisterBootVerifyAcrossCatalog) {
     boots.push_back(
         std::make_unique<vmi::BootWorkingSet>(catalog, *images.back()));
     const vmi::CacheImage cache(*images.back(), *boots.back());
-    const auto report = cluster.Register(spec.name, cache, now += 60);
+    const auto report = cluster.Register({spec.name, cache, core::SimClock::FromSeconds(now += 60)});
     EXPECT_GT(report.cache_logical_bytes, 0u) << spec.name;
   }
 
@@ -48,7 +48,8 @@ TEST(Integration, RegisterBootVerifyAcrossCatalog) {
     sim::IoContext io;
     const core::BootReport report =
         cluster.Boot(static_cast<std::uint32_t>(i % 3),
-                     catalog.images()[i].name, *images[i], trace, io);
+      {.image_id = catalog.images()[i].name, .base_image = *images[i], .trace = trace},
+      io);
     EXPECT_EQ(report.network_bytes, 0u) << i;
     EXPECT_EQ(report.result.base_bytes_read, 0u) << i;
   }
@@ -61,7 +62,7 @@ TEST(Integration, BootReadsMatchImageContentThroughChain) {
   const vmi::ImageSpec& spec = catalog.images()[0];
   const vmi::VmImage image(catalog, spec);
   const vmi::BootWorkingSet boot(catalog, image);
-  cluster.Register(spec.name, vmi::CacheImage(image, boot), 60);
+  cluster.Register({spec.name, vmi::CacheImage(image, boot), core::SimClock::FromSeconds(60)});
 
   // Build the chain by hand to inspect the data a guest would see.
   zvol::Volume& cc = cluster.compute_node(0).volume();
@@ -86,7 +87,7 @@ TEST(Integration, ColdBootFallsThroughToBaseOutsideWorkingSet) {
   const vmi::ImageSpec& spec = catalog.images()[0];
   const vmi::VmImage image(catalog, spec);
   const vmi::BootWorkingSet boot(catalog, image);
-  cluster.Register(spec.name, vmi::CacheImage(image, boot), 60);
+  cluster.Register({spec.name, vmi::CacheImage(image, boot), core::SimClock::FromSeconds(60)});
 
   // Read something definitely outside the boot working set: the user-data
   // extent (the last extent of the image).
@@ -98,7 +99,9 @@ TEST(Integration, ColdBootFallsThroughToBaseOutsideWorkingSet) {
                                 std::min<std::uint64_t>(user.length, 65536))}};
   sim::IoContext io;
   const core::BootReport report =
-      cluster.Boot(0, spec.name, image, trace, io);
+      cluster.Boot(0,
+      {.image_id = spec.name, .base_image = image, .trace = trace},
+      io);
   EXPECT_GT(report.network_bytes, 0u);  // the miss went to the base VMI
 }
 
@@ -108,7 +111,7 @@ TEST(Integration, CorruptedPropagationStreamIsRejectedAndRetried) {
   const vmi::ImageSpec& spec = catalog.images()[0];
   const vmi::VmImage image(catalog, spec);
   const vmi::BootWorkingSet boot(catalog, image);
-  cluster.Register(spec.name, vmi::CacheImage(image, boot), 60);
+  cluster.Register({spec.name, vmi::CacheImage(image, boot), core::SimClock::FromSeconds(60)});
 
   // Simulate a corrupted wire transfer of an incremental stream between two
   // volumes directly.
@@ -141,7 +144,7 @@ TEST(Integration, StorageRequirementsShrinkWithDedupAndCompression) {
     const vmi::VmImage image(catalog, spec);
     const vmi::BootWorkingSet boot(catalog, image);
     const auto report =
-        cluster.Register(spec.name, vmi::CacheImage(image, boot), now += 60);
+        cluster.Register({spec.name, vmi::CacheImage(image, boot), core::SimClock::FromSeconds(now += 60)});
     total_cache_bytes += report.cache_logical_bytes;
   }
   const zvol::VolumeStats stats = cluster.storage_volume().Stats();

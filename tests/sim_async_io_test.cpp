@@ -53,7 +53,7 @@ BootRun RunBoot(const sim::IoContextConfig& io_config,
                 std::size_t blocks = 96) {
   SquirrelCluster cluster(SmallConfig(), 2);
   const Bytes content = CacheContent(blocks);
-  cluster.Register("img", BufferSource(content), 1000);
+  cluster.Register({"img", BufferSource(content), SimClock::FromSeconds(1000)});
 
   Bytes base = content;
   BufferSource base_image(base);
@@ -64,7 +64,9 @@ BootRun RunBoot(const sim::IoContextConfig& io_config,
 
   sim::IoContext io(io_config);
   BootRun run;
-  run.report = cluster.Boot(1, "img", base_image, trace, io);
+  run.report = cluster.Boot(1,
+      {.image_id = "img", .base_image = base_image, .trace = trace},
+      io);
   run.elapsed_ns = io.elapsed_ns();
   return run;
 }

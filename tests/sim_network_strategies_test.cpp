@@ -79,7 +79,7 @@ TEST(SquirrelPropagation, AllStrategiesReplicateIdentically) {
     config.volume = zvol::VolumeConfig{.block_size = 4096, .codec = compress::CodecId::kLz4};
     config.propagation = strategy;
     SquirrelCluster cluster(config, 3);
-    cluster.Register("img", BufferSource(SomeCache(1)), 100);
+    cluster.Register({"img", BufferSource(SomeCache(1)), SimClock::FromSeconds(100)});
     for (std::uint32_t n = 0; n < 3; ++n) {
       EXPECT_TRUE(cluster.compute_node(n).volume().HasFile(
           SquirrelCluster::CacheFileName("img")))
@@ -96,7 +96,7 @@ TEST(SquirrelPropagation, UnicastRegistrationSlowerAtScale) {
     sim::NetworkConfig net;
     net.bandwidth_bytes_per_ns = 0.125;
     SquirrelCluster cluster(config, 64, net);
-    return cluster.Register("img", BufferSource(SomeCache(2)), 100)
+    return cluster.Register({"img", BufferSource(SomeCache(2)), SimClock::FromSeconds(100)})
         .total_seconds;
   };
   const double mcast = run(PropagationStrategy::kMulticast);

@@ -61,7 +61,7 @@ BootRun RunBoot(const sim::IoContextConfig& io_config,
                 std::uint64_t corrupt_stride = 0) {
   SquirrelCluster cluster(SmallConfig(), 2);
   const Bytes content = CacheContent(blocks);
-  cluster.Register("img", BufferSource(content), 1000);
+  cluster.Register({"img", BufferSource(content), SimClock::FromSeconds(1000)});
 
   if (corrupt_stride > 0) {
     zvol::Volume& cc = cluster.compute_node(1).volume();
@@ -81,8 +81,9 @@ BootRun RunBoot(const sim::IoContextConfig& io_config,
 
   sim::IoContext io(io_config);
   BootRun run;
-  run.report = cluster.Boot(1, "img", base_image, trace, io, {}, nullptr, {},
-                            profile);
+  run.report = cluster.Boot(1,
+      {.image_id = "img", .base_image = base_image, .trace = trace, .profile = profile},
+      io);
   run.elapsed_ns = io.elapsed_ns();
   return run;
 }

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
+
+#include "util/rng.h"
 
 namespace squirrel::util {
 namespace {
@@ -66,6 +69,85 @@ TEST(Percentile, SingleElement) {
   const std::vector<double> values = {42};
   EXPECT_DOUBLE_EQ(Percentile(values, 10), 42.0);
   EXPECT_DOUBLE_EQ(Percentile(values, 90), 42.0);
+}
+
+TEST(StreamingHistogram, EmptyIsZero) {
+  StreamingHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.Quantile(50), 0.0);
+  EXPECT_EQ(hist.min(), 0.0);
+  EXPECT_EQ(hist.max(), 0.0);
+}
+
+TEST(StreamingHistogram, ExactNearestRankSmallSet) {
+  StreamingHistogram hist;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) hist.Add(v);
+  ASSERT_TRUE(hist.exact());
+  // Nearest rank over {1,2,3,4,5}: k = ceil(q/100 * 5).
+  EXPECT_DOUBLE_EQ(hist.Quantile(0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(50), 3.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(99), 5.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(100), 5.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 3.0);
+}
+
+TEST(StreamingHistogram, MillionsOfSamplesStayExactOnBoundedValueSet) {
+  // 2e6 samples drawn from 1000 distinct values: far more samples than the
+  // budget, but distinct values fit — percentiles must be *exact* with no
+  // copy-and-sort of the sample stream.
+  StreamingHistogram hist;
+  util::Rng rng(7);
+  std::vector<double> all;
+  all.reserve(2'000'000);
+  for (int i = 0; i < 2'000'000; ++i) {
+    const double v = 1.0 + static_cast<double>(rng.Below(1000));
+    hist.Add(v);
+    all.push_back(v);
+  }
+  ASSERT_TRUE(hist.exact());
+  std::sort(all.begin(), all.end());
+  for (double q : {50.0, 99.0, 99.9}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q / 100.0 * static_cast<double>(all.size())));
+    EXPECT_DOUBLE_EQ(hist.Quantile(q), all[rank - 1]) << "q=" << q;
+  }
+  EXPECT_EQ(hist.count(), 2'000'000u);
+  EXPECT_DOUBLE_EQ(hist.min(), all.front());
+  EXPECT_DOUBLE_EQ(hist.max(), all.back());
+}
+
+TEST(StreamingHistogram, SketchModeBoundsRelativeError) {
+  // More distinct values than the budget forces the log-bucket sketch;
+  // quantiles must stay within the configured relative error.
+  constexpr double kEps = 0.01;
+  StreamingHistogram hist(/*exact_budget=*/256, /*relative_error=*/kEps);
+  util::Rng rng(11);
+  std::vector<double> all;
+  all.reserve(100'000);
+  for (int i = 0; i < 100'000; ++i) {
+    // Log-uniform over ~4 decades, all values distinct with high probability.
+    const double v = std::exp(rng.NextDouble() * std::log(1e4));
+    hist.Add(v);
+    all.push_back(v);
+  }
+  EXPECT_FALSE(hist.exact());
+  std::sort(all.begin(), all.end());
+  for (double q : {1.0, 50.0, 99.0, 99.9}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q / 100.0 * static_cast<double>(all.size())));
+    const double truth = all[rank - 1];
+    EXPECT_NEAR(hist.Quantile(q), truth, truth * 2.0 * kEps) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(hist.min(), all.front());
+  EXPECT_DOUBLE_EQ(hist.max(), all.back());
+}
+
+TEST(StreamingHistogram, SketchClampsToObservedRange) {
+  StreamingHistogram hist(/*exact_budget=*/4, /*relative_error=*/0.05);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}) hist.Add(v);
+  EXPECT_FALSE(hist.exact());
+  EXPECT_GE(hist.Quantile(0), 1.0);
+  EXPECT_LE(hist.Quantile(100), 8.0);
 }
 
 }  // namespace
