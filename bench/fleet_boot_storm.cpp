@@ -13,6 +13,9 @@
 //   --nodes=N   compute nodes in the fleet (default 2000)
 //   --zipf=S    Zipf exponent for image popularity (default 0.9)
 //   --storm=X   all|deploy|autoscale|patch|churn (default all)
+//   --shards=N  store shard count for the calibration cluster (default 1,
+//               which keeps BENCH_fleet.json byte-identical to the
+//               unsharded store)
 #include <cstdio>
 
 #include "bench/harness.h"
@@ -32,12 +35,13 @@ int main(int argc, char** argv) {
               "fleet-scale boot storms (ROADMAP fleet item; §3.2/§3.5 at "
               "region scale)",
               options.base);
-  std::printf("fleet: %u nodes, zipf %.3f, storm %s\n\n", options.nodes,
-              options.zipf_s, options.storm.c_str());
+  std::printf("fleet: %u nodes, zipf %.3f, storm %s, store shards %u\n\n",
+              options.nodes, options.zipf_s, options.storm.c_str(),
+              options.shards);
 
   // Calibrate the per-boot cost model from a real single-node cluster.
   const sim::fleet::FleetModel model = core::CalibrateFleetModel(
-      MakeCatalogConfig(options.base), /*sample_images=*/4);
+      MakeCatalogConfig(options.base), /*sample_images=*/4, options.shards);
   std::printf(
       "calibrated: warm boot %.2f s, prefetch boot %.2f s, cache %.0f B, "
       "diff %.0f B\n\n",

@@ -142,6 +142,10 @@ struct FleetOptions {
   double zipf_s = 0.9;
   /// Storm selection: "all" or one of deploy|autoscale|patch|churn.
   std::string storm = "all";
+  /// Store shard count for the calibration cluster (power of two in
+  /// [1, 256]). Defaults to 1 so BENCH_fleet.json stays byte-identical to
+  /// the pre-sharding store.
+  std::uint32_t shards = 1;
 };
 
 inline FleetOptions ParseFleetOptions(int argc, char** argv) {
@@ -174,6 +178,12 @@ inline FleetOptions ParseFleetOptions(int argc, char** argv) {
         FlagError(arg, "must be all|deploy|autoscale|patch|churn");
       }
       options.storm = storm;
+    } else if (const char* v = value("--shards")) {
+      options.shards = static_cast<std::uint32_t>(
+          ParseUnsigned(arg, v, /*allow_zero=*/false, 256));
+      if ((options.shards & (options.shards - 1)) != 0) {
+        FlagError(arg, "must be a power of two in [1, 256]");
+      }
     } else {
       rest.push_back(argv[i]);
     }

@@ -11,7 +11,7 @@ BlockCache::Outcome BlockCache::Lookup(const util::Digest& digest,
   if (!arc_.Lookup(digest)) return Outcome::kMiss;
   const auto it = payloads_.find(digest);
   if (it == payloads_.end()) return Outcome::kPending;
-  *out = it->second;
+  if (out != nullptr) *out = it->second;
   return Outcome::kHit;
 }
 

@@ -22,7 +22,10 @@
 // evicted before its Fill simply drops out; a Lookup that hits a pending
 // entry reports kPending and the caller aliases the in-flight decompression.
 //
-// Not thread-safe; BlockStore serializes access under its read mutex.
+// Not thread-safe; BlockStore serializes access per stripe. The store runs
+// one BlockCache instance per digest shard (a striped ARC), each guarded by
+// its own stripe mutex and budgeted with an even slice of
+// ReadConfig::cache_bytes — probes touch exactly one stripe's lock.
 // Cached bytes are accounted nowhere in StoreStats — the cache is a
 // read-side memory budget, not part of the disk/DDT model.
 #pragma once
@@ -46,7 +49,10 @@ class BlockCache {
     kMiss,     // not resident
   };
 
-  /// ARC lookup; on kHit copies the payload into `*out`.
+  /// ARC lookup; on kHit copies the payload into `*out`. A null `out`
+  /// performs the full ARC touch (promotion, hit counter) without the copy
+  /// — the warm path uses this so re-warming resident blocks is free while
+  /// cache state stays identical to a demand read.
   Outcome Lookup(const util::Digest& digest, util::Bytes* out);
 
   /// Admits `digest` (weight = decompressed size) after a miss. The ARC

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -16,12 +17,65 @@ bool WorthKeeping(std::size_t compressed, std::size_t raw) {
   return compressed + raw / 8 <= raw;
 }
 
+/// Per-stripe slice of the cache byte budget: an even split with the
+/// remainder spread over the lowest stripes, so the slices always sum to
+/// the configured total and shards == 1 gets the whole budget.
+std::uint64_t StripeBudget(std::uint64_t total, std::size_t stripes,
+                           std::size_t index) {
+  return total / stripes + (index < total % stripes ? 1 : 0);
+}
+
+/// Input indices grouped by shard, input order preserved within each group.
+/// order[begin[s] .. begin[s+1]) are the indices owned by shard s; `active`
+/// lists the shards with at least one index (the unit of per-shard
+/// parallelism).
+struct ShardPartition {
+  std::vector<std::size_t> order;
+  std::vector<std::size_t> begin;   // shards + 1 prefix offsets
+  std::vector<std::size_t> active;
+};
+
+ShardPartition PartitionByShard(std::span<const util::Digest> digests,
+                                std::size_t shard_count,
+                                unsigned shard_shift) {
+  ShardPartition part;
+  part.begin.assign(shard_count + 1, 0);
+  std::vector<std::uint8_t> shard_of(digests.size());
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    shard_of[i] =
+        static_cast<std::uint8_t>(digests[i].bytes[0] >> shard_shift);
+    ++part.begin[shard_of[i] + 1];
+  }
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (part.begin[s + 1] > 0) part.active.push_back(s);
+    part.begin[s + 1] += part.begin[s];
+  }
+  part.order.resize(digests.size());
+  std::vector<std::size_t> cursor(part.begin.begin(), part.begin.end() - 1);
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    part.order[cursor[shard_of[i]]++] = i;
+  }
+  return part;
+}
+
 }  // namespace
 
 BlockStore::BlockStore(BlockStoreConfig config)
-    : config_(config),
-      codec_(&compress::GetCodec(config_.codec)),
-      cache_(config_.read.cache_bytes) {
+    : config_(config), codec_(&compress::GetCodec(config_.codec)) {
+  const std::size_t n = config_.shards;
+  if (n == 0 || n > 256 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument(
+        "BlockStoreConfig::shards must be a power of two in [1, 256]");
+  }
+  shard_shift_ = 8;
+  for (std::size_t v = n; v > 1; v >>= 1) --shard_shift_;
+  shards_.reserve(n);
+  stripes_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    stripes_.push_back(std::make_unique<CacheStripe>(
+        StripeBudget(config_.read.cache_bytes, n, s)));
+  }
   const std::size_t ingest = config_.ingest.threads;
   const std::size_t read = config_.read.threads;
   if (ingest != 1 || read != 1) {
@@ -31,13 +85,6 @@ BlockStore::BlockStore(BlockStoreConfig config)
         (ingest == 0 || read == 0) ? 0 : std::max(ingest, read);
     pool_ = std::make_unique<util::ThreadPool>(threads);
   }
-}
-
-const BlockStore::Entry& BlockStore::RequireEntry(
-    const util::Digest& digest) const {
-  const auto it = entries_.find(digest);
-  if (it == entries_.end()) throw NoSuchBlockError(digest);
-  return it->second;
 }
 
 util::Digest BlockStore::ComputeDigest(util::ByteSpan raw) const {
@@ -92,43 +139,66 @@ std::vector<PutResult> BlockStore::PutBatch(
     });
   } else {
     // Dedup disabled: synthesize unique keys in input order so every write
-    // allocates, exactly as the serial loop numbered them.
+    // allocates, exactly as the serial loop numbered them. One atomic
+    // reservation per batch keeps concurrent batches collision-free while
+    // a serial caller still sees consecutive ids.
+    const std::uint64_t base =
+        fake_digest_counter_.fetch_add(blocks.size(),
+                                       std::memory_order_relaxed);
     for (std::size_t i = 0; i < blocks.size(); ++i) {
       assert(!blocks[i].empty());
       assert(!util::IsAllZero(blocks[i]) &&
              "holes must be elided by the volume layer");
-      const std::uint64_t id = fake_digest_counter_++;
+      const std::uint64_t id = base + i;
       std::memcpy(digests[i].bytes.data(), &id, sizeof(id));
     }
   }
 
-  // Stage 2: ordered dedup resolution. Classify each block against the DDT
-  // and against earlier blocks of this batch, in input order — the same
-  // decisions the serial loop would make, so refcounts and allocation order
-  // stay bit-identical.
+  const ShardPartition part =
+      PartitionByShard(digests, shards_.size(), shard_shift_);
+
+  // Stage 2: per-shard ordered dedup resolution. Each shard classifies its
+  // slice of the batch against its DDT partition and against earlier
+  // occurrences within the batch, in input order under the shard lock —
+  // the same decisions a serial loop would make for those digests, so
+  // refcounts and per-shard allocation order stay bit-identical. Shards
+  // share no state, so the passes run concurrently on the pool.
   std::vector<std::uint8_t> is_miss(blocks.size(), 0);
-  std::vector<std::size_t> miss_indices;
   if (config_.dedup) {
-    std::unordered_map<util::Digest, std::size_t, util::DigestHasher>
-        batch_first;
-    for (std::size_t i = 0; i < blocks.size(); ++i) {
-      if (entries_.contains(digests[i]) || batch_first.contains(digests[i])) {
-        continue;  // refcount bump, resolved in stage 4
+    ForEachIngest(part.active.size(), [&](std::size_t k) {
+      const std::size_t s = part.active[k];
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      std::unordered_set<util::Digest, util::DigestHasher> batch_first;
+      for (std::size_t p = part.begin[s]; p < part.begin[s + 1]; ++p) {
+        const std::size_t i = part.order[p];
+        if (shard.entries.contains(digests[i]) ||
+            batch_first.contains(digests[i])) {
+          continue;  // refcount bump, resolved in stage 4
+        }
+        batch_first.insert(digests[i]);
+        is_miss[i] = 1;
       }
-      batch_first.emplace(digests[i], i);
-      is_miss[i] = 1;
-      miss_indices.push_back(i);
-    }
+    });
   } else {
-    miss_indices.resize(blocks.size());
-    for (std::size_t i = 0; i < blocks.size(); ++i) {
-      is_miss[i] = 1;
-      miss_indices[i] = i;
-    }
+    for (std::size_t i = 0; i < blocks.size(); ++i) is_miss[i] = 1;
   }
 
-  // Stage 3: compress only the misses, in parallel. Codecs are stateless;
-  // each miss writes only its own slot.
+  // Misses grouped by shard (input order within each shard), so stage 4 can
+  // consume each shard's staged payloads contiguously.
+  std::vector<std::size_t> miss_indices;
+  std::vector<std::size_t> miss_begin(part.active.size() + 1, 0);
+  for (std::size_t k = 0; k < part.active.size(); ++k) {
+    const std::size_t s = part.active[k];
+    for (std::size_t p = part.begin[s]; p < part.begin[s + 1]; ++p) {
+      if (is_miss[part.order[p]]) miss_indices.push_back(part.order[p]);
+    }
+    miss_begin[k + 1] = miss_indices.size();
+  }
+
+  // Stage 3: compress only the misses, in parallel across the whole batch
+  // (work steals across shards). Codecs are stateless; each miss writes
+  // only its own slot.
   struct StagedPayload {
     util::Bytes payload;
     bool compressed = false;
@@ -147,76 +217,91 @@ std::vector<PutResult> BlockStore::PutBatch(
     staged[j].payload.assign(raw.begin(), raw.end());
   });
 
-  // Stage 4: ordered commit. Allocate extents and update refcounts/stats in
-  // input order; a batch-internal duplicate finds its first occurrence's
-  // entry already inserted by the time it commits.
-  std::size_t next_miss = 0;
-  for (std::size_t i = 0; i < blocks.size(); ++i) {
-    const util::Digest& digest = digests[i];
-    if (!is_miss[i]) {
-      auto it = entries_.find(digest);
-      assert(it != entries_.end());
-      ++it->second.refcount;
-      ++stats_.total_refs;
-      stats_.logical_referenced_bytes += it->second.logical_size;
-      results[i] = {digest, true, it->second.logical_size, 0};
-      continue;
+  // Stage 4: per-shard ordered commit. Each shard allocates extents from
+  // its own arena and updates refcounts/stats in input order under the
+  // shard lock; a batch-internal duplicate finds its first occurrence's
+  // entry already inserted by the time it commits. A miss whose digest was
+  // inserted by a concurrent batch between classify and commit degrades to
+  // a dedup hit (the staged payload is discarded) — content addressing
+  // makes either copy equally valid.
+  ForEachIngest(part.active.size(), [&](std::size_t k) {
+    const std::size_t s = part.active[k];
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::size_t next_miss = miss_begin[k];
+    for (std::size_t p = part.begin[s]; p < part.begin[s + 1]; ++p) {
+      const std::size_t i = part.order[p];
+      const util::Digest& digest = digests[i];
+      auto it = shard.entries.find(digest);
+      if (!is_miss[i] || it != shard.entries.end()) {
+        if (is_miss[i]) ++next_miss;  // staged for a lost race; discard
+        assert(it != shard.entries.end());
+        ++it->second.refcount;
+        ++shard.stats.total_refs;
+        shard.stats.logical_referenced_bytes += it->second.logical_size;
+        results[i] = {digest, true, it->second.logical_size, 0};
+        continue;
+      }
+
+      StagedPayload& payload = staged[next_miss++];
+      Entry entry;
+      entry.logical_size = static_cast<std::uint32_t>(blocks[i].size());
+      entry.refcount = 1;
+      entry.payload = std::move(payload.payload);
+      entry.compressed = payload.compressed;
+      // Allocations occupy whole sectors (ZFS asize vs psize).
+      entry.physical_size = static_cast<std::uint32_t>(
+          util::AlignUp(entry.payload.size(), kSectorBytes));
+      entry.disk_offset = shard.space_map.Allocate(entry.physical_size);
+
+      shard.stats.unique_blocks += 1;
+      shard.stats.total_refs += 1;
+      shard.stats.logical_unique_bytes += entry.logical_size;
+      shard.stats.logical_referenced_bytes += entry.logical_size;
+      shard.stats.physical_data_bytes += entry.physical_size;
+      if (config_.dedup) {
+        shard.stats.ddt_disk_bytes += kDdtDiskBytesPerEntry;
+        shard.stats.ddt_core_bytes += kDdtCoreBytesPerEntry;
+      }
+
+      results[i] = {digest, false, entry.logical_size, entry.physical_size};
+      shard.entries.emplace(digest, std::move(entry));
     }
-
-    StagedPayload& payload = staged[next_miss++];
-    Entry entry;
-    entry.logical_size = static_cast<std::uint32_t>(blocks[i].size());
-    entry.refcount = 1;
-    entry.payload = std::move(payload.payload);
-    entry.compressed = payload.compressed;
-    // Allocations occupy whole sectors (ZFS asize vs psize).
-    entry.physical_size = static_cast<std::uint32_t>(
-        util::AlignUp(entry.payload.size(), kSectorBytes));
-    entry.disk_offset = space_map_.Allocate(entry.physical_size);
-
-    stats_.unique_blocks += 1;
-    stats_.total_refs += 1;
-    stats_.logical_unique_bytes += entry.logical_size;
-    stats_.logical_referenced_bytes += entry.logical_size;
-    stats_.physical_data_bytes += entry.physical_size;
-    if (config_.dedup) {
-      stats_.ddt_disk_bytes += kDdtDiskBytesPerEntry;
-      stats_.ddt_core_bytes += kDdtCoreBytesPerEntry;
-    }
-
-    results[i] = {digest, false, entry.logical_size, entry.physical_size};
-    entries_.emplace(digest, std::move(entry));
-  }
+  });
   return results;
 }
 
 void BlockStore::Ref(const util::Digest& digest) {
-  auto it = entries_.find(digest);
-  if (it == entries_.end()) throw NoSuchBlockError(digest);
+  Shard& shard = *shards_[ShardOf(digest)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(digest);
+  if (it == shard.entries.end()) throw NoSuchBlockError(digest);
   Entry& entry = it->second;
   ++entry.refcount;
-  ++stats_.total_refs;
-  stats_.logical_referenced_bytes += entry.logical_size;
+  ++shard.stats.total_refs;
+  shard.stats.logical_referenced_bytes += entry.logical_size;
 }
 
 void BlockStore::Unref(const util::Digest& digest) {
-  auto it = entries_.find(digest);
-  if (it == entries_.end()) throw NoSuchBlockError(digest);
+  Shard& shard = *shards_[ShardOf(digest)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(digest);
+  if (it == shard.entries.end()) throw NoSuchBlockError(digest);
   Entry& entry = it->second;
   assert(entry.refcount > 0);
   --entry.refcount;
-  --stats_.total_refs;
-  stats_.logical_referenced_bytes -= entry.logical_size;
+  --shard.stats.total_refs;
+  shard.stats.logical_referenced_bytes -= entry.logical_size;
   if (entry.refcount == 0) {
-    space_map_.Free(entry.disk_offset, entry.physical_size);
-    stats_.unique_blocks -= 1;
-    stats_.logical_unique_bytes -= entry.logical_size;
-    stats_.physical_data_bytes -= entry.physical_size;
+    shard.space_map.Free(entry.disk_offset, entry.physical_size);
+    shard.stats.unique_blocks -= 1;
+    shard.stats.logical_unique_bytes -= entry.logical_size;
+    shard.stats.physical_data_bytes -= entry.physical_size;
     if (config_.dedup) {
-      stats_.ddt_disk_bytes -= kDdtDiskBytesPerEntry;
-      stats_.ddt_core_bytes -= kDdtCoreBytesPerEntry;
+      shard.stats.ddt_disk_bytes -= kDdtDiskBytesPerEntry;
+      shard.stats.ddt_core_bytes -= kDdtCoreBytesPerEntry;
     }
-    entries_.erase(it);
+    shard.entries.erase(it);
   }
 }
 
@@ -229,43 +314,77 @@ std::vector<util::Bytes> BlockStore::GetBatch(
     std::span<const util::Digest> digests) const {
   std::vector<util::Bytes> results(digests.size());
   if (digests.empty()) return results;
+  GetBatchImpl(digests, &results, /*warm=*/false);
+  return results;
+}
 
-  // Validate every digest up front, in input order, before any cache
-  // mutation — a serial Get loop would throw at the first unknown digest.
-  std::vector<const Entry*> lookup(digests.size());
+void BlockStore::GetBatchImpl(std::span<const util::Digest> digests,
+                              std::vector<util::Bytes>* results,
+                              bool warm) const {
+  const ShardPartition part =
+      PartitionByShard(digests, shards_.size(), shard_shift_);
+
+  // Resolve every digest against its shard's DDT partition first, then
+  // validate in input order before any cache mutation — a serial Get loop
+  // would throw at the first unknown digest. Entry pointers stay valid
+  // across the stages: the DDT maps are node-based and callers must hold a
+  // reference to every block they read (no concurrent erase).
+  std::vector<const Entry*> lookup(digests.size(), nullptr);
+  ForEachRead(part.active.size(), [&](std::size_t k) {
+    const std::size_t s = part.active[k];
+    const Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (std::size_t p = part.begin[s]; p < part.begin[s + 1]; ++p) {
+      const std::size_t i = part.order[p];
+      const auto it = shard.entries.find(digests[i]);
+      if (it != shard.entries.end()) lookup[i] = &it->second;
+    }
+  });
   for (std::size_t i = 0; i < digests.size(); ++i) {
-    lookup[i] = &RequireEntry(digests[i]);
+    if (lookup[i] == nullptr) throw NoSuchBlockError(digests[i]);
   }
 
   struct Miss {
-    std::size_t index;         // result slot to decompress into
+    std::size_t index;  // result slot to decompress into
     const Entry* entry;
   };
-  std::vector<Miss> misses;
-  // (dst, src): result slots aliasing an earlier occurrence of the same
-  // digest whose decompression is still in flight this batch.
-  std::vector<std::pair<std::size_t, std::size_t>> aliases;
+  // Per-stripe classification output, merged (in stripe order) afterwards.
+  std::vector<std::vector<Miss>> stripe_misses(part.active.size());
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> stripe_aliases(
+      part.active.size());
 
-  {
-    // Stage 1: ordered classification. Cache Lookup/Admit happen here in
-    // input order — the exact sequence a serial Get loop would issue — so
-    // ARC state and hit/miss counters are bit-identical to serial at any
-    // thread count.
-    std::lock_guard<std::mutex> lock(read_mutex_);
-    blocks_requested_ += digests.size();
+  // Stage 1: per-stripe ordered classification. Each stripe replays the
+  // exact Lookup/Admit sequence a serial Get loop would issue for its
+  // digests, in input order under the stripe lock — so ARC state and
+  // hit/miss counters are bit-identical to serial at any thread count.
+  // Stripes share no cache state, so the passes run concurrently.
+  ForEachRead(part.active.size(), [&](std::size_t k) {
+    const std::size_t s = part.active[k];
+    CacheStripe& stripe = *stripes_[s];
+    std::vector<Miss>& misses = stripe_misses[k];
+    std::vector<std::pair<std::size_t, std::size_t>>& aliases =
+        stripe_aliases[k];
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.blocks_requested += part.begin[s + 1] - part.begin[s];
     std::unordered_map<util::Digest, std::size_t, util::DigestHasher>
         batch_first;
-    for (std::size_t i = 0; i < digests.size(); ++i) {
+    for (std::size_t p = part.begin[s]; p < part.begin[s + 1]; ++p) {
+      const std::size_t i = part.order[p];
       const Entry* entry = lookup[i];
       if (!entry->compressed) {
         // Stored raw: a copy either way, so the ARC is bypassed entirely.
-        ++raw_blocks_;
+        ++stripe.raw_blocks;
         misses.push_back({i, entry});
         continue;
       }
-      if (cache_.enabled()) {
-        switch (cache_.Lookup(digests[i], &results[i])) {
+      if (stripe.cache.enabled()) {
+        switch (stripe.cache.Lookup(digests[i],
+                                    warm ? nullptr : &(*results)[i])) {
           case BlockCache::Outcome::kHit:
+            // Warm mode: the ARC touch (promotion + hit counter) happened,
+            // but the payload copy is skipped — the whole point of warming
+            // an already-resident digest is paying nothing for it.
+            if (warm) ++stripe.warm_skipped_resident;
             continue;
           case BlockCache::Outcome::kPending: {
             // Resident but still decompressing earlier in this batch; a
@@ -281,7 +400,7 @@ std::vector<util::Bytes> BlockStore::GetBatch(
             continue;
           }
           case BlockCache::Outcome::kMiss:
-            cache_.Admit(digests[i], entry->logical_size);
+            stripe.cache.Admit(digests[i], entry->logical_size);
             batch_first[digests[i]] = i;
             misses.push_back({i, entry});
             continue;
@@ -297,6 +416,17 @@ std::vector<util::Bytes> BlockStore::GetBatch(
         misses.push_back({i, entry});
       }
     }
+  });
+
+  // Merge the per-stripe miss lists in stripe order (deterministic for a
+  // fixed shard count) so the decompress stage can work-steal across the
+  // whole batch.
+  std::vector<Miss> misses;
+  std::vector<std::size_t> merged_begin(part.active.size() + 1, 0);
+  for (std::size_t k = 0; k < part.active.size(); ++k) {
+    misses.insert(misses.end(), stripe_misses[k].begin(),
+                  stripe_misses[k].end());
+    merged_begin[k + 1] = misses.size();
   }
 
   // Stage 2: decompress the misses in parallel. Codecs are stateless and
@@ -310,44 +440,61 @@ std::vector<util::Bytes> BlockStore::GetBatch(
   ForEachRead(misses.size(), [&](std::size_t j) {
     const Miss& miss = misses[j];
     if (!miss.entry->compressed) {
-      results[miss.index] = miss.entry->payload;
+      (*results)[miss.index] = miss.entry->payload;
     } else {
       try {
-        results[miss.index] =
+        (*results)[miss.index] =
             codec_->Decompress(miss.entry->payload, miss.entry->logical_size);
       } catch (const std::runtime_error&) {
         corrupt[j] = 1;  // corruption broke the compressed framing
         return;
       }
     }
-    if (verify && ComputeDigest(results[miss.index]) != digests[miss.index]) {
+    if (verify &&
+        ComputeDigest((*results)[miss.index]) != digests[miss.index]) {
       corrupt[j] = 1;
     }
   });
 
-  // Stage 3: ordered install — fill the cache and commit read accounting,
-  // then resolve intra-batch aliases. On corruption, throw at the first
-  // corrupt block in *input* order (misses are classified in input order),
-  // so the failing digest is identical at any thread count. Good payloads
-  // before it are installed; admitted-but-unfilled entries after it simply
-  // drop out of the ARC. Corrupt payloads never enter the cache.
-  {
-    std::lock_guard<std::mutex> lock(read_mutex_);
-    for (std::size_t j = 0; j < misses.size(); ++j) {
+  // Stage 3: per-stripe ordered install — fill each stripe's cache and
+  // commit its read accounting. On corruption each stripe stops at its
+  // first corrupt block in input order (good payloads before it install,
+  // admitted-but-unfilled entries after it drop out of the ARC), and the
+  // batch throws for the corrupt block with the smallest *input* index —
+  // identical to the serial loop at any thread count. Corrupt payloads
+  // never enter the cache.
+  std::vector<std::size_t> first_corrupt(part.active.size(),
+                                         std::numeric_limits<std::size_t>::max());
+  ForEachRead(part.active.size(), [&](std::size_t k) {
+    const std::size_t s = part.active[k];
+    CacheStripe& stripe = *stripes_[s];
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (std::size_t j = merged_begin[k]; j < merged_begin[k + 1]; ++j) {
       const Miss& miss = misses[j];
-      if (corrupt[j]) throw BlockCorruptionError(digests[miss.index]);
+      if (corrupt[j]) {
+        first_corrupt[k] = miss.index;
+        break;
+      }
       if (!miss.entry->compressed) continue;
-      ++decompressed_blocks_;
-      decompressed_bytes_ += miss.entry->logical_size;
-      if (cache_.enabled()) {
-        cache_.Fill(digests[miss.index], results[miss.index]);
+      ++stripe.decompressed_blocks;
+      stripe.decompressed_bytes += miss.entry->logical_size;
+      if (stripe.cache.enabled()) {
+        stripe.cache.Fill(digests[miss.index], (*results)[miss.index]);
       }
     }
+  });
+  const std::size_t bad =
+      *std::min_element(first_corrupt.begin(), first_corrupt.end());
+  if (bad != std::numeric_limits<std::size_t>::max()) {
+    throw BlockCorruptionError(digests[bad]);
   }
-  for (const auto& [dst, src] : aliases) {
-    results[dst] = results[src];
+
+  if (warm) return;  // payloads are side effects only; skip materialization
+  for (std::size_t k = 0; k < part.active.size(); ++k) {
+    for (const auto& [dst, src] : stripe_aliases[k]) {
+      (*results)[dst] = (*results)[src];
+    }
   }
-  return results;
 }
 
 std::uint64_t BlockStore::WarmCache(
@@ -359,7 +506,7 @@ std::uint64_t BlockStore::WarmCache(
   {
     std::unordered_set<util::Digest, util::DigestHasher> seen;
     for (const util::Digest& digest : digests) {
-      if (!entries_.contains(digest)) continue;  // advisory: skip unknowns
+      if (!Contains(digest)) continue;  // advisory: skip unknowns
       if (seen.insert(digest).second) unique.push_back(digest);
     }
   }
@@ -369,16 +516,19 @@ std::uint64_t BlockStore::WarmCache(
   for (std::size_t start = 0; start < unique.size(); start += round) {
     const std::span<const util::Digest> chunk(
         unique.data() + start, std::min(round, unique.size() - start));
+    std::vector<util::Bytes> scratch(chunk.size());
     try {
-      GetBatch(chunk);
+      GetBatchImpl(chunk, &scratch, /*warm=*/true);
       warmed += chunk.size();
     } catch (const BlockCorruptionError&) {
       // A corrupt block poisons its round; retry one-by-one so the healthy
       // blocks still warm. Corrupt ones stay cold for the demand path
       // (which verifies, and heals when a repair source is armed).
       for (const util::Digest& digest : chunk) {
+        const util::Digest one[1] = {digest};
+        std::vector<util::Bytes> single(1);
         try {
-          Get(digest);
+          GetBatchImpl(one, &single, /*warm=*/true);
           ++warmed;
         } catch (const BlockCorruptionError&) {
         }
@@ -389,28 +539,44 @@ std::uint64_t BlockStore::WarmCache(
 }
 
 bool BlockStore::Contains(const util::Digest& digest) const {
-  return entries_.contains(digest);
+  const Shard& shard = *shards_[ShardOf(digest)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.entries.contains(digest);
 }
 
 std::uint32_t BlockStore::RefCount(const util::Digest& digest) const {
-  auto it = entries_.find(digest);
-  return it == entries_.end() ? 0 : it->second.refcount;
+  const Shard& shard = *shards_[ShardOf(digest)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(digest);
+  return it == shard.entries.end() ? 0 : it->second.refcount;
 }
 
 bool BlockStore::Verify(const util::Digest& digest) const {
-  const auto it = entries_.find(digest);
-  if (it == entries_.end()) return false;
-  if (!config_.dedup) return true;  // synthetic digests carry no content hash
-  const Entry& entry = it->second;
+  // Snapshot the stored payload under the shard lock so scrubs can run
+  // concurrently with ingest (a scrub must observe a coherent copy of the
+  // stored bytes, never a cached one).
+  util::Bytes payload;
+  std::uint32_t logical_size = 0;
+  bool compressed = false;
+  {
+    const Shard& shard = *shards_[ShardOf(digest)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(digest);
+    if (it == shard.entries.end()) return false;
+    if (!config_.dedup) return true;  // synthetic digests carry no hash
+    payload = it->second.payload;
+    logical_size = it->second.logical_size;
+    compressed = it->second.compressed;
+  }
   util::Bytes raw;
-  if (entry.compressed) {
+  if (compressed) {
     try {
-      raw = codec_->Decompress(entry.payload, entry.logical_size);
+      raw = codec_->Decompress(payload, logical_size);
     } catch (const std::runtime_error&) {
       return false;  // corruption broke the compressed framing
     }
   } else {
-    raw = entry.payload;
+    raw = std::move(payload);
   }
   return ComputeDigest(raw) == digest;
 }
@@ -426,30 +592,44 @@ std::vector<std::uint8_t> BlockStore::VerifyBatch(
 }
 
 void BlockStore::ResizeCache(std::uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(read_mutex_);
-  cache_.Resize(bytes);
-  config_.read.cache_bytes = bytes;
+  // Stripe-by-stripe: each stripe rebudgets under its own lock, so batch
+  // reads in flight on other stripes never stall behind the resize (the
+  // global-pause behaviour this replaces).
+  for (std::size_t s = 0; s < stripes_.size(); ++s) {
+    CacheStripe& stripe = *stripes_[s];
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.cache.Resize(StripeBudget(bytes, stripes_.size(), s));
+  }
 }
 
 bool BlockStore::CachedDecompressed(const util::Digest& digest) const {
-  std::lock_guard<std::mutex> lock(read_mutex_);
-  return cache_.ResidentPayload(digest);
+  const CacheStripe& stripe = *stripes_[ShardOf(digest)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  return stripe.cache.ResidentPayload(digest);
 }
 
 std::vector<std::uint8_t> BlockStore::CachedDecompressedBatch(
     std::span<const util::Digest> digests) const {
   std::vector<std::uint8_t> resident(digests.size(), 0);
-  std::lock_guard<std::mutex> lock(read_mutex_);
-  for (std::size_t i = 0; i < digests.size(); ++i) {
-    resident[i] = cache_.ResidentPayload(digests[i]) ? 1 : 0;
+  const ShardPartition part =
+      PartitionByShard(digests, shards_.size(), shard_shift_);
+  for (const std::size_t s : part.active) {
+    const CacheStripe& stripe = *stripes_[s];
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (std::size_t p = part.begin[s]; p < part.begin[s + 1]; ++p) {
+      const std::size_t i = part.order[p];
+      resident[i] = stripe.cache.ResidentPayload(digests[i]) ? 1 : 0;
+    }
   }
   return resident;
 }
 
 bool BlockStore::Repair(const util::Digest& digest, util::ByteSpan raw) {
-  auto it = entries_.find(digest);
-  if (it == entries_.end()) return false;
   if (config_.dedup && ComputeDigest(raw) != digest) return false;
+  Shard& shard = *shards_[ShardOf(digest)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(digest);
+  if (it == shard.entries.end()) return false;
   Entry& entry = it->second;
   if (raw.size() != entry.logical_size) return false;
 
@@ -472,10 +652,10 @@ bool BlockStore::Repair(const util::Digest& digest, util::ByteSpan raw) {
   const auto physical = static_cast<std::uint32_t>(
       util::AlignUp(payload.size(), kSectorBytes));
   if (physical != entry.physical_size) {
-    space_map_.Free(entry.disk_offset, entry.physical_size);
-    entry.disk_offset = space_map_.Allocate(physical);
-    stats_.physical_data_bytes += physical;
-    stats_.physical_data_bytes -= entry.physical_size;
+    shard.space_map.Free(entry.disk_offset, entry.physical_size);
+    entry.disk_offset = shard.space_map.Allocate(physical);
+    shard.stats.physical_data_bytes += physical;
+    shard.stats.physical_data_bytes -= entry.physical_size;
     entry.physical_size = physical;
   }
   entry.payload = std::move(payload);
@@ -487,44 +667,92 @@ std::size_t BlockStore::InjectFaults(util::FaultInjector& faults) {
   std::size_t corrupted = 0;
   // Iteration order is irrelevant: each block's outcome depends only on the
   // injector seed and its digest.
-  for (auto& [digest, entry] : entries_) {
-    if (entry.payload.empty()) continue;
-    if (faults.CorruptBlock(
-            digest, util::MutableByteSpan(entry.payload.data(),
-                                          entry.payload.size()))) {
-      ++corrupted;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto& [digest, entry] : shard.entries) {
+      if (entry.payload.empty()) continue;
+      if (faults.CorruptBlock(
+              digest, util::MutableByteSpan(entry.payload.data(),
+                                            entry.payload.size()))) {
+        ++corrupted;
+      }
     }
   }
   return corrupted;
 }
 
+StoreStats BlockStore::stats() const {
+  StoreStats total;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.unique_blocks += shard.stats.unique_blocks;
+    total.total_refs += shard.stats.total_refs;
+    total.logical_unique_bytes += shard.stats.logical_unique_bytes;
+    total.logical_referenced_bytes += shard.stats.logical_referenced_bytes;
+    total.physical_data_bytes += shard.stats.physical_data_bytes;
+    total.ddt_disk_bytes += shard.stats.ddt_disk_bytes;
+    total.ddt_core_bytes += shard.stats.ddt_core_bytes;
+  }
+  return total;
+}
+
 ReadStats BlockStore::read_stats() const {
-  std::lock_guard<std::mutex> lock(read_mutex_);
   ReadStats stats;
-  stats.blocks_requested = blocks_requested_;
-  stats.cache_hits = cache_.hits();
-  stats.cache_misses = cache_.misses();
-  stats.raw_blocks = raw_blocks_;
-  stats.decompressed_blocks = decompressed_blocks_;
-  stats.decompressed_bytes = decompressed_bytes_;
-  stats.cached_bytes = cache_.resident_bytes();
-  stats.cache_capacity_bytes = cache_.capacity_bytes();
+  for (const auto& stripe_ptr : stripes_) {
+    const CacheStripe& stripe = *stripe_ptr;
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stats.blocks_requested += stripe.blocks_requested;
+    stats.cache_hits += stripe.cache.hits();
+    stats.cache_misses += stripe.cache.misses();
+    stats.raw_blocks += stripe.raw_blocks;
+    stats.decompressed_blocks += stripe.decompressed_blocks;
+    stats.decompressed_bytes += stripe.decompressed_bytes;
+    stats.cached_bytes += stripe.cache.resident_bytes();
+    stats.cache_capacity_bytes += stripe.cache.capacity_bytes();
+    stats.warm_skipped_resident += stripe.warm_skipped_resident;
+  }
+  return stats;
+}
+
+SpaceMapStats BlockStore::space_map_stats() const {
+  SpaceMapStats stats;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.allocated_bytes += shard.space_map.allocated_bytes();
+    stats.pool_bytes += shard.space_map.pool_size();
+    stats.free_hole_bytes += shard.space_map.free_hole_bytes();
+    stats.free_extents += shard.space_map.free_extent_count();
+  }
   return stats;
 }
 
 bool BlockStore::CorruptPayloadForTesting(const util::Digest& digest) {
-  auto it = entries_.find(digest);
-  if (it == entries_.end() || it->second.payload.empty()) return false;
+  Shard& shard = *shards_[ShardOf(digest)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(digest);
+  if (it == shard.entries.end() || it->second.payload.empty()) return false;
   it->second.payload[it->second.payload.size() / 2] ^= 0x40;
   return true;
 }
 
 std::uint64_t BlockStore::DiskOffset(const util::Digest& digest) const {
-  return RequireEntry(digest).disk_offset;
+  const std::size_t s = ShardOf(digest);
+  const Shard& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(digest);
+  if (it == shard.entries.end()) throw NoSuchBlockError(digest);
+  return GlobalOffset(s, it->second.disk_offset);
 }
 
 std::uint32_t BlockStore::PhysicalSize(const util::Digest& digest) const {
-  return RequireEntry(digest).physical_size;
+  const Shard& shard = *shards_[ShardOf(digest)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(digest);
+  if (it == shard.entries.end()) throw NoSuchBlockError(digest);
+  return it->second.physical_size;
 }
 
 }  // namespace squirrel::store

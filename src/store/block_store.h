@@ -2,27 +2,47 @@
 // mechanism behind ZFS `dedup=on` + `compression=gzip-6` that Squirrel's
 // cVolumes rely on.
 //
+// Sharded core: the dedup table (DDT), the extent allocator and the
+// decompressed-block ARC are split into `BlockStoreConfig::shards`
+// independent shards selected by the top bits of the block digest
+// (content-addressing spreads digests uniformly, so shards load-balance by
+// construction). Each shard owns its own mutex, DDT partition, SpaceMap
+// arena and ARC stripe, so concurrent batches from different threads only
+// contend when they touch the same shard. `shards = 1` reproduces the
+// pre-sharding single-lock layout byte-for-byte.
+//
 // Write path (batch-first): the caller has already elided all-zero blocks
 // (sparse holes). PutBatch hashes the raw payloads (truncated SHA-256, as ZFS
-// hashes before dedup) in parallel on the ingest pool, resolves every digest
-// against the dedup table (DDT) in one ordered pass — a hit bumps the
-// refcount and costs no new space — compresses the misses in parallel (kept
-// only if it saves at least 1/8th, ZFS's rule), then allocates extents from
-// the SpaceMap and inserts DDT entries in a second ordered pass. Because all
-// mutation happens in the ordered passes, results are bit-identical to a
-// serial loop of single-block Puts at any thread count.
+// hashes before dedup) in parallel on the ingest pool, partitions the batch
+// by digest shard, resolves digests against each shard's DDT in per-shard
+// ordered passes — a hit bumps the refcount and costs no new space —
+// compresses the misses in parallel (kept only if it saves at least 1/8th,
+// ZFS's rule), then allocates extents and inserts DDT entries in per-shard
+// ordered commit passes. Because each shard's mutation replays the serial
+// Lookup/Insert sequence in input order *within that shard*, results are
+// bit-identical to a serial loop of single-block Puts at any thread count
+// (for a fixed shard count).
 //
 // Read path (batch-first, mirroring ingest): GetBatch classifies every
-// requested digest against a byte-budgeted ARC of decompressed payloads
-// (BlockCache) in one ordered pass, decompresses the misses in parallel on
-// the shared worker pool, then installs payloads and read accounting in a
-// second ordered pass. Payloads, their order, and — because the cache passes
-// replay the exact Lookup/Insert sequence a serial Get loop would issue —
-// the cache counters are all bit-identical to serial Get at any thread
-// count and any cache size, including cache_bytes = 0. Duplicate digests
-// within one batch decompress once (aliased), so with the cache disabled
-// GetBatch may do strictly less decompression work than the serial loop;
-// with it enabled the serial loop gets the same saving as cache hits.
+// requested digest against the byte-budgeted ARC stripe of its shard in
+// per-stripe ordered passes, decompresses the misses in parallel on the
+// shared worker pool, then installs payloads and read accounting in
+// per-stripe ordered passes. Payloads, their order, and — because each
+// stripe replays the exact Lookup/Insert sequence a serial Get loop would
+// issue for its digests — the cache counters are all bit-identical to
+// serial Get at any thread count and any cache size, including
+// cache_bytes = 0. Duplicate digests within one batch decompress once
+// (aliased), so with the cache disabled GetBatch may do strictly less
+// decompression work than the serial loop; with it enabled the serial loop
+// gets the same saving as cache hits.
+//
+// Concurrency contract: PutBatch/GetBatch/Ref/WarmCache/Verify/stats may be
+// called from multiple threads concurrently. Callers must hold a reference
+// to every block they read (the volume layer does) — concurrently Unref-ing
+// a block to zero while it is being read, or racing Repair/fault injection
+// against in-flight reads, is undefined. Determinism quantifies over thread
+// count, not shard count: changing `shards` changes disk offsets and cache
+// partitioning (see DESIGN.md §14).
 //
 // Accounting mirrors what the paper measures: physical data bytes (Fig 8),
 // DDT size on disk (Fig 9) and DDT memory footprint (Fig 10). Cached
@@ -30,6 +50,7 @@
 // a read-side memory budget, not disk state.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -93,8 +114,9 @@ class BlockCorruptionError : public Error {
 
 /// Parallelism knobs for the batch ingest pipeline (PutBatch and the volume
 /// write paths built on it). All mutation of store state happens in ordered
-/// serial passes regardless of thread count, so results — digests, refcounts,
-/// StoreStats, disk offsets — are bit-identical across configurations.
+/// per-shard passes regardless of thread count, so results — digests,
+/// refcounts, StoreStats, disk offsets — are bit-identical across thread
+/// configurations (for a fixed shard count).
 struct IngestConfig {
   /// Worker threads for the hash/compress stages. 1 runs everything inline
   /// on the calling thread (the serial reference path); 0 picks one thread
@@ -115,7 +137,10 @@ struct ReadConfig {
   /// Worker threads for the parallel decompress stage. 1 = inline serial
   /// reference path; 0 = one thread per hardware thread.
   std::size_t threads = 1;
-  /// Byte budget of the decompressed-block ARC (0 disables caching). Shared
+  /// Byte budget of the decompressed-block ARC (0 disables caching). The
+  /// budget is carved evenly across the shard-striped ARC instances
+  /// (ECI-Cache-style partitioning); content-addressing spreads digests
+  /// uniformly, so each stripe sees ~1/shards of the working set. Shared
   /// blocks across images decompress once and are then served from memory —
   /// the dedup-aware read amplification win the paper attributes to the ZFS
   /// ARC. Cached bytes are *not* part of StoreStats disk/DDT accounting.
@@ -149,6 +174,12 @@ struct BlockStoreConfig {
   IngestConfig ingest{};
   /// Batch-read parallelism, ARC budget and readahead.
   ReadConfig read{};
+  /// Number of independent DDT/SpaceMap/ARC shards, selected by the top
+  /// bits of the block digest. Power of two in [1, 256]; 1 reproduces the
+  /// pre-sharding single-lock layout (offsets, stats, cache counters)
+  /// byte-for-byte. Appended last so positional initializers predating the
+  /// field keep their meaning.
+  std::size_t shards = 16;
 };
 
 struct PutResult {
@@ -172,7 +203,7 @@ struct StoreStats {
 
 /// Read-side accounting. Counters are cumulative; cached_bytes is a
 /// snapshot of the ARC's resident budget. Deterministic across thread
-/// counts (all cache interaction happens in ordered passes).
+/// counts (all cache interaction happens in ordered per-stripe passes).
 struct ReadStats {
   std::uint64_t blocks_requested = 0;   // payloads served (Get + GetBatch)
   std::uint64_t cache_hits = 0;         // served from the decompressed ARC
@@ -182,10 +213,29 @@ struct ReadStats {
   std::uint64_t decompressed_bytes = 0; // decompression work actually done
   std::uint64_t cached_bytes = 0;       // ARC resident payload bytes (now)
   std::uint64_t cache_capacity_bytes = 0;
+  /// WarmCache requests that found the payload already resident: the warm
+  /// path touched the ARC (preserving recency, hit counters and the
+  /// determinism contract) but skipped materializing the payload, so
+  /// re-warming a resident working set is near-free.
+  std::uint64_t warm_skipped_resident = 0;
+};
+
+/// Aggregated extent-allocator counters, summed across the per-shard
+/// SpaceMap arenas.
+struct SpaceMapStats {
+  std::uint64_t allocated_bytes = 0;
+  /// High-water mark of the pool(s) (sum of per-shard bump pointers).
+  std::uint64_t pool_bytes = 0;
+  /// Bytes sitting in free-list holes below the high-water marks.
+  std::uint64_t free_hole_bytes = 0;
+  /// Number of discontiguous free extents — a fragmentation proxy.
+  std::uint64_t free_extents = 0;
 };
 
 class BlockStore {
  public:
+  /// Throws std::invalid_argument unless config.shards is a power of two
+  /// in [1, 256].
   explicit BlockStore(BlockStoreConfig config);
 
   /// Stores one raw block. Never call with an all-zero payload — holes are
@@ -197,11 +247,15 @@ class BlockStore {
   /// Put calls would — same digests, refcounts, stats and disk offsets —
   /// while running the CPU-bound stages on the worker thread pool:
   ///   1. hash every block in parallel,
-  ///   2. resolve dedup hits against the DDT in one ordered pass,
+  ///   2. partition by digest shard and resolve dedup hits against each
+  ///      shard's DDT in per-shard ordered passes,
   ///   3. compress only the misses in parallel,
-  ///   4. allocate extents and commit accounting in one ordered pass.
+  ///   4. allocate extents and commit accounting in per-shard ordered
+  ///      passes.
   /// Spans must stay valid for the duration of the call; results are
-  /// returned in input order.
+  /// returned in input order. Safe to call concurrently with other batches;
+  /// concurrent batches racing the same digest resolve to one allocation
+  /// plus refcount bumps (content addressing makes the winner irrelevant).
   std::vector<PutResult> PutBatch(std::span<const util::ByteSpan> blocks);
 
   /// Adds one reference to an existing block (snapshot / clone paths).
@@ -219,29 +273,39 @@ class BlockStore {
   /// Batch-first read path: returns the decompressed payloads of `digests`
   /// in input order, bit-identical to a serial loop of Get calls at any
   /// thread count and cache size:
-  ///   1. classify every digest against the decompressed-block ARC in one
-  ///      ordered pass (replaying the exact serial Lookup/Insert sequence,
-  ///      so cache state and hit/miss counters match serial too),
+  ///   1. classify every digest against its shard's ARC stripe in
+  ///      per-stripe ordered passes (replaying the exact serial
+  ///      Lookup/Insert sequence each stripe would see, so ARC state and
+  ///      hit/miss counters match serial too),
   ///   2. decompress the misses in parallel on the worker pool,
-  ///   3. install payloads and accounting in one ordered pass.
+  ///   3. install payloads and accounting in per-stripe ordered passes.
   /// Throws NoSuchBlockError (before any cache mutation) if any digest is
   /// unknown.
   std::vector<util::Bytes> GetBatch(
       std::span<const util::Digest> digests) const;
 
-  /// Cache warm-up: pushes `digests` through GetBatch in ingest-sized
-  /// rounds purely for the side effect of filling the decompressed-block
-  /// ARC, without keeping the payloads. Unknown digests are skipped and
-  /// corrupt blocks are left cold (no throw) — warming is advisory, the
-  /// demand path still verifies and heals. Returns the number of payloads
-  /// successfully read. Bounded memory: one round of payloads at a time.
+  /// Cache warm-up: pushes `digests` through the batch read path in
+  /// ingest-sized rounds purely for the side effect of filling the
+  /// decompressed-block ARC, without keeping the payloads. Digests whose
+  /// payload is already resident are filtered out of the materialization
+  /// path during each stripe's classification pass — their ARC touch still
+  /// happens, so cache state and counters stay bit-identical to the demand
+  /// path, but a warm re-warm costs no copies and no decompression
+  /// (ReadStats::warm_skipped_resident counts them). Unknown digests are
+  /// skipped and corrupt blocks are left cold (no throw) — warming is
+  /// advisory, the demand path still verifies and heals. Returns the number
+  /// of payloads successfully read. Bounded memory: one round of payloads
+  /// at a time.
   std::uint64_t WarmCache(std::span<const util::Digest> digests) const;
 
   bool Contains(const util::Digest& digest) const;
   std::uint32_t RefCount(const util::Digest& digest) const;
 
   /// Physical pool offset of a block — the boot simulator uses this to model
-  /// on-disk scattering of deduplicated data.
+  /// on-disk scattering of deduplicated data. Per-shard arenas interleave at
+  /// sector granularity (offset = local * shards + shard * sector), so
+  /// offsets from different shards never collide and `shards = 1` is the
+  /// identity mapping.
   std::uint64_t DiskOffset(const util::Digest& digest) const;
   std::uint32_t PhysicalSize(const util::Digest& digest) const;
 
@@ -259,11 +323,13 @@ class BlockStore {
 
   /// True when the decompressed payload of `digest` is resident in the ARC.
   /// Non-mutating (no counter update); the boot simulator probes this to
-  /// decide whether a read pays decompression CPU.
+  /// decide whether a read pays decompression CPU. Touches only the one
+  /// stripe owning the digest.
   bool CachedDecompressed(const util::Digest& digest) const;
 
-  /// Batched CachedDecompressed: one lock acquisition for the whole span,
-  /// resident[i] == 1 iff the payload of digests[i] is resident and filled.
+  /// Batched CachedDecompressed: one lock acquisition per *touched stripe*
+  /// for the whole span, resident[i] == 1 iff the payload of digests[i] is
+  /// resident and filled.
   std::vector<std::uint8_t> CachedDecompressedBatch(
       std::span<const util::Digest> digests) const;
 
@@ -287,13 +353,20 @@ class BlockStore {
 
   /// Rebudgets the decompressed-block ARC at runtime (the real ARC shrinks
   /// under memory pressure and recovers). Shrinking evicts in replacement
-  /// order down to `bytes`; growing keeps contents. Takes the read lock.
+  /// order down to the new budget; growing keeps contents. The budget is
+  /// re-split across stripes and applied stripe-by-stripe under each
+  /// stripe's own lock — in-flight batch reads on other stripes are never
+  /// stalled (no global pause).
   void ResizeCache(std::uint64_t bytes);
 
-  const StoreStats& stats() const { return stats_; }
+  /// Aggregated accounting, summed across shards. Each shard is read under
+  /// its own lock; when called concurrently with writers the result is a
+  /// consistent per-shard (not cross-shard-atomic) snapshot.
+  StoreStats stats() const;
   ReadStats read_stats() const;
-  const SpaceMap& space_map() const { return space_map_; }
+  SpaceMapStats space_map_stats() const;
   const compress::Codec& codec() const { return *codec_; }
+  std::size_t shard_count() const { return shards_.size(); }
 
   /// Pool shared by the ingest (hash/compress) and read (decompress)
   /// pipeline stages; nullptr when both sides are serial
@@ -313,35 +386,61 @@ class BlockStore {
     std::uint32_t logical_size;
     std::uint32_t physical_size;
     std::uint32_t refcount;
-    std::uint64_t disk_offset;
+    std::uint64_t disk_offset;    // shard-local; DiskOffset() globalizes
     bool compressed;
   };
+
+  /// One DDT/allocator shard. The mutex guards every member; StoreStats is
+  /// accumulated per shard and summed on demand.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<util::Digest, Entry, util::DigestHasher> entries;
+    SpaceMap space_map;
+    StoreStats stats;
+  };
+
+  /// One ARC stripe plus its slice of the read counters. The stripe index
+  /// equals the shard index (same digest-prefix selector), but the lock is
+  /// separate so cache probes never contend with DDT commits.
+  struct CacheStripe {
+    explicit CacheStripe(std::uint64_t capacity_bytes)
+        : cache(capacity_bytes) {}
+    mutable std::mutex mutex;
+    mutable BlockCache cache;
+    mutable std::uint64_t blocks_requested = 0;
+    mutable std::uint64_t raw_blocks = 0;
+    mutable std::uint64_t decompressed_blocks = 0;
+    mutable std::uint64_t decompressed_bytes = 0;
+    mutable std::uint64_t warm_skipped_resident = 0;
+  };
+
+  std::size_t ShardOf(const util::Digest& digest) const {
+    return static_cast<std::size_t>(digest.bytes[0]) >> shard_shift_;
+  }
+  /// Interleaved global offset: unique across shards because every extent
+  /// is a whole number of sectors; identity when shards == 1.
+  std::uint64_t GlobalOffset(std::size_t shard, std::uint64_t local) const {
+    return local * shards_.size() + shard * kSectorBytes;
+  }
 
   util::Digest ComputeDigest(util::ByteSpan raw) const;
   /// Runs fn(i) for i in [0, count) on the worker pool, or inline when the
   /// ingest side is serial or the batch is trivial.
   void ForEachIngest(std::size_t count,
                      const std::function<void(std::size_t)>& fn);
-  const Entry& RequireEntry(const util::Digest& digest) const;
+  /// Shared implementation of GetBatch/WarmCache. In warm mode, cache hits
+  /// skip the payload copy (counted as warm_skipped_resident) and aliases
+  /// are not materialized; misses still decompress and fill their stripe.
+  void GetBatchImpl(std::span<const util::Digest> digests,
+                    std::vector<util::Bytes>* results, bool warm) const;
 
   BlockStoreConfig config_;
   const compress::Codec* codec_;
-  std::unordered_map<util::Digest, Entry, util::DigestHasher> entries_;
-  SpaceMap space_map_;
-  StoreStats stats_;
-  std::uint64_t fake_digest_counter_ = 0;  // for dedup=off mode
+  unsigned shard_shift_;  // 8 - log2(shards): digit of bytes[0] kept
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<CacheStripe>> stripes_;
+  std::atomic<std::uint64_t> fake_digest_counter_{0};  // for dedup=off mode
   std::unique_ptr<util::ThreadPool> pool_;  // null when both sides serial
-
-  /// Read-side state. The mutex serializes ARC mutation and read counters
-  /// (Get/GetBatch are const but cache-stateful); decompression itself runs
-  /// outside the lock. All cache interaction happens in ordered passes, so
-  /// counters and ARC state are deterministic at any thread count.
-  mutable std::mutex read_mutex_;
-  mutable BlockCache cache_;
-  mutable std::uint64_t blocks_requested_ = 0;
-  mutable std::uint64_t raw_blocks_ = 0;
-  mutable std::uint64_t decompressed_blocks_ = 0;
-  mutable std::uint64_t decompressed_bytes_ = 0;
 };
 
 }  // namespace squirrel::store

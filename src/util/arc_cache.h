@@ -19,6 +19,12 @@
 //   * store::BlockCache — the byte-budgeted decompressed-block cache on the
 //     block-store read path, keyed by content digest and weighted by the
 //     decompressed payload size (like the real ARC, which is sized in bytes).
+//     The sharded store runs one instance per digest-prefix stripe, each
+//     adapting its own `p` over its slice of the working set — adaptation
+//     state never crosses a stripe lock.
+//
+// Each instance is single-threaded by contract (no internal locking); owners
+// provide exclusive access, e.g. one stripe mutex per instance in the store.
 //
 // Capacity, the adaptive target `p` and all list sizes are tracked in weight
 // units. An entry wider than the whole capacity is not admitted. Evictions

@@ -26,7 +26,7 @@ Volume::Volume(VolumeConfig config)
     : config_(config),
       store_(store::BlockStoreConfig{config.codec, config.dedup,
                                      config.fast_hash, config.ingest,
-                                     config.read}) {
+                                     config.read, config.shards}) {
   if (config_.block_size == 0) {
     throw std::invalid_argument("block_size must be positive");
   }

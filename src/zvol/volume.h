@@ -44,6 +44,10 @@ struct VolumeConfig {
   /// readahead for ReadFile/ReadRange/Scrub/Send. Runtime tuning only —
   /// not part of the serialized volume state.
   store::ReadConfig read{};
+  /// DDT/SpaceMap/ARC shard count for the backing block store (power of two
+  /// in [1, 256]; 1 reproduces the unsharded layout byte-for-byte). Runtime
+  /// tuning only — not part of the serialized volume state.
+  std::size_t shards = store::BlockStoreConfig{}.shards;
 };
 
 /// Thrown by file operations naming a file the live table does not hold.

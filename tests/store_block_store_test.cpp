@@ -84,7 +84,7 @@ TEST(BlockStore, UnrefFreesAtZero) {
   EXPECT_EQ(store.stats().unique_blocks, 0u);
   EXPECT_EQ(store.stats().physical_data_bytes, 0u);
   EXPECT_EQ(store.stats().ddt_core_bytes, 0u);
-  EXPECT_EQ(store.space_map().allocated_bytes(), 0u);
+  EXPECT_EQ(store.space_map_stats().allocated_bytes, 0u);
 }
 
 TEST(BlockStore, UnrefUnknownThrows) {

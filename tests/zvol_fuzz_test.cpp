@@ -172,7 +172,7 @@ TEST_P(VolumeFuzz, MatchesReferenceModel) {
     volume.DestroySnapshot(volume.snapshots().front()->name);
   }
   EXPECT_EQ(volume.Stats().unique_blocks, 0u);
-  EXPECT_EQ(volume.block_store().space_map().allocated_bytes(), 0u);
+  EXPECT_EQ(volume.block_store().space_map_stats().allocated_bytes, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, VolumeFuzz,
