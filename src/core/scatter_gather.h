@@ -61,6 +61,9 @@ struct TransferStats {
   /// sum of per-node tails minus the makespan. 0 when nothing retried;
   /// clamped non-negative like makespan_seconds.
   double overlap_seconds = 0.0;
+  /// Stream applies killed mid-Receive by an injected crash (the node's
+  /// transactional apply rolled back or resumed idempotently on retry).
+  std::uint64_t crashed_applies = 0;
 };
 
 struct ScatterGatherConfig {

@@ -109,6 +109,12 @@ RegistrationReport SquirrelCluster::Register(const RegisterRequest& request) {
       ++report.receivers;
     } catch (const zvol::StreamMismatchError&) {
       // Stale replica (missed earlier diffs); resolved by SyncNode later.
+    } catch (const util::CrashError&) {
+      // The node died mid-apply. Its transactional Receive either rolled
+      // back (replica unchanged, SyncNode re-delivers) or crashed after the
+      // commit point (replica current; re-delivery no-ops). Either way the
+      // cluster keeps going without this receiver.
+      ++report.transfers.crashed_applies;
     }
   }
 
@@ -180,10 +186,19 @@ SyncReport SquirrelCluster::SyncNode(std::uint32_t compute_node, SimClock) {
   }
   const std::uint64_t before =
       node.volume().LatestSnapshot() ? node.volume().LatestSnapshot()->id : 0;
-  if (report.full_resync) {
-    node.volume().ReceiveFull(parsed);
-  } else {
-    node.volume().Receive(parsed);
+  try {
+    if (report.full_resync) {
+      node.volume().ReceiveFull(parsed);
+    } else {
+      node.volume().Receive(parsed);
+    }
+  } catch (const util::CrashError&) {
+    // Crash mid-apply: the replica rolled back to its pre-stream state (or,
+    // for a full resync killed between drop and commit, to empty — §3.5
+    // scenario 2 re-replicates it). The next boot-time sync reconciles;
+    // report it stale rather than advanced.
+    ++report.transfers.crashed_applies;
+    return report;
   }
   report.snapshots_advanced = static_cast<std::uint32_t>(
       node.volume().LatestSnapshot()->id - before);
@@ -220,8 +235,26 @@ BootReport SquirrelCluster::Boot(std::uint32_t compute_node,
   // Degraded-mode fallback: a corrupt ccVolume block heals on demand from
   // the storage node's replica, charged as network traffic to this node.
   // With a healthy replica this changes nothing.
-  cache.SetRepairSource(&sc_volume_.block_store(), &network_,
-                        compute_node + 1);
+  if (request.peer_repair_sources) {
+    // Multi-peer healing: every other online replica that also holds this
+    // cache file, tried before the storage node. Compute peers may serve
+    // Byzantine payloads under the fault injector (the storage node, peer
+    // id 0, is always honest), so the session's strike counter is what
+    // keeps a degraded boot completing: lying peers blacklist out and the
+    // block re-sources down the list.
+    std::vector<zvol::RepairPeer> peers;
+    for (const auto& other : compute_nodes_) {
+      if (other->id() == compute_node || !other->online()) continue;
+      if (!other->volume().HasFile(file)) continue;
+      peers.push_back({other->id() + 1, &other->volume().block_store()});
+    }
+    peers.push_back({0, &sc_volume_.block_store()});
+    cache.SetRepairSources(std::move(peers), &network_, compute_node + 1,
+                           faults_);
+  } else {
+    cache.SetRepairSource(&sc_volume_.block_store(), &network_,
+                          compute_node + 1);
+  }
   sim::RemoteImageDevice base(&base_image, &io, &network_, compute_node + 1,
                               request.allocation);
   // The ccVolume is read-only to VMs: copy-on-read happened at registration.
@@ -285,6 +318,9 @@ BootReport SquirrelCluster::Boot(std::uint32_t compute_node,
   report.repaired_blocks_bytes = cache.degraded_stats().repaired_bytes;
   report.repair_reads = cache.degraded_stats().repair_reads;
   report.prefetch_issued = prefetcher.stats().issued;
+  report.byzantine_rejected = cache.degraded_stats().byzantine_rejected;
+  report.peers_blacklisted = cache.degraded_stats().peers_blacklisted;
+  report.resourced_blocks = cache.degraded_stats().resourced_blocks;
   return report;
 }
 

@@ -70,6 +70,13 @@ struct BootRequest {
   /// Optional profile recording/replay (pre-heal + prefetch).
   const BootProfileRun* profile = nullptr;
   sim::BootSimConfig boot_config{};
+  /// Heal corrupt ccVolume blocks through a multi-peer RepairSession (other
+  /// online compute replicas first, the storage node last) instead of the
+  /// single storage-node source. Peers may serve Byzantine payloads under
+  /// the cluster's fault injector; lying peers strike out and the block
+  /// re-sources from the next replica. Default off: the single-peer path
+  /// keeps existing bench output byte-identical.
+  bool peer_repair_sources = false;
 };
 
 struct RegistrationReport {
@@ -105,6 +112,12 @@ struct BootReport {
   std::uint64_t preheal_repaired_bytes = 0;
   /// Profile-guided background reads issued while the guest booted.
   std::uint64_t prefetch_issued = 0;
+  /// Multi-peer repair (peer_repair_sources): Byzantine payloads caught by
+  /// the post-decompress digest check, peers struck out for serving them,
+  /// and blocks healed from a different replica after a peer lied.
+  std::uint64_t byzantine_rejected = 0;
+  std::uint64_t peers_blacklisted = 0;
+  std::uint64_t resourced_blocks = 0;
 };
 
 /// One compute node: its ccVolume and availability state.
@@ -165,11 +178,20 @@ class SquirrelCluster {
   sim::NetworkAccountant& network() { return network_; }
   const SquirrelConfig& config() const { return config_; }
 
-  /// Arms fault injection on replication transfers and degraded boots. The
-  /// injector is borrowed (caller keeps ownership); nullptr disarms, and a
-  /// disarmed cluster's accounting is bit-identical to one that never had
-  /// an injector.
-  void SetFaultInjector(util::FaultInjector* faults) { faults_ = faults; }
+  /// Arms fault injection on replication transfers, degraded boots, crash
+  /// points inside every volume's Receive path, and the Byzantine peer
+  /// model. The injector is borrowed (caller keeps ownership); nullptr
+  /// disarms, and a disarmed cluster's accounting is bit-identical to one
+  /// that never had an injector. Arming forwards to the scVolume and every
+  /// ccVolume, which switches their Receive paths to transactional mode
+  /// (staged apply + rollback) — logically identical when no crash fires.
+  void SetFaultInjector(util::FaultInjector* faults) {
+    faults_ = faults;
+    sc_volume_.SetFaultInjector(faults);
+    for (const auto& node : compute_nodes_) {
+      node->volume().SetFaultInjector(faults);
+    }
+  }
 
   /// Registered image ids, in registration order.
   const std::vector<std::string>& registered_images() const {

@@ -253,6 +253,18 @@ void VolumeFileDevice::SetRepairSource(const store::BlockStore* peer,
   repair_peer_ = peer;
   repair_network_ = network;
   repair_node_id_ = node_id;
+  repair_session_.reset();
+}
+
+void VolumeFileDevice::SetRepairSources(std::vector<zvol::RepairPeer> peers,
+                                        NetworkAccountant* network,
+                                        std::uint32_t node_id,
+                                        util::FaultInjector* faults) {
+  repair_session_ =
+      std::make_unique<zvol::RepairSession>(std::move(peers), faults);
+  repair_peer_ = nullptr;
+  repair_network_ = network;
+  repair_node_id_ = node_id;
 }
 
 void VolumeFileDevice::SetProfileRecorder(vmi::BootProfile* profile) {
@@ -408,13 +420,22 @@ void VolumeFileDevice::ReadAt(std::uint64_t offset, util::MutableByteSpan out) {
   }
 
   util::Bytes data;
-  if (repair_peer_ != nullptr) {
+  if (repair_session_ != nullptr || repair_peer_ != nullptr) {
     // Degraded mode: a corrupt local block is healed on demand from the
-    // storage node; the re-fetched bytes are charged as network traffic
-    // (the cost curve BENCH_faults measures).
+    // storage node (or, with a session, the first honest replica that has
+    // it); the re-fetched bytes are charged as network traffic (the cost
+    // curve BENCH_faults measures).
     std::uint64_t fetched = 0;
-    data = volume_->ReadRangeRepair(file_, offset, out.size(), *repair_peer_,
-                                    &fetched);
+    if (repair_session_ != nullptr) {
+      data = volume_->ReadRangeRepair(file_, offset, out.size(),
+                                      *repair_session_, &fetched);
+      degraded_.peers_blacklisted = repair_session_->peers_blacklisted();
+      degraded_.resourced_blocks = repair_session_->resourced_blocks();
+      degraded_.byzantine_rejected = repair_session_->byzantine_rejected();
+    } else {
+      data = volume_->ReadRangeRepair(file_, offset, out.size(), *repair_peer_,
+                                      &fetched);
+    }
     if (fetched > 0) {
       ++degraded_.repair_reads;
       degraded_.repaired_bytes += fetched;

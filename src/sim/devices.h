@@ -15,8 +15,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "cow/device.h"
 #include "sim/io_context.h"
@@ -142,10 +144,15 @@ class VolumeFileDevice final : public cow::WritableDevice,
   std::uint64_t WarmCacheFromBlocks(std::span<const std::uint64_t> blocks);
 
   /// Degraded-read accounting: reads that hit a corrupt local block and the
-  /// bytes re-fetched from the repair peer to heal them.
+  /// bytes re-fetched from the repair peer(s) to heal them. The Byzantine
+  /// counters stay zero on the legacy single-peer path; the multi-peer
+  /// session path fills them from the RepairSession after every heal.
   struct DegradedReadStats {
     std::uint64_t repair_reads = 0;    // ReadAt calls that needed healing
     std::uint64_t repaired_bytes = 0;  // logical bytes fetched from the peer
+    std::uint64_t peers_blacklisted = 0;   // peers struck out for lying
+    std::uint64_t resourced_blocks = 0;    // blocks healed from another peer
+    std::uint64_t byzantine_rejected = 0;  // wrong payloads caught by digest
   };
 
   /// Arms degraded-mode boots: when the verified read path reports a corrupt
@@ -155,6 +162,17 @@ class VolumeFileDevice final : public cow::WritableDevice,
   /// corruption propagates as BlockCorruptionError.
   void SetRepairSource(const store::BlockStore* peer,
                        NetworkAccountant* network, std::uint32_t node_id);
+
+  /// Multi-peer variant: heal through a RepairSession over `peers` (tried in
+  /// order, per-peer strike counters, Byzantine blacklisting). Fetched bytes
+  /// are charged to `network` as a transfer from each serving peer's node id
+  /// is unknown at this layer, so the whole heal is charged from node 0 (the
+  /// worst-case storage hop) to `node_id`, matching the single-peer model.
+  /// `faults` drives the Byzantine fault model; may be null. Overrides any
+  /// single-peer source previously set.
+  void SetRepairSources(std::vector<zvol::RepairPeer> peers,
+                        NetworkAccountant* network, std::uint32_t node_id,
+                        util::FaultInjector* faults);
 
   const DegradedReadStats& degraded_stats() const { return degraded_; }
 
@@ -172,6 +190,7 @@ class VolumeFileDevice final : public cow::WritableDevice,
   const store::BlockStore* repair_peer_ = nullptr;
   NetworkAccountant* repair_network_ = nullptr;
   std::uint32_t repair_node_id_ = 0;
+  std::unique_ptr<zvol::RepairSession> repair_session_;
   DegradedReadStats degraded_;
 };
 

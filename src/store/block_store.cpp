@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <exception>
 #include <limits>
 #include <stdexcept>
 #include <unordered_set>
@@ -73,6 +74,13 @@ BlockStore::BlockStore(BlockStoreConfig config)
   stripes_.reserve(n);
   for (std::size_t s = 0; s < n; ++s) {
     shards_.push_back(std::make_unique<Shard>());
+    // Capacity splits like the cache budget; 0 total leaves every shard
+    // unlimited. A nonzero total must cap *every* shard, so a slice that
+    // rounds to zero is clamped to one (unallocatable) byte.
+    if (config_.capacity_bytes != 0) {
+      shards_.back()->space_map.SetCapacity(std::max<std::uint64_t>(
+          std::uint64_t{1}, StripeBudget(config_.capacity_bytes, n, s)));
+    }
     stripes_.push_back(std::make_unique<CacheStripe>(
         StripeBudget(config_.read.cache_bytes, n, s)));
   }
@@ -224,7 +232,19 @@ std::vector<PutResult> BlockStore::PutBatch(
   // inserted by a concurrent batch between classify and commit degrades to
   // a dedup hit (the staged payload is discarded) — content addressing
   // makes either copy equally valid.
-  ForEachIngest(part.active.size(), [&](std::size_t k) {
+  //
+  // The stage is all-or-nothing: a shard that hits NoSpaceError (capacity)
+  // or an armed store/commit crash site records the failure instead of
+  // letting the exception cross ParallelFor; if any shard failed, every
+  // committed position across all shards is undone in reverse (within-shard
+  // reverse restores each SpaceMap bump pointer exactly — freeing the
+  // last-allocated extent triggers the high-water shrink) and the first
+  // failure in shard order is rethrown. With a fault injector set the shard
+  // passes run serialized in shard order so the injector's crash-site
+  // counter advances deterministically; benches never arm a store injector.
+  std::vector<std::size_t> committed(part.active.size(), 0);
+  std::vector<std::exception_ptr> failed(part.active.size(), nullptr);
+  const auto commit_shard = [&](std::size_t k) {
     const std::size_t s = part.active[k];
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -232,42 +252,97 @@ std::vector<PutResult> BlockStore::PutBatch(
     for (std::size_t p = part.begin[s]; p < part.begin[s + 1]; ++p) {
       const std::size_t i = part.order[p];
       const util::Digest& digest = digests[i];
-      auto it = shard.entries.find(digest);
-      if (!is_miss[i] || it != shard.entries.end()) {
-        if (is_miss[i]) ++next_miss;  // staged for a lost race; discard
-        assert(it != shard.entries.end());
-        ++it->second.refcount;
-        ++shard.stats.total_refs;
-        shard.stats.logical_referenced_bytes += it->second.logical_size;
-        results[i] = {digest, true, it->second.logical_size, 0};
-        continue;
+      try {
+        if (faults_ != nullptr) faults_->CrashPointArmedOnly("store/commit");
+        auto it = shard.entries.find(digest);
+        if (!is_miss[i] || it != shard.entries.end()) {
+          if (is_miss[i]) ++next_miss;  // staged for a lost race; discard
+          assert(it != shard.entries.end());
+          ++it->second.refcount;
+          ++shard.stats.total_refs;
+          shard.stats.logical_referenced_bytes += it->second.logical_size;
+          results[i] = {digest, true, it->second.logical_size, 0};
+        } else {
+          StagedPayload& payload = staged[next_miss];
+          Entry entry;
+          entry.logical_size = static_cast<std::uint32_t>(blocks[i].size());
+          entry.refcount = 1;
+          entry.payload = std::move(payload.payload);
+          entry.compressed = payload.compressed;
+          // Allocations occupy whole sectors (ZFS asize vs psize).
+          entry.physical_size = static_cast<std::uint32_t>(
+              util::AlignUp(entry.payload.size(), kSectorBytes));
+          entry.disk_offset = shard.space_map.Allocate(entry.physical_size);
+          ++next_miss;
+
+          shard.stats.unique_blocks += 1;
+          shard.stats.total_refs += 1;
+          shard.stats.logical_unique_bytes += entry.logical_size;
+          shard.stats.logical_referenced_bytes += entry.logical_size;
+          shard.stats.physical_data_bytes += entry.physical_size;
+          if (config_.dedup) {
+            shard.stats.ddt_disk_bytes += kDdtDiskBytesPerEntry;
+            shard.stats.ddt_core_bytes += kDdtCoreBytesPerEntry;
+          }
+
+          results[i] = {digest, false, entry.logical_size,
+                        entry.physical_size};
+          shard.entries.emplace(digest, std::move(entry));
+        }
+      } catch (const NoSpaceError&) {
+        if (faults_ != nullptr) faults_->RecordAllocationRefused();
+        failed[k] = std::current_exception();
+        break;
+      } catch (const util::CrashError&) {
+        failed[k] = std::current_exception();
+        break;
       }
-
-      StagedPayload& payload = staged[next_miss++];
-      Entry entry;
-      entry.logical_size = static_cast<std::uint32_t>(blocks[i].size());
-      entry.refcount = 1;
-      entry.payload = std::move(payload.payload);
-      entry.compressed = payload.compressed;
-      // Allocations occupy whole sectors (ZFS asize vs psize).
-      entry.physical_size = static_cast<std::uint32_t>(
-          util::AlignUp(entry.payload.size(), kSectorBytes));
-      entry.disk_offset = shard.space_map.Allocate(entry.physical_size);
-
-      shard.stats.unique_blocks += 1;
-      shard.stats.total_refs += 1;
-      shard.stats.logical_unique_bytes += entry.logical_size;
-      shard.stats.logical_referenced_bytes += entry.logical_size;
-      shard.stats.physical_data_bytes += entry.physical_size;
-      if (config_.dedup) {
-        shard.stats.ddt_disk_bytes += kDdtDiskBytesPerEntry;
-        shard.stats.ddt_core_bytes += kDdtCoreBytesPerEntry;
-      }
-
-      results[i] = {digest, false, entry.logical_size, entry.physical_size};
-      shard.entries.emplace(digest, std::move(entry));
+      ++committed[k];
     }
-  });
+  };
+  if (faults_ != nullptr) {
+    for (std::size_t k = 0; k < part.active.size(); ++k) commit_shard(k);
+  } else {
+    ForEachIngest(part.active.size(), commit_shard);
+  }
+
+  bool any_failed = false;
+  for (const std::exception_ptr& e : failed) {
+    if (e != nullptr) any_failed = true;
+  }
+  if (any_failed) {
+    // Unwind every committed position. A hit undoes its refcount bump; a
+    // miss (refcount back at zero) frees its extent and erases the entry —
+    // the exact inverse of Unref-to-zero.
+    for (std::size_t k = part.active.size(); k-- > 0;) {
+      const std::size_t s = part.active[k];
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      for (std::size_t c = committed[k]; c-- > 0;) {
+        const std::size_t i = part.order[part.begin[s] + c];
+        auto it = shard.entries.find(digests[i]);
+        assert(it != shard.entries.end());
+        Entry& entry = it->second;
+        --entry.refcount;
+        --shard.stats.total_refs;
+        shard.stats.logical_referenced_bytes -= entry.logical_size;
+        if (entry.refcount == 0) {
+          shard.space_map.Free(entry.disk_offset, entry.physical_size);
+          shard.stats.unique_blocks -= 1;
+          shard.stats.logical_unique_bytes -= entry.logical_size;
+          shard.stats.physical_data_bytes -= entry.physical_size;
+          if (config_.dedup) {
+            shard.stats.ddt_disk_bytes -= kDdtDiskBytesPerEntry;
+            shard.stats.ddt_core_bytes -= kDdtCoreBytesPerEntry;
+          }
+          shard.entries.erase(it);
+        }
+      }
+    }
+    for (std::size_t k = 0; k < part.active.size(); ++k) {
+      if (failed[k] != nullptr) std::rethrow_exception(failed[k]);
+    }
+  }
   return results;
 }
 
@@ -308,6 +383,38 @@ void BlockStore::Unref(const util::Digest& digest) {
 util::Bytes BlockStore::Get(const util::Digest& digest) const {
   const util::Digest one[1] = {digest};
   return std::move(GetBatch(one)[0]);
+}
+
+util::Bytes BlockStore::GetUncached(const util::Digest& digest) const {
+  // Snapshot the stored payload under the shard lock, decompress outside it.
+  // No ARC interaction at all: the rollback path this serves must not
+  // disturb cache state or read counters.
+  util::Bytes payload;
+  std::uint32_t logical_size = 0;
+  bool compressed = false;
+  {
+    const Shard& shard = *shards_[ShardOf(digest)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(digest);
+    if (it == shard.entries.end()) throw NoSuchBlockError(digest);
+    payload = it->second.payload;
+    logical_size = it->second.logical_size;
+    compressed = it->second.compressed;
+  }
+  util::Bytes raw;
+  if (compressed) {
+    try {
+      raw = codec_->Decompress(payload, logical_size);
+    } catch (const std::runtime_error&) {
+      throw BlockCorruptionError(digest);
+    }
+  } else {
+    raw = std::move(payload);
+  }
+  if (config_.dedup && ComputeDigest(raw) != digest) {
+    throw BlockCorruptionError(digest);
+  }
+  return raw;
 }
 
 std::vector<util::Bytes> BlockStore::GetBatch(
@@ -653,7 +760,18 @@ bool BlockStore::Repair(const util::Digest& digest, util::ByteSpan raw) {
       util::AlignUp(payload.size(), kSectorBytes));
   if (physical != entry.physical_size) {
     shard.space_map.Free(entry.disk_offset, entry.physical_size);
-    entry.disk_offset = shard.space_map.Allocate(physical);
+    try {
+      entry.disk_offset = shard.space_map.Allocate(physical);
+    } catch (const NoSpaceError&) {
+      // Disk-full unwind: re-allocating the just-freed size is guaranteed to
+      // fit, so the block keeps its (damaged) payload and the accounting
+      // stays coherent; the caller skips-and-reports (ScrubRepair) or
+      // propagates. The extent may land at a different offset — first fit —
+      // which is fine: only accounting invariants matter on this path.
+      entry.disk_offset = shard.space_map.Allocate(entry.physical_size);
+      if (faults_ != nullptr) faults_->RecordAllocationRefused();
+      throw;
+    }
     shard.stats.physical_data_bytes += physical;
     shard.stats.physical_data_bytes -= entry.physical_size;
     entry.physical_size = physical;
@@ -716,6 +834,87 @@ ReadStats BlockStore::read_stats() const {
   return stats;
 }
 
+InvariantReport BlockStore::CheckInvariants() const {
+  InvariantReport report;
+  const auto fail = [&report](const std::string& what) {
+    report.ok = false;
+    if (!report.detail.empty()) report.detail += "; ";
+    report.detail += what;
+  };
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::string tag = "shard " + std::to_string(s);
+
+    StoreStats recount;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> extents;
+    extents.reserve(shard.entries.size());
+    for (const auto& [digest, entry] : shard.entries) {
+      if (entry.refcount == 0) {
+        fail(tag + ": zero refcount for " + digest.ToHex());
+      }
+      recount.unique_blocks += 1;
+      recount.total_refs += entry.refcount;
+      recount.logical_unique_bytes += entry.logical_size;
+      recount.logical_referenced_bytes +=
+          std::uint64_t{entry.logical_size} * entry.refcount;
+      recount.physical_data_bytes += entry.physical_size;
+      if (config_.dedup) {
+        recount.ddt_disk_bytes += kDdtDiskBytesPerEntry;
+        recount.ddt_core_bytes += kDdtCoreBytesPerEntry;
+      }
+      if (entry.physical_size == 0 ||
+          entry.physical_size % kSectorBytes != 0) {
+        fail(tag + ": unaligned extent for " + digest.ToHex());
+      }
+      extents.emplace_back(entry.disk_offset, entry.physical_size);
+    }
+
+    const auto check = [&](const char* name, std::uint64_t counted,
+                           std::uint64_t recorded) {
+      if (counted != recorded) {
+        fail(tag + ": " + name + " recorded " + std::to_string(recorded) +
+             " but recounted " + std::to_string(counted));
+      }
+    };
+    check("unique_blocks", recount.unique_blocks, shard.stats.unique_blocks);
+    check("total_refs", recount.total_refs, shard.stats.total_refs);
+    check("logical_unique_bytes", recount.logical_unique_bytes,
+          shard.stats.logical_unique_bytes);
+    check("logical_referenced_bytes", recount.logical_referenced_bytes,
+          shard.stats.logical_referenced_bytes);
+    check("physical_data_bytes", recount.physical_data_bytes,
+          shard.stats.physical_data_bytes);
+    check("ddt_disk_bytes", recount.ddt_disk_bytes,
+          shard.stats.ddt_disk_bytes);
+    check("ddt_core_bytes", recount.ddt_core_bytes,
+          shard.stats.ddt_core_bytes);
+
+    const SpaceMap& sm = shard.space_map;
+    check("space-map allocated_bytes", recount.physical_data_bytes,
+          sm.allocated_bytes());
+    if (sm.pool_size() != sm.allocated_bytes() + sm.free_hole_bytes()) {
+      fail(tag + ": pool accounting: pool " + std::to_string(sm.pool_size()) +
+           " != allocated " + std::to_string(sm.allocated_bytes()) +
+           " + holes " + std::to_string(sm.free_hole_bytes()));
+    }
+
+    std::sort(extents.begin(), extents.end());
+    for (std::size_t i = 0; i < extents.size(); ++i) {
+      if (i > 0 &&
+          extents[i - 1].first + extents[i - 1].second > extents[i].first) {
+        fail(tag + ": overlapping extents at offset " +
+             std::to_string(extents[i].first));
+      }
+      if (extents[i].first + extents[i].second > sm.pool_size()) {
+        fail(tag + ": extent past the pool high-water mark at offset " +
+             std::to_string(extents[i].first));
+      }
+    }
+  }
+  return report;
+}
+
 SpaceMapStats BlockStore::space_map_stats() const {
   SpaceMapStats stats;
   for (const auto& shard_ptr : shards_) {
@@ -735,6 +934,28 @@ bool BlockStore::CorruptPayloadForTesting(const util::Digest& digest) {
   auto it = shard.entries.find(digest);
   if (it == shard.entries.end() || it->second.payload.empty()) return false;
   it->second.payload[it->second.payload.size() / 2] ^= 0x40;
+  return true;
+}
+
+bool BlockStore::CorruptTruncatePayloadForTesting(const util::Digest& digest) {
+  Shard& shard = *shards_[ShardOf(digest)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(digest);
+  if (it == shard.entries.end()) return false;
+  Entry& entry = it->second;
+  if (entry.payload.size() <= kSectorBytes) return false;
+  entry.payload.resize(kSectorBytes / 2);
+  // Accounting follows the torn payload (the premise is that the store
+  // already noticed and shrank the extent), so invariants keep holding and
+  // the eventual Repair with clean content must *grow* the extent.
+  const auto physical =
+      static_cast<std::uint32_t>(util::AlignUp(entry.payload.size(),
+                                               kSectorBytes));
+  shard.space_map.Free(entry.disk_offset, entry.physical_size);
+  entry.disk_offset = shard.space_map.Allocate(physical);
+  shard.stats.physical_data_bytes += physical;
+  shard.stats.physical_data_bytes -= entry.physical_size;
+  entry.physical_size = physical;
   return true;
 }
 

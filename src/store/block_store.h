@@ -55,6 +55,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -180,6 +181,13 @@ struct BlockStoreConfig {
   /// byte-for-byte. Appended last so positional initializers predating the
   /// field keep their meaning.
   std::size_t shards = 16;
+  /// Pool capacity in bytes; 0 (the default) means unlimited. Split across
+  /// the per-shard SpaceMap arenas like the cache budget (even split,
+  /// remainder on the low shards). When an allocation would exceed a
+  /// shard's slice, SpaceMap throws store::NoSpaceError and the mutating
+  /// operation (PutBatch / Repair / volume Receive) unwinds to the state it
+  /// started from — see DESIGN.md §15.
+  std::uint64_t capacity_bytes = 0;
 };
 
 struct PutResult {
@@ -218,6 +226,15 @@ struct ReadStats {
   /// determinism contract) but skipped materializing the payload, so
   /// re-warming a resident working set is near-free.
   std::uint64_t warm_skipped_resident = 0;
+};
+
+/// Result of BlockStore::CheckInvariants — `ok` is true when every internal
+/// consistency check passed; otherwise `detail` names each violated
+/// invariant. Used by tests to assert that failure paths (crash, disk-full)
+/// unwound without leaking refs, extents or accounting.
+struct InvariantReport {
+  bool ok = true;
+  std::string detail;
 };
 
 /// Aggregated extent-allocator counters, summed across the per-shard
@@ -269,6 +286,14 @@ class BlockStore {
   /// Decompressed payload. Throws NoSuchBlockError for unknown digests.
   /// Thin wrapper over GetBatch with a one-element batch.
   util::Bytes Get(const util::Digest& digest) const;
+
+  /// Decompressed payload, bypassing the ARC entirely — no cache probe, no
+  /// fill, no read-counter movement. The transactional Receive path snapshots
+  /// to-be-freed payloads through this so a rollback can restore them without
+  /// perturbing cache state. Always verifies (dedup mode): throws
+  /// NoSuchBlockError for unknown digests and BlockCorruptionError when the
+  /// stored payload no longer matches its digest.
+  util::Bytes GetUncached(const util::Digest& digest) const;
 
   /// Batch-first read path: returns the decompressed payloads of `digests`
   /// in input order, bit-identical to a serial loop of Get calls at any
@@ -350,6 +375,33 @@ class BlockStore {
   /// Test hook: flips one byte of the stored payload. Returns false if the
   /// digest is unknown.
   bool CorruptPayloadForTesting(const util::Digest& digest);
+
+  /// Test hook simulating a torn write the store already noticed: truncates
+  /// the stored payload to one sector and *fixes the accounting to match*
+  /// (extent reallocated, physical bytes adjusted), so the store stays
+  /// internally consistent but the block fails Verify and a subsequent
+  /// Repair with clean content needs a larger extent — the path that can
+  /// hit NoSpaceError under a capacity. Returns false if the digest is
+  /// unknown or the payload already fits one sector.
+  bool CorruptTruncatePayloadForTesting(const util::Digest& digest);
+
+  /// Arms deterministic fault bookkeeping on the commit path: per-position
+  /// CrashPointArmedOnly sites inside the PutBatch commit stage (fired only
+  /// under FaultInjector::ArmCrashAt — the crash-at-every-site sweep) and
+  /// allocations_refused counting for NoSpaceError unwinds. While an
+  /// injector is set the per-shard commit passes run serialized in shard
+  /// order so the injector's crash-site counter advances deterministically;
+  /// benches never arm a store injector, so the parallel path is untouched.
+  /// Pass nullptr to disarm.
+  void SetFaultInjector(util::FaultInjector* faults) { faults_ = faults; }
+
+  /// Full internal-consistency audit, per shard under its lock: recorded
+  /// StoreStats match a recount of the DDT, every refcount is positive,
+  /// extents are disjoint and sector-aligned, the SpaceMap's allocated
+  /// bytes equal the sum of entry extents, and pool accounting satisfies
+  /// pool_size == allocated + free holes. Tests call this after every
+  /// failure-path unwind (see tests/store_invariants.h).
+  InvariantReport CheckInvariants() const;
 
   /// Rebudgets the decompressed-block ARC at runtime (the real ARC shrinks
   /// under memory pressure and recovers). Shrinking evicts in replacement
@@ -441,6 +493,7 @@ class BlockStore {
   std::vector<std::unique_ptr<CacheStripe>> stripes_;
   std::atomic<std::uint64_t> fake_digest_counter_{0};  // for dedup=off mode
   std::unique_ptr<util::ThreadPool> pool_;  // null when both sides serial
+  util::FaultInjector* faults_ = nullptr;   // crash/disk-full sites; not owned
 };
 
 }  // namespace squirrel::store

@@ -6,6 +6,9 @@ namespace squirrel::store {
 
 std::uint64_t SpaceMap::Allocate(std::uint64_t size) {
   assert(size > 0);
+  if (capacity_ != 0 && allocated_ + size > capacity_) {
+    throw NoSpaceError(size, capacity_, allocated_);
+  }
   // First fit from the free list.
   for (auto it = free_.begin(); it != free_.end(); ++it) {
     if (it->second >= size) {

@@ -10,11 +10,29 @@
 #include <cstdint>
 #include <map>
 
+#include "util/error.h"
+
 namespace squirrel::store {
+
+/// Thrown by SpaceMap::Allocate when granting the extent would push live
+/// allocated bytes past the configured capacity — the simulated disk is
+/// full. Callers (PutBatch, Repair, Receive) must unwind to a consistent
+/// state: no leaked references, no half-committed extents (DESIGN.md §15).
+class NoSpaceError : public Error {
+ public:
+  NoSpaceError(std::uint64_t requested, std::uint64_t capacity,
+               std::uint64_t allocated)
+      : Error("pool full: " + std::to_string(requested) + " bytes requested, " +
+              std::to_string(allocated) + "/" + std::to_string(capacity) +
+              " allocated") {}
+};
 
 class SpaceMap {
  public:
-  /// Allocates `size` bytes, returns the pool offset.
+  /// Allocates `size` bytes, returns the pool offset. Throws NoSpaceError
+  /// when a capacity is set and live allocated bytes would exceed it (free
+  /// holes are reusable space, so the check is on allocated bytes, not the
+  /// bump pointer).
   std::uint64_t Allocate(std::uint64_t size);
 
   /// Returns an extent to the free list; coalesces with neighbours.
@@ -31,11 +49,18 @@ class SpaceMap {
   /// Number of discontiguous free extents — a fragmentation proxy.
   std::size_t free_extent_count() const { return free_.size(); }
 
+  /// Caps live allocated bytes; 0 (the default) means unlimited. Existing
+  /// allocations above a newly-set cap stay valid — only future Allocate
+  /// calls are refused.
+  void SetCapacity(std::uint64_t bytes) { capacity_ = bytes; }
+  std::uint64_t capacity() const { return capacity_; }
+
  private:
   std::map<std::uint64_t, std::uint64_t> free_;  // offset -> size
   std::uint64_t bump_ = 0;
   std::uint64_t allocated_ = 0;
   std::uint64_t hole_bytes_ = 0;
+  std::uint64_t capacity_ = 0;
 };
 
 }  // namespace squirrel::store

@@ -10,6 +10,13 @@ constexpr std::uint64_t kSiteImage = 0x1a6e;
 constexpr std::uint64_t kSiteStream = 0x57ea;
 constexpr std::uint64_t kSiteTruncate = 0x7c47;
 constexpr std::uint64_t kSiteTransfer = 0x7a5f;
+constexpr std::uint64_t kSiteCrash = 0xc7a5;
+constexpr std::uint64_t kSiteByzantine = 0xb42a;
+
+std::uint64_t HashSite(const char* site) {
+  return Fnv1a64(ByteSpan(reinterpret_cast<const Byte*>(site),
+                          std::char_traits<char>::length(site)));
+}
 
 bool FlipOneBit(MutableByteSpan data, Rng& rng) {
   if (data.empty()) return false;
@@ -84,6 +91,56 @@ bool FaultInjector::TransferCorrupts(std::uint32_t node,
   if (!Draw(rng, profile_.transfer_corrupt_rate)) return false;
   ++stats_.transfers_corrupted;
   return true;
+}
+
+void FaultInjector::CrashPoint(const char* site, std::uint64_t salt) {
+  const std::uint64_t n = crash_sites_passed_++;
+  if (crash_armed_ && n == crash_at_) {
+    crash_armed_ = false;  // one-shot: the restarted run must make progress
+    ++stats_.crashes_injected;
+    throw CrashError(site);
+  }
+  if (profile_.crash_rate <= 0.0) return;
+  // Key by the interrogation position, not just the site: an identical
+  // re-delivery after a crash interrogates the same site at a later position
+  // and gets a fresh coin flip, so retries converge at any rate < 1.
+  Rng rng = EventRng(kSiteCrash, HashSite(site), salt, n);
+  if (Draw(rng, profile_.crash_rate)) {
+    ++stats_.crashes_injected;
+    throw CrashError(site);
+  }
+}
+
+void FaultInjector::CrashPointArmedOnly(const char* site) {
+  const std::uint64_t n = crash_sites_passed_++;
+  if (crash_armed_ && n == crash_at_) {
+    crash_armed_ = false;
+    ++stats_.crashes_injected;
+    throw CrashError(site);
+  }
+}
+
+void FaultInjector::ArmCrashAt(std::uint64_t nth) {
+  crash_armed_ = true;
+  crash_at_ = nth;
+  crash_sites_passed_ = 0;
+}
+
+void FaultInjector::DisarmCrash() { crash_armed_ = false; }
+
+bool FaultInjector::PeerIsByzantine(std::uint32_t peer) const {
+  if (peer == 0) return false;  // the storage node is authoritative
+  Rng rng = EventRng(kSiteByzantine, peer);
+  return Draw(rng, profile_.byzantine_peer_rate);
+}
+
+void FaultInjector::MutatePayload(std::uint32_t peer, const Digest& digest,
+                                  MutableByteSpan payload) {
+  // Separate stream from the PeerIsByzantine draw (k2 = 1) so the lie's
+  // shape does not correlate with peer selection; keyed by digest so the
+  // same peer re-serves the same wrong bytes for the same block.
+  Rng rng = EventRng(kSiteByzantine, peer, digest.Prefix64(), 1);
+  if (FlipOneBit(payload, rng)) ++stats_.byzantine_served;
 }
 
 double FaultInjector::PartialProgress(std::uint32_t node,

@@ -20,15 +20,42 @@
 //   * cluster transfers       — fail outright, deliver corrupted bytes, or
 //                               stall; partial progress is exposed so the
 //                               retry layer can resume at record granularity
+//   * crash points            — seeded process deaths inside transactional
+//                               sections (Receive, store commit), thrown as
+//                               CrashError; plus a one-shot deterministic
+//                               "crash at the nth site" mode for
+//                               crash-at-every-site sweeps
+//   * byzantine repair peers  — a schedule-chosen fraction of repair peers
+//                               serve well-formed-but-wrong payloads (right
+//                               length, mutated bytes) for every block they
+//                               are asked for, so the post-decompress digest
+//                               check is the only defence
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "util/bytes.h"
+#include "util/error.h"
 #include "util/hash.h"
 #include "util/rng.h"
 
 namespace squirrel::util {
+
+/// Thrown by FaultInjector::CrashPoint to simulate the process dying inside
+/// a transactional section. Consumers must leave their state either rolled
+/// back or resumable on re-delivery (DESIGN.md §15); tests catch it where a
+/// real deployment would restart the node.
+class CrashError : public Error {
+ public:
+  explicit CrashError(const std::string& site)
+      : Error("simulated crash at " + site), site_(site) {}
+
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
 
 /// Per-site fault probabilities. All default to zero (no faults); an injector
 /// with a default profile is a deterministic no-op.
@@ -48,6 +75,17 @@ struct FaultProfile {
   double transfer_corrupt_rate = 0.0;
   /// Simulated latency added to every faulted transfer attempt, seconds.
   double transfer_delay_seconds = 0.0;
+  /// Per crash site interrogated: probability the process dies there
+  /// (CrashPoint throws CrashError). Only the transactional volume sites
+  /// (Receive/ReceiveFull) consult this rate; store-commit sites fire only
+  /// under the deterministic ArmCrashAt sweep.
+  double crash_rate = 0.0;
+  /// Fraction of repair peers that are Byzantine: a Byzantine peer serves a
+  /// well-formed-but-wrong payload for *every* block, consistently
+  /// (deterministic per (seed, peer)), so retrying the same peer never
+  /// helps and the repair layer must re-source from another replica. Node 0
+  /// (the storage node) is always honest — it is the authoritative source.
+  double byzantine_peer_rate = 0.0;
 
   bool operator==(const FaultProfile&) const = default;
 };
@@ -59,6 +97,16 @@ struct FaultStats {
   std::uint64_t streams_corrupted = 0;
   std::uint64_t transfers_failed = 0;
   std::uint64_t transfers_corrupted = 0;
+  std::uint64_t crashes_injected = 0;
+  /// SpaceMap allocations refused with NoSpaceError while this injector was
+  /// armed on the store (disk-full unwind paths taken).
+  std::uint64_t allocations_refused = 0;
+  /// Byzantine payloads handed out (MutatePayload calls) and the subset the
+  /// receiving digest check caught (RecordByzantineDetected). Every served
+  /// lie must eventually be detected — the two counters diverging means a
+  /// wrong payload was accepted somewhere.
+  std::uint64_t byzantine_served = 0;
+  std::uint64_t byzantine_detected = 0;
 };
 
 class FaultInjector {
@@ -101,6 +149,48 @@ class FaultInjector {
 
   double TransferDelaySeconds() const { return profile_.transfer_delay_seconds; }
 
+  /// Crash site inside a transactional section. Throws CrashError when the
+  /// one-shot arming (ArmCrashAt) selects this interrogation, or — for
+  /// volume-level sites — when the probabilistic schedule fires. Each
+  /// interrogation draws from a fresh position-keyed stream, so a re-delivery
+  /// after a crash is a new coin flip and retries converge at any rate < 1.
+  /// Unlike the corruption sites, crash decisions are therefore
+  /// position-dependent (crash sites are inherently sequential).
+  void CrashPoint(const char* site, std::uint64_t salt = 0);
+
+  /// CrashPoint that ignores crash_rate: fires only under ArmCrashAt. Store
+  /// commit sites use this — a probabilistic crash inside a non-transactional
+  /// caller (WriteFile ingest) would leak references, so only the
+  /// deterministic sweep (whose callers all unwind) reaches them.
+  void CrashPointArmedOnly(const char* site);
+
+  /// Arms a one-shot crash at the `nth` crash site interrogated from now on
+  /// (0-based; both CrashPoint flavours count). Resets crash_sites_passed.
+  /// The crash-at-every-site sweep loops nth upward until a run completes
+  /// without crashing.
+  void ArmCrashAt(std::uint64_t nth);
+  void DisarmCrash();
+  bool crash_armed() const { return crash_armed_; }
+  /// Crash sites interrogated since the last ArmCrashAt/construction.
+  std::uint64_t crash_sites_passed() const { return crash_sites_passed_; }
+
+  /// Whether repair peer `peer` is Byzantine under this profile:
+  /// deterministic per (seed, peer), independent of query order. Peer 0 (the
+  /// storage node) is never Byzantine.
+  bool PeerIsByzantine(std::uint32_t peer) const;
+
+  /// The lie a Byzantine peer tells about `digest`: mutates `payload` in
+  /// place (length preserved — well-formed, wrong bytes), deterministically
+  /// per (seed, peer, digest) so retrying the same peer re-serves the same
+  /// wrong payload. Counts byzantine_served.
+  void MutatePayload(std::uint32_t peer, const Digest& digest,
+                     MutableByteSpan payload);
+
+  /// Bookkeeping hooks for consumers: a digest check rejected a served
+  /// payload / a SpaceMap allocation was refused while this injector armed.
+  void RecordByzantineDetected() { ++stats_.byzantine_detected; }
+  void RecordAllocationRefused() { ++stats_.allocations_refused; }
+
  private:
   /// Independent child generator for one (site, key) event. Outcomes never
   /// depend on interrogation order because each event re-derives from seed_.
@@ -110,6 +200,9 @@ class FaultInjector {
   std::uint64_t seed_;
   FaultProfile profile_;
   FaultStats stats_;
+  bool crash_armed_ = false;
+  std::uint64_t crash_at_ = 0;
+  std::uint64_t crash_sites_passed_ = 0;
 };
 
 }  // namespace squirrel::util

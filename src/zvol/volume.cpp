@@ -5,6 +5,8 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "util/fault_injector.h"
+
 namespace squirrel::zvol {
 namespace {
 
@@ -22,17 +24,141 @@ DigestSet ReachableDigests(const FileTable& table) {
 
 }  // namespace
 
+/// Undo log for the transactional Receive path. Store operations performed
+/// through the txn are applied immediately (so the exact op sequence — and
+/// thus first-fit allocation behaviour — matches the legacy in-place apply)
+/// and logged with their inverse; Rollback replays the inverses in reverse
+/// order. An Unref that would free the last reference snapshots the payload
+/// first (through the ARC-bypassing GetUncached) so the inverse is a re-Put
+/// — that restoration requires content-addressed digests (dedup on), which
+/// every cluster path satisfies; in those paths the live table always
+/// equals the latest snapshot's table when a stream applies, so refcounts
+/// stay >= 2 and the case cannot occur at all.
+class Volume::StoreTxn {
+ public:
+  explicit StoreTxn(store::BlockStore& store) : store_(store) {}
+
+  void Ref(const util::Digest& digest) {
+    store_.Ref(digest);
+    undo_.push_back({Undo::kUnref, digest, {}});
+  }
+
+  void Unref(const util::Digest& digest) {
+    const bool last = store_.RefCount(digest) == 1;
+    util::Bytes payload;
+    if (last) payload = store_.GetUncached(digest);
+    store_.Unref(digest);
+    if (last) {
+      undo_.push_back({Undo::kRestore, digest, std::move(payload)});
+    } else {
+      undo_.push_back({Undo::kRef, digest, {}});
+    }
+  }
+
+  std::vector<store::PutResult> PutBatch(
+      std::span<const util::ByteSpan> blocks) {
+    std::vector<store::PutResult> results = store_.PutBatch(blocks);
+    // PutBatch is atomic (it unwinds itself on crash/no-space before
+    // throwing), so the whole batch logs only on success.
+    for (const store::PutResult& result : results) {
+      undo_.push_back({Undo::kUnref, result.digest, {}});
+    }
+    return results;
+  }
+
+  void Rollback() {
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+      switch (it->kind) {
+        case Undo::kUnref:
+          store_.Unref(it->digest);
+          break;
+        case Undo::kRef:
+          store_.Ref(it->digest);
+          break;
+        case Undo::kRestore: {
+          const store::PutResult result = store_.Put(
+              util::ByteSpan(it->payload.data(), it->payload.size()));
+          assert(result.digest == it->digest &&
+                 "rollback payload restore requires dedup digests");
+          (void)result;
+          break;
+        }
+      }
+    }
+    undo_.clear();
+  }
+
+ private:
+  struct Undo {
+    enum Kind { kUnref, kRef, kRestore } kind;
+    util::Digest digest;
+    util::Bytes payload;  // kRestore only
+  };
+  store::BlockStore& store_;
+  std::vector<Undo> undo_;
+};
+
 Volume::Volume(VolumeConfig config)
     : config_(config),
       store_(store::BlockStoreConfig{config.codec, config.dedup,
                                      config.fast_hash, config.ingest,
-                                     config.read, config.shards}) {
+                                     config.read, config.shards,
+                                     config.capacity_bytes}) {
   if (config_.block_size == 0) {
     throw std::invalid_argument("block_size must be positive");
   }
 }
 
 Volume::~Volume() = default;
+
+RepairSession::RepairSession(std::vector<RepairPeer> peers,
+                             util::FaultInjector* faults)
+    : faults_(faults) {
+  peers_.reserve(peers.size());
+  for (const RepairPeer& peer : peers) peers_.push_back({peer, 0, false});
+}
+
+std::uint64_t RepairSession::peers_blacklisted() const {
+  std::uint64_t n = 0;
+  for (const PeerState& state : peers_) {
+    if (state.blacklisted) ++n;
+  }
+  return n;
+}
+
+bool RepairSession::RepairBlock(store::BlockStore& store,
+                                const util::Digest& digest,
+                                std::uint64_t* fetched_bytes) {
+  bool lied_before = false;
+  for (PeerState& state : peers_) {
+    if (state.blacklisted || state.peer.store == nullptr) continue;
+    util::Bytes raw;
+    try {
+      raw = state.peer.store->Get(digest);
+    } catch (const Error&) {
+      continue;  // unavailable, not malicious: no strike
+    }
+    // A Byzantine peer's Get succeeded but the bytes it hands over are a
+    // consistent, well-formed lie (same wrong payload every retry) — the
+    // receiving digest check is the only defence.
+    if (faults_ != nullptr && faults_->PeerIsByzantine(state.peer.id)) {
+      faults_->MutatePayload(state.peer.id, digest,
+                             util::MutableByteSpan(raw.data(), raw.size()));
+    }
+    if (fetched_bytes != nullptr) *fetched_bytes += raw.size();
+    if (store.Repair(digest, raw)) {
+      if (lied_before) ++resourced_blocks_;
+      return true;
+    }
+    // Served bytes failed the digest re-hash: Byzantine evidence. Retrying
+    // this peer would re-serve the same lie, so strike it and move on.
+    ++byzantine_rejected_;
+    if (faults_ != nullptr) faults_->RecordByzantineDetected();
+    lied_before = true;
+    if (++state.strikes >= kStrikeLimit) state.blacklisted = true;
+  }
+  return false;
+}
 
 void Volume::ReleaseTable(const FileTable& table) {
   for (const auto& [name, meta] : table) {
@@ -532,26 +658,26 @@ SendStream Volume::Send(const std::string& from_name,
   return stream;
 }
 
-void Volume::ApplyStreamToTable(const SendStream& stream, FileTable& table) {
+std::vector<Volume::CarriedPayload> Volume::ValidateStream(
+    const SendStream& stream) const {
   const compress::Codec* codec = compress::FindCodec(stream.codec);
   if (codec == nullptr) {
     throw StreamCorruptError("receive: unknown codec " + stream.codec);
   }
 
-  // Stage 0: validate structure and record checksums, and materialize every
-  // carried payload, before touching any table or store state — a damaged
-  // stream must leave the volume unchanged. Checksums are re-checked here
-  // (not just at Deserialize) so corruption of an in-memory stream that
-  // never crossed the wire encoding is caught too. Decompression of the
+  // Validate structure and record checksums, and materialize every carried
+  // payload, before touching any table or store state — a damaged stream
+  // must leave the volume unchanged. Checksums are re-checked here (not
+  // just at Deserialize) so corruption of an in-memory stream that never
+  // crossed the wire encoding is caught too. Decompression of the
   // validated payloads runs in parallel on the ingest pool; failures are
   // recorded per slot and thrown for the first bad record in stream order,
   // so the error is identical at any thread count.
-  struct Carried {
-    const BlockRecord* rec;
-    util::Bytes raw;
+  struct Slot {
+    CarriedPayload carried;
     std::uint8_t bad = 0;
   };
-  std::vector<Carried> carried;
+  std::vector<Slot> slots;
   for (const FileRecord& f : stream.files) {
     const std::uint64_t block_count =
         util::CeilDiv(f.logical_size, stream.block_size);
@@ -576,52 +702,97 @@ void Volume::ApplyStreamToTable(const SendStream& stream, FileTable& table) {
           SendStream::PayloadChecksum(b.payload) != b.payload_checksum) {
         throw StreamMismatchError("receive: record checksum mismatch");
       }
-      carried.push_back({&b, {}, 0});
+      slots.push_back({{&b, {}}, 0});
     }
   }
-  ForEachIngest(carried.size(), [&](std::size_t k) {
-    Carried& c = carried[k];
-    const BlockRecord& b = *c.rec;
+  // ForEachIngest is non-const (it may touch the pool); replicate its inline
+  // fallback here through the store's read-side helper, which serves the
+  // same pool. Decompression is pure per-slot CPU either way.
+  store_.ForEachRead(slots.size(), [&](std::size_t k) {
+    Slot& slot = slots[k];
+    const BlockRecord& b = *slot.carried.rec;
     if (b.payload_compressed) {
       try {
-        c.raw = codec->Decompress(b.payload, b.logical_size);
+        slot.carried.raw = codec->Decompress(b.payload, b.logical_size);
       } catch (const std::runtime_error&) {
-        c.bad = 1;  // damage broke the compressed framing
+        slot.bad = 1;  // damage broke the compressed framing
         return;
       }
     } else {
-      c.raw = b.payload;
+      slot.carried.raw = b.payload;
     }
     // Reject payloads a healthy sender never produces: wrong length, empty,
     // or all zeros (holes are never carried as payloads).
-    if (c.raw.size() != b.logical_size || c.raw.empty() ||
-        util::IsAllZero(c.raw)) {
-      c.bad = 1;
+    if (slot.carried.raw.size() != b.logical_size || slot.carried.raw.empty() ||
+        util::IsAllZero(slot.carried.raw)) {
+      slot.bad = 1;
     }
   });
-  for (const Carried& c : carried) {
-    if (c.bad) throw StreamCorruptError("receive: undecodable block payload");
+  for (const Slot& slot : slots) {
+    if (slot.bad) {
+      throw StreamCorruptError("receive: undecodable block payload");
+    }
   }
+  std::vector<CarriedPayload> carried;
+  carried.reserve(slots.size());
+  for (Slot& slot : slots) carried.push_back(std::move(slot.carried));
+  return carried;
+}
 
+void Volume::ApplyStreamToTable(const SendStream& stream, FileTable& table,
+                                std::vector<CarriedPayload>& carried,
+                                StoreTxn* txn) {
+  // Transactional mode routes every store operation through the undo log;
+  // legacy mode hits the store directly — same call sequence either way.
+  const auto do_ref = [&](const util::Digest& digest) {
+    if (txn != nullptr) {
+      txn->Ref(digest);
+    } else {
+      store_.Ref(digest);
+    }
+  };
+  const auto do_unref = [&](const util::Digest& digest) {
+    if (txn != nullptr) {
+      txn->Unref(digest);
+    } else {
+      store_.Unref(digest);
+    }
+  };
+  const auto do_put_batch = [&](std::span<const util::ByteSpan> payloads) {
+    return txn != nullptr ? txn->PutBatch(payloads)
+                          : store_.PutBatch(payloads);
+  };
+  // Volume-level crash sites fire only in transactional mode with an
+  // injector armed (a capacity alone arms the txn, not the crash schedule).
+  const auto crash_site = [&](const char* site, std::uint64_t salt = 0) {
+    if (txn != nullptr && faults_ != nullptr) faults_->CrashPoint(site, salt);
+  };
+
+  crash_site("receive/validated");
+
+  std::uint64_t deletion_index = 0;
   for (const std::string& name : stream.deleted_files) {
+    crash_site("receive/delete", deletion_index++);
     auto it = table.find(name);
     if (it == table.end()) {
       throw StreamCorruptError("receive: deletion of unknown file " + name);
     }
     for (const BlockPtr& ptr : it->second.blocks) {
-      if (!ptr.hole) store_.Unref(ptr.digest);
+      if (!ptr.hole) do_unref(ptr.digest);
     }
     table.erase(it);
   }
 
   std::size_t next_carried = 0;
+  std::uint64_t file_index = 0;
   for (const FileRecord& f : stream.files) {
+    crash_site("receive/file", file_index++);
     FileMeta* meta;
     auto it = table.find(f.name);
     if (f.whole_file || it == table.end()) {
       if (it != table.end()) {
         for (const BlockPtr& ptr : it->second.blocks) {
-          if (!ptr.hole) store_.Unref(ptr.digest);
+          if (!ptr.hole) do_unref(ptr.digest);
         }
         table.erase(it);
       }
@@ -637,7 +808,7 @@ void Volume::ApplyStreamToTable(const SendStream& stream, FileTable& table) {
       // A shrinking file drops its tail blocks; release their references
       // before the resize discards the pointers.
       for (std::uint64_t i = new_count; i < meta->blocks.size(); ++i) {
-        if (!meta->blocks[i].hole) store_.Unref(meta->blocks[i].digest);
+        if (!meta->blocks[i].hole) do_unref(meta->blocks[i].digest);
       }
       meta->blocks.resize(new_count);
     }
@@ -649,7 +820,7 @@ void Volume::ApplyStreamToTable(const SendStream& stream, FileTable& table) {
     for (const BlockRecord& b : f.blocks) {
       BlockPtr& ptr = meta->blocks[b.index];
       if (!ptr.hole) {
-        store_.Unref(ptr.digest);
+        do_unref(ptr.digest);
         ptr = BlockPtr{};
       }
     }
@@ -665,7 +836,7 @@ void Volume::ApplyStreamToTable(const SendStream& stream, FileTable& table) {
     for (std::size_t k = 0; k < file_carried; ++k) {
       payloads.emplace_back(carried[next_carried + k].raw);
     }
-    const std::vector<store::PutResult> puts = store_.PutBatch(payloads);
+    const std::vector<store::PutResult> puts = do_put_batch(payloads);
     std::size_t next_put = 0;
     for (const BlockRecord& b : f.blocks) {
       if (b.hole) continue;
@@ -678,7 +849,7 @@ void Volume::ApplyStreamToTable(const SendStream& stream, FileTable& table) {
           throw StreamCorruptError(
               "receive: stream references a block this volume does not hold");
         }
-        store_.Ref(b.digest);
+        do_ref(b.digest);
         ptr = BlockPtr{false, b.digest, b.logical_size};
       }
     }
@@ -686,21 +857,35 @@ void Volume::ApplyStreamToTable(const SendStream& stream, FileTable& table) {
   }
 }
 
-void Volume::Receive(const SendStream& stream) {
-  if (stream.block_size != config_.block_size) {
-    throw StreamMismatchError("receive: block size mismatch");
-  }
-  if (stream.incremental) {
-    const Snapshot* latest = LatestSnapshot();
-    if (latest == nullptr || latest->id != stream.from_id ||
-        latest->name != stream.from_name) {
-      throw StreamMismatchError("receive: base snapshot mismatch");
+void Volume::CommitReceive(const SendStream& stream,
+                           std::vector<CarriedPayload>& carried) {
+  const bool transactional =
+      faults_ != nullptr || config_.capacity_bytes != 0;
+  if (!transactional) {
+    // Legacy in-place apply: bit-identical to pre-crash-model behaviour.
+    ApplyStreamToTable(stream, files_, carried, nullptr);
+  } else {
+    // Stage against a shadow copy of the file table; the store operations
+    // run for real (same sequence as legacy) but carry an undo log. Any
+    // failure — simulated crash, disk-full, stream damage discovered
+    // mid-apply — rolls the store back and discards the staged table, so
+    // the volume is exactly as it was.
+    FileTable staged = files_;
+    StoreTxn txn(store_);
+    try {
+      if (faults_ != nullptr) faults_->CrashPoint("receive/begin");
+      ApplyStreamToTable(stream, staged, carried, &txn);
+      if (faults_ != nullptr) faults_->CrashPoint("receive/staged");
+    } catch (...) {
+      txn.Rollback();
+      throw;
     }
-  } else if (LatestSnapshot() != nullptr) {
-    throw StreamMismatchError("receive: full stream into non-empty volume");
+    // Commit point: the table swap plus snapshot retention below is the
+    // atomic metadata flip — no crash site interrupts it, mirroring a
+    // journaled rename. A crash after "receive/committed" finds the stream
+    // fully applied; re-delivery is an idempotent no-op.
+    files_ = std::move(staged);
   }
-
-  ApplyStreamToTable(stream, files_);
 
   auto snap = std::make_unique<Snapshot>();
   snap->id = stream.to_id;
@@ -710,18 +895,68 @@ void Volume::Receive(const SendStream& stream) {
   RetainTable(snap->files);
   snapshots_.push_back(std::move(snap));
   next_snapshot_id_ = std::max(next_snapshot_id_, stream.to_id + 1);
+  if (transactional && faults_ != nullptr) {
+    faults_->CrashPoint("receive/committed");
+  }
+}
+
+void Volume::Receive(const SendStream& stream) {
+  if (stream.block_size != config_.block_size) {
+    throw StreamMismatchError("receive: block size mismatch");
+  }
+  const Snapshot* latest = LatestSnapshot();
+  // Idempotent re-delivery (crash-restart only — legacy callers keep the
+  // mismatch errors below): a crash after the commit point leaves the
+  // stream fully applied; the retry finds `to` already latest and no-ops.
+  if (faults_ != nullptr && latest != nullptr &&
+      latest->id == stream.to_id && latest->name == stream.to_name) {
+    return;
+  }
+  if (stream.incremental) {
+    if (latest == nullptr || latest->id != stream.from_id ||
+        latest->name != stream.from_name) {
+      throw StreamMismatchError("receive: base snapshot mismatch");
+    }
+  } else if (latest != nullptr) {
+    throw StreamMismatchError("receive: full stream into non-empty volume");
+  }
+
+  std::vector<CarriedPayload> carried = ValidateStream(stream);
+  CommitReceive(stream, carried);
 }
 
 void Volume::ReceiveFull(const SendStream& stream) {
   if (stream.incremental) {
     throw std::invalid_argument("ReceiveFull requires a full stream");
   }
-  // Drop everything: live files and snapshots.
+  if (stream.block_size != config_.block_size) {
+    throw StreamMismatchError("receive: block size mismatch");
+  }
+  // Validate the stream in full — shape, checksums, payload decode — BEFORE
+  // dropping anything: a mismatched or damaged stream must leave the volume
+  // untouched (previously the drop ran first and a bad stream wiped it).
+  std::vector<CarriedPayload> carried = ValidateStream(stream);
+
+  const Snapshot* latest = LatestSnapshot();
+  if (faults_ != nullptr) {
+    // Idempotent re-delivery after a crash past the commit point.
+    if (latest != nullptr && latest->id == stream.to_id &&
+        latest->name == stream.to_name) {
+      return;
+    }
+    faults_->CrashPoint("receive_full/begin");
+  }
+
+  // Drop everything: live files and snapshots. A crash between here and the
+  // commit leaves an empty volume — the rejoining-node state §3.5 already
+  // handles: the next sync finds no local snapshot and full-resyncs.
   ReleaseTable(files_);
   files_.clear();
   for (const auto& snap : snapshots_) ReleaseTable(snap->files);
   snapshots_.clear();
-  Receive(stream);
+  if (faults_ != nullptr) faults_->CrashPoint("receive_full/dropped");
+
+  CommitReceive(stream, carried);
 }
 
 std::vector<util::Digest> Volume::CollectScrubDigests(
@@ -782,14 +1017,68 @@ Volume::RepairReport Volume::ScrubRepair(const store::BlockStore& peer) {
       ++report.unrepairable;  // peer missing the block, or corrupt as well
       continue;
     }
-    if (store_.Repair(to_verify[i], raw)) {
-      ++report.repaired;
-      report.repaired_bytes += raw.size();
-    } else {
+    try {
+      if (store_.Repair(to_verify[i], raw)) {
+        ++report.repaired;
+        report.repaired_bytes += raw.size();
+      } else {
+        ++report.unrepairable;
+      }
+    } catch (const store::NoSpaceError&) {
+      // A size-changing repair can outgrow a full pool. Skip-and-report:
+      // the block stays corrupt (readable only via peers), the scrub keeps
+      // going, and the caller sees the skip count instead of an abort.
+      ++report.no_space_skips;
       ++report.unrepairable;
     }
   }
   return report;
+}
+
+Volume::RepairReport Volume::ScrubRepair(RepairSession& session) {
+  RepairReport report;
+  const std::vector<util::Digest> to_verify =
+      CollectScrubDigests(&report.dangling_refs);
+  report.blocks_checked = to_verify.size();
+  const std::vector<std::uint8_t> ok = store_.VerifyBatch(to_verify);
+  for (std::size_t i = 0; i < to_verify.size(); ++i) {
+    if (ok[i]) continue;
+    ++report.errors_found;
+    std::uint64_t fetched = 0;
+    try {
+      if (session.RepairBlock(store_, to_verify[i], &fetched)) {
+        ++report.repaired;
+        report.repaired_bytes += fetched;
+      } else {
+        ++report.unrepairable;  // every live peer lied or lacks the block
+      }
+    } catch (const store::NoSpaceError&) {
+      ++report.no_space_skips;
+      ++report.unrepairable;
+    }
+  }
+  report.peers_blacklisted = session.peers_blacklisted();
+  report.resourced_blocks = session.resourced_blocks();
+  report.byzantine_rejected = session.byzantine_rejected();
+  return report;
+}
+
+util::Bytes Volume::ReadRangeRepair(const std::string& name,
+                                    std::uint64_t offset, std::uint64_t length,
+                                    RepairSession& session,
+                                    std::uint64_t* fetched_bytes) {
+  DigestSet repaired;
+  while (true) {
+    try {
+      return ReadRange(name, offset, length);
+    } catch (const store::BlockCorruptionError& e) {
+      // Same loop as the single-peer overload, but sourcing through the
+      // session: lying peers strike out and the block re-sources from the
+      // next replica instead of staying degraded.
+      if (!repaired.insert(e.digest()).second) throw;
+      if (!session.RepairBlock(store_, e.digest(), fetched_bytes)) throw e;
+    }
+  }
 }
 
 util::Bytes Volume::ReadRangeRepair(const std::string& name,
@@ -824,6 +1113,15 @@ bool Volume::CorruptBlockForTesting(const std::string& name,
   const BlockPtr& ptr = it->second.blocks[index];
   if (ptr.hole) return false;
   return store_.CorruptPayloadForTesting(ptr.digest);
+}
+
+bool Volume::TruncateBlockForTesting(const std::string& name,
+                                     std::uint64_t index) {
+  const auto it = files_.find(name);
+  if (it == files_.end() || index >= it->second.blocks.size()) return false;
+  const BlockPtr& ptr = it->second.blocks[index];
+  if (ptr.hole) return false;
+  return store_.CorruptTruncatePayloadForTesting(ptr.digest);
 }
 
 VolumeStats Volume::Stats() const {

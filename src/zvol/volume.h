@@ -48,6 +48,12 @@ struct VolumeConfig {
   /// in [1, 256]; 1 reproduces the unsharded layout byte-for-byte). Runtime
   /// tuning only — not part of the serialized volume state.
   std::size_t shards = store::BlockStoreConfig{}.shards;
+  /// Backing-pool capacity in bytes; 0 (the default) means unlimited. A
+  /// full pool surfaces as store::NoSpaceError from the mutating paths;
+  /// Receive additionally switches to its transactional (rollback) mode so
+  /// a mid-apply disk-full leaves the volume exactly as it was. Runtime
+  /// tuning only — not part of the serialized volume state.
+  std::uint64_t capacity_bytes = 0;
 };
 
 /// Thrown by file operations naming a file the live table does not hold.
@@ -89,6 +95,61 @@ struct FileMeta {
 };
 
 using FileTable = std::map<std::string, FileMeta>;
+
+/// One replica a repair layer can fetch clean blocks from. Peer 0 is, by
+/// convention, the authoritative storage node (never Byzantine under the
+/// fault model); higher ids are other compute nodes' ccVolume stores.
+struct RepairPeer {
+  std::uint32_t id = 0;
+  const store::BlockStore* store = nullptr;
+};
+
+/// Multi-peer repair with Byzantine-peer blacklisting. A session holds an
+/// ordered list of replicas and per-peer strike counters; RepairBlock tries
+/// peers in order, skipping blacklisted ones, and relies on
+/// BlockStore::Repair's re-hash as the one defence against wrong-but-
+/// well-formed payloads. A peer that *served bytes* failing that digest
+/// check earns a strike (unavailability — missing block, its own copy
+/// corrupt — does not: honest peers fail that way too); kStrikeLimit
+/// strikes blacklist the peer for the rest of the session and the block is
+/// re-sourced from the next replica. Sessions are long-lived (one per
+/// degraded boot / scrub) so strikes accumulate across blocks — a
+/// consistent liar is identified after a handful of blocks and never
+/// consulted again. Not thread-safe; confine a session to one caller.
+class RepairSession {
+ public:
+  static constexpr std::uint32_t kStrikeLimit = 3;
+
+  explicit RepairSession(std::vector<RepairPeer> peers,
+                         util::FaultInjector* faults = nullptr);
+
+  /// Fetches a clean copy of `digest` from the first non-blacklisted peer
+  /// that can supply one and applies it through `store.Repair` (which
+  /// re-hashes before accepting). Bytes served by lying peers still count
+  /// into `*fetched_bytes` — they crossed the wire. Returns false when no
+  /// peer could supply a verifying copy. Propagates store::NoSpaceError
+  /// when the repair itself cannot fit (callers skip-and-report).
+  bool RepairBlock(store::BlockStore& store, const util::Digest& digest,
+                   std::uint64_t* fetched_bytes = nullptr);
+
+  /// Peers currently blacklisted / blocks healed from a later replica after
+  /// an earlier one served wrong bytes / wrong payloads rejected by the
+  /// digest check. Cumulative over the session.
+  std::uint64_t peers_blacklisted() const;
+  std::uint64_t resourced_blocks() const { return resourced_blocks_; }
+  std::uint64_t byzantine_rejected() const { return byzantine_rejected_; }
+
+ private:
+  struct PeerState {
+    RepairPeer peer;
+    std::uint32_t strikes = 0;
+    bool blacklisted = false;
+  };
+  std::vector<PeerState> peers_;
+  util::FaultInjector* faults_;  // Byzantine mutation source; not owned
+  std::uint64_t resourced_blocks_ = 0;
+  std::uint64_t byzantine_rejected_ = 0;
+};
 
 struct Snapshot {
   std::uint64_t id = 0;          // monotonically increasing, cluster-coherent
@@ -202,10 +263,21 @@ class Volume {
   /// StreamMismatchError and the caller falls back to full replication
   /// (Section 3.5). On success the live table becomes `to` and a snapshot of
   /// it is recorded under the stream's `to` name/id/time.
+  ///
+  /// Crash consistency (DESIGN.md §15): with a fault injector armed (or a
+  /// pool capacity set) the apply runs transactionally — against a staged
+  /// copy of the file table with an undo log of store operations — so a
+  /// simulated crash (util::CrashError) or disk-full (store::NoSpaceError)
+  /// anywhere inside rolls the volume back to exactly its pre-call state,
+  /// and re-delivering a stream whose `to` snapshot already landed is an
+  /// idempotent no-op. Without an injector the non-staged legacy path runs,
+  /// bit-identical to previous behaviour.
   void Receive(const SendStream& stream);
 
   /// Drops all state and applies a full stream (the "node offline for more
-  /// than n days" recovery path).
+  /// than n days" recovery path). The stream is fully validated — shape,
+  /// checksums, payload decode — *before* anything is dropped, so a
+  /// mismatched or damaged stream leaves the volume untouched.
   void ReceiveFull(const SendStream& stream);
 
   // --- persistence -----------------------------------------------------------
@@ -241,6 +313,15 @@ class Volume {
     std::uint64_t unrepairable = 0;    // peer missing the block, or corrupt too
     std::uint64_t repaired_bytes = 0;  // logical bytes re-fetched
     std::uint64_t dangling_refs = 0;
+    /// Multi-peer (RepairSession) runs only: peers blacklisted for serving
+    /// wrong bytes, blocks healed from a later replica after an earlier one
+    /// lied, and wrong payloads rejected by the digest check.
+    std::uint64_t peers_blacklisted = 0;
+    std::uint64_t resourced_blocks = 0;
+    std::uint64_t byzantine_rejected = 0;
+    /// Blocks left unrepaired because the replacement extent did not fit
+    /// the pool capacity (skip-and-report; also counted in unrepairable).
+    std::uint64_t no_space_skips = 0;
   };
 
   /// Scrub + resilver: like Scrub, but every block that fails verification
@@ -250,6 +331,14 @@ class Volume {
   /// After a successful run (unrepairable == 0) a subsequent Scrub reports
   /// zero errors and reads return byte-identical content.
   RepairReport ScrubRepair(const store::BlockStore& peer);
+
+  /// Multi-peer scrub + resilver through a RepairSession: failed blocks are
+  /// re-sourced across the session's replicas with Byzantine-peer
+  /// blacklisting, and a block whose replacement extent no longer fits the
+  /// pool capacity is skipped-and-reported (no_space_skips) instead of
+  /// aborting the scrub. Session counters (peers_blacklisted,
+  /// resourced_blocks, byzantine_rejected) are snapshotted into the report.
+  RepairReport ScrubRepair(RepairSession& session);
 
   /// Degraded-mode read: ReadRange that, when the verified read path throws
   /// BlockCorruptionError, repairs the corrupt block from `peer` on demand
@@ -261,10 +350,27 @@ class Volume {
                               const store::BlockStore& peer,
                               std::uint64_t* fetched_bytes = nullptr);
 
+  /// Multi-peer degraded-mode read: like the single-peer overload but each
+  /// corrupt block is healed through the session (blacklisting, re-source).
+  /// Rethrows when no session peer can supply a clean copy.
+  util::Bytes ReadRangeRepair(const std::string& name, std::uint64_t offset,
+                              std::uint64_t length, RepairSession& session,
+                              std::uint64_t* fetched_bytes = nullptr);
+
   /// Applies the injector's stored-payload fault schedule to every block in
   /// the store (order-independent, per-digest). Returns blocks corrupted.
   std::size_t InjectFaults(util::FaultInjector& faults) {
     return store_.InjectFaults(faults);
+  }
+
+  /// Arms crash/disk-full fault sites on this volume and its store: Receive/
+  /// ReceiveFull run their crash points and switch to the transactional
+  /// (staged + rollback) apply path, and the store's commit-stage sites and
+  /// allocation-refused accounting activate. Pass nullptr to disarm. With no
+  /// injector armed every path is bit-identical to previous behaviour.
+  void SetFaultInjector(util::FaultInjector* faults) {
+    faults_ = faults;
+    store_.SetFaultInjector(faults);
   }
 
   // --- accounting ----------------------------------------------------------
@@ -281,14 +387,43 @@ class Volume {
   /// Exists for scrub and failure-injection tests only.
   bool CorruptBlockForTesting(const std::string& name, std::uint64_t index);
 
+  /// Test hook: truncates the stored payload of the block backing file
+  /// `name` at block `index` with matching accounting (see
+  /// BlockStore::CorruptTruncatePayloadForTesting) — the setup that makes a
+  /// later Repair need a larger extent. Returns false for holes.
+  bool TruncateBlockForTesting(const std::string& name, std::uint64_t index);
+
  private:
+  class StoreTxn;
+  /// One validated, decompressed carried payload of a stream, in stream
+  /// order (ValidateStream output, ApplyStreamToTable input).
+  struct CarriedPayload {
+    const BlockRecord* rec = nullptr;
+    util::Bytes raw;
+  };
+
   void ReleaseTable(const FileTable& table);
   void RetainTable(const FileTable& table);
   /// Staged batch ingest: reads `data` in batches of ingest.batch_blocks,
   /// zero-detects the chunks in parallel, and feeds the non-hole blocks to
   /// BlockStore::PutBatch (parallel hash + compress, ordered commit).
   FileMeta IngestSource(const util::DataSource& data);
-  void ApplyStreamToTable(const SendStream& stream, FileTable& table);
+  /// Validate-before-mutate stage of Receive: checks stream structure and
+  /// record checksums and decompresses every carried payload, touching no
+  /// table or store state. Throws StreamCorruptError / StreamMismatchError
+  /// on damage; on success the returned payloads feed ApplyStreamToTable.
+  std::vector<CarriedPayload> ValidateStream(const SendStream& stream) const;
+  /// Applies a validated stream to `table`. With `txn` set, every store
+  /// operation is routed through the undo log (transactional mode) and the
+  /// volume crash sites fire; with `txn == nullptr` this is the legacy
+  /// in-place apply.
+  void ApplyStreamToTable(const SendStream& stream, FileTable& table,
+                          std::vector<CarriedPayload>& carried, StoreTxn* txn);
+  /// Shared tail of Receive/ReceiveFull after validation: applies the
+  /// stream (transactionally when faults or a capacity are armed) and
+  /// records the `to` snapshot.
+  void CommitReceive(const SendStream& stream,
+                     std::vector<CarriedPayload>& carried);
   /// Shared scrub walk: unique digests referenced by the live table and all
   /// snapshots; dangling references are counted into *dangling_refs.
   std::vector<util::Digest> CollectScrubDigests(
@@ -306,6 +441,7 @@ class Volume {
   // unique_ptr storage keeps Snapshot references stable across push_back.
   std::vector<std::unique_ptr<Snapshot>> snapshots_;
   std::uint64_t next_snapshot_id_ = 1;
+  util::FaultInjector* faults_ = nullptr;  // crash sites; not owned
 };
 
 }  // namespace squirrel::zvol

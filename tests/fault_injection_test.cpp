@@ -148,6 +148,100 @@ TEST(FaultInjector, TruncateShrinksDeterministically) {
   EXPECT_EQ(a.size(), b.size());
 }
 
+// --- crash points -------------------------------------------------------------
+
+TEST(FaultInjector, ArmedCrashFiresAtExactlyTheNthSite) {
+  FaultInjector faults(31, FaultProfile{});
+  faults.ArmCrashAt(2);
+  faults.CrashPoint("a");
+  faults.CrashPoint("b");
+  try {
+    faults.CrashPoint("c");
+    FAIL() << "armed crash did not fire";
+  } catch (const util::CrashError& e) {
+    EXPECT_EQ(e.site(), "c");
+  }
+  EXPECT_FALSE(faults.crash_armed());  // one-shot
+  EXPECT_EQ(faults.stats().crashes_injected, 1u);
+  faults.CrashPoint("c");  // disarmed: a no-op at rate 0
+  EXPECT_EQ(faults.crash_sites_passed(), 4u);
+}
+
+TEST(FaultInjector, CrashRateIsPositionKeyedAndDeterministic) {
+  const FaultProfile profile{.crash_rate = 0.4};
+  FaultInjector first(17, profile);
+  FaultInjector second(17, profile);
+  std::vector<bool> a, b;
+  for (int i = 0; i < 64; ++i) {
+    bool crashed = false;
+    try {
+      first.CrashPoint("receive/file", 3);
+    } catch (const util::CrashError&) {
+      crashed = true;
+    }
+    a.push_back(crashed);
+    crashed = false;
+    try {
+      second.CrashPoint("receive/file", 3);
+    } catch (const util::CrashError&) {
+      crashed = true;
+    }
+    b.push_back(crashed);
+  }
+  // Identical schedules across runs; position-keying makes the *same* site
+  // a fresh coin flip at each interrogation, so both outcomes appear and a
+  // retry is never doomed to repeat its crash.
+  EXPECT_EQ(a, b);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST(FaultInjector, ArmedOnlySitesIgnoreTheCrashRate) {
+  FaultInjector faults(23, FaultProfile{.crash_rate = 1.0});
+  for (int i = 0; i < 32; ++i) {
+    faults.CrashPointArmedOnly("store/commit");  // must never throw unarmed
+  }
+  faults.ArmCrashAt(0);
+  EXPECT_THROW(faults.CrashPointArmedOnly("store/commit"), util::CrashError);
+}
+
+// --- byzantine peers ----------------------------------------------------------
+
+TEST(FaultInjector, ByzantinePeersDeterministicAndPeerZeroHonest) {
+  const FaultProfile profile{.byzantine_peer_rate = 0.5};
+  FaultInjector first(41, profile);
+  FaultInjector second(41, profile);
+  int byzantine = 0;
+  for (std::uint32_t peer = 0; peer < 64; ++peer) {
+    EXPECT_EQ(first.PeerIsByzantine(peer), second.PeerIsByzantine(peer));
+    byzantine += first.PeerIsByzantine(peer);
+  }
+  EXPECT_GT(byzantine, 0);
+  EXPECT_LT(byzantine, 64);
+  // The storage node is authoritative even at rate 1.0.
+  FaultInjector all(41, FaultProfile{.byzantine_peer_rate = 1.0});
+  EXPECT_FALSE(all.PeerIsByzantine(0));
+  EXPECT_TRUE(all.PeerIsByzantine(1));
+}
+
+TEST(FaultInjector, MutatePayloadIsAConsistentPerPeerLie) {
+  FaultInjector faults(43, FaultProfile{.byzantine_peer_rate = 1.0});
+  const Bytes original(512, 0x5a);
+  Bytes first = original;
+  Bytes second = original;
+  faults.MutatePayload(7, DigestOf(9), first);
+  faults.MutatePayload(7, DigestOf(9), second);
+  EXPECT_NE(first, original);        // well-formed but wrong
+  EXPECT_EQ(first.size(), original.size());
+  EXPECT_EQ(first, second);          // retrying re-serves the same lie
+  Bytes other_peer = original;
+  faults.MutatePayload(8, DigestOf(9), other_peer);
+  EXPECT_NE(other_peer, first);      // lies are per (peer, digest)
+  EXPECT_EQ(faults.stats().byzantine_served, 3u);
+  faults.RecordByzantineDetected();
+  EXPECT_EQ(faults.stats().byzantine_detected, 1u);
+}
+
 // --- corruption-verified reads ------------------------------------------------
 
 zvol::VolumeConfig SmallVolumeConfig(std::uint32_t threads = 0) {

@@ -1,0 +1,76 @@
+// Strict-unwind assertion helpers shared by the crash / disk-full / fuzz
+// suites: after any unwound failure (simulated crash, NoSpaceError,
+// mid-apply stream damage) the store's internal accounting must still be
+// self-consistent and the volume's reference counts conserved.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "store/block_store.h"
+#include "zvol/volume.h"
+
+namespace squirrel::test {
+
+/// Full store self-check: recounted stats vs recorded, no zero-refcount
+/// entries, sector alignment, space-map accounting (allocated == sum of
+/// physical sizes, pool == allocated + holes), no overlapping extents.
+inline void ExpectStoreInvariants(const store::BlockStore& store,
+                                  const std::string& context = "") {
+  const store::InvariantReport report = store.CheckInvariants();
+  EXPECT_TRUE(report.ok) << context
+                         << (context.empty() ? "" : ": ") << report.detail;
+}
+
+/// Block references reachable from the volume's live table and every
+/// snapshot — what the store's total_refs must equal (conservation).
+inline std::uint64_t CountReachableRefs(const zvol::Volume& volume) {
+  std::uint64_t refs = 0;
+  for (const std::string& name : volume.FileNames()) {
+    const std::uint64_t blocks = volume.FileBlockCount(name);
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      refs += !volume.FileBlock(name, b).hole;
+    }
+  }
+  for (const auto& snap : volume.snapshots()) {
+    for (const auto& [name, meta] : snap->files) {
+      for (const zvol::BlockPtr& ptr : meta.blocks) refs += !ptr.hole;
+    }
+  }
+  return refs;
+}
+
+/// Store invariants plus volume-level refcount conservation.
+inline void ExpectVolumeInvariants(const zvol::Volume& volume,
+                                   const std::string& context = "") {
+  ExpectStoreInvariants(volume.block_store(), context);
+  EXPECT_EQ(volume.block_store().stats().total_refs,
+            CountReachableRefs(volume))
+      << context << (context.empty() ? "" : ": ")
+      << "refcount conservation violated";
+}
+
+/// Scoped checker: asserts the volume invariants at construction and again
+/// at scope exit, bracketing a block of operations that may unwind.
+class VolumeInvariantGuard {
+ public:
+  explicit VolumeInvariantGuard(const zvol::Volume& volume,
+                                std::string context = "")
+      : volume_(volume), context_(std::move(context)) {
+    ExpectVolumeInvariants(volume_, context_ + " (enter)");
+  }
+  ~VolumeInvariantGuard() {
+    ExpectVolumeInvariants(volume_, context_ + " (exit)");
+  }
+
+  VolumeInvariantGuard(const VolumeInvariantGuard&) = delete;
+  VolumeInvariantGuard& operator=(const VolumeInvariantGuard&) = delete;
+
+ private:
+  const zvol::Volume& volume_;
+  std::string context_;
+};
+
+}  // namespace squirrel::test
