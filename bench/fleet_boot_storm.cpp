@@ -16,6 +16,12 @@
 //   --shards=N  store shard count for the calibration cluster (default 1,
 //               which keeps BENCH_fleet.json byte-identical to the
 //               unsharded store)
+//   --stripe k+m           striped placement: erasure-code each cache block
+//                          into k data + m parity shards per storage set
+//                          (e.g. --stripe 4+2); default off keeps the JSON
+//                          byte-identical to full replication
+//   --storage-set-size S   failure-domain size (requires --stripe; default
+//                          and minimum k+m)
 #include <cstdio>
 
 #include "bench/harness.h"
@@ -35,9 +41,17 @@ int main(int argc, char** argv) {
               "fleet-scale boot storms (ROADMAP fleet item; §3.2/§3.5 at "
               "region scale)",
               options.base);
-  std::printf("fleet: %u nodes, zipf %.3f, storm %s, store shards %u\n\n",
+  std::printf("fleet: %u nodes, zipf %.3f, storm %s, store shards %u\n",
               options.nodes, options.zipf_s, options.storm.c_str(),
               options.shards);
+  if (options.placement) {
+    std::printf("placement: striped %u+%u, storage sets of %u\n",
+                options.data_shards, options.parity_shards,
+                options.storage_set_size != 0
+                    ? options.storage_set_size
+                    : options.data_shards + options.parity_shards);
+  }
+  std::printf("\n");
 
   // Calibrate the per-boot cost model from a real single-node cluster.
   const sim::fleet::FleetModel model = core::CalibrateFleetModel(
@@ -59,6 +73,15 @@ int main(int argc, char** argv) {
     config.run_autoscale = options.storm == "autoscale";
     config.run_patch = options.storm == "patch";
     config.run_churn = options.storm == "churn";
+  }
+  if (options.placement) {
+    config.placement_enabled = true;
+    config.data_shards = options.data_shards;
+    config.parity_shards = options.parity_shards;
+    config.storage_set_size =
+        options.storage_set_size != 0
+            ? options.storage_set_size
+            : options.data_shards + options.parity_shards;
   }
 
   sim::fleet::FleetScenario scenario(config);

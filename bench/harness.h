@@ -146,7 +146,34 @@ struct FleetOptions {
   /// [1, 256]). Defaults to 1 so BENCH_fleet.json stays byte-identical to
   /// the pre-sharding store.
   std::uint32_t shards = 1;
+  /// Striped-placement model (ISSUE 9): `--stripe k+m` (e.g. `--stripe 4+2`)
+  /// enables it; `--storage-set-size S` sets the failure-domain size
+  /// (defaults to k+m, must be >= k+m, and requires --stripe). Both off by
+  /// default so BENCH_fleet.json stays byte-identical.
+  bool placement = false;
+  std::uint32_t storage_set_size = 0;  // 0 = data+parity
+  std::uint32_t data_shards = 4;
+  std::uint32_t parity_shards = 2;
 };
+
+/// Parses `--stripe`'s "k+m" value (e.g. "4+2"): strictly two unsigned
+/// integers joined by '+', k >= 1, m >= 1, k+m <= 256.
+inline void ParseStripe(const std::string& arg, const char* v,
+                        std::uint32_t* data_shards,
+                        std::uint32_t* parity_shards) {
+  const char* plus = std::strchr(v, '+');
+  if (plus == nullptr || plus == v || plus[1] == '\0') {
+    FlagError(arg, "must be k+m (e.g. 4+2)");
+  }
+  const std::string k_str(v, plus - v);
+  const std::uint64_t k =
+      ParseUnsigned(arg, k_str.c_str(), /*allow_zero=*/false, 255);
+  const std::uint64_t m =
+      ParseUnsigned(arg, plus + 1, /*allow_zero=*/false, 255);
+  if (k + m > 256) FlagError(arg, "k+m must be <= 256 (GF(256) stripes)");
+  *data_shards = static_cast<std::uint32_t>(k);
+  *parity_shards = static_cast<std::uint32_t>(m);
+}
 
 inline FleetOptions ParseFleetOptions(int argc, char** argv) {
   FleetOptions options;
@@ -184,9 +211,23 @@ inline FleetOptions ParseFleetOptions(int argc, char** argv) {
       if ((options.shards & (options.shards - 1)) != 0) {
         FlagError(arg, "must be a power of two in [1, 256]");
       }
+    } else if (const char* v = value("--stripe")) {
+      ParseStripe(arg, v, &options.data_shards, &options.parity_shards);
+      options.placement = true;
+    } else if (const char* v = value("--storage-set-size")) {
+      options.storage_set_size = static_cast<std::uint32_t>(
+          ParseUnsigned(arg, v, /*allow_zero=*/false, kU32Max));
     } else {
       rest.push_back(argv[i]);
     }
+  }
+  if (options.storage_set_size != 0 && !options.placement) {
+    FlagError("--storage-set-size", "requires --stripe");
+  }
+  if (options.placement && options.storage_set_size != 0 &&
+      options.storage_set_size <
+          options.data_shards + options.parity_shards) {
+    FlagError("--storage-set-size", "must be >= data+parity shards");
   }
   options.base = ParseOptions(static_cast<int>(rest.size()), rest.data());
   return options;

@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "core/scatter_gather.h"
+#include "placement/layout.h"
 #include "vmi/boot_profile.h"
 #include "zvol/volume.h"
 
@@ -96,6 +97,12 @@ struct SquirrelConfig {
   /// event-driven with chunked retransmissions contending for the sender
   /// link (see core/scatter_gather.h).
   ScatterGatherConfig transfer{};
+  /// Replication policy. The default (full replication) takes the exact
+  /// pre-placement code paths — byte-identical accounting. kStriped groups
+  /// compute nodes into storage sets and erasure-codes each unique block
+  /// across its set (see placement/layout.h and DESIGN.md §16); nodes in a
+  /// trailing set too small for a stripe keep full replicas.
+  placement::PlacementConfig placement{};
 };
 
 /// Profile-guided boot support (both directions of the profile lifecycle).

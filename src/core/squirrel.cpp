@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "placement/reconstruct.h"
+#include "placement/striped_device.h"
 #include "util/rng.h"
 
 namespace squirrel::core {
@@ -27,6 +29,44 @@ SquirrelCluster::SquirrelCluster(SquirrelConfig config,
   for (std::uint32_t i = 0; i < compute_count; ++i) {
     compute_nodes_.push_back(std::make_unique<ComputeNode>(i, config.volume));
   }
+  if (config_.placement.striped()) {
+    config_.placement.Validate();
+    layout_.emplace(config_.placement, compute_count);
+    codec_.emplace(config_.placement.data_shards,
+                   config_.placement.parity_shards);
+  }
+}
+
+std::uint64_t SquirrelCluster::InstallShards(ComputeNode& node) {
+  // Walk the scVolume's live table and install every shard this node should
+  // hold but doesn't. Dedup carries over to shards for free: a block shared
+  // with an earlier image already has its shard installed and is skipped, so
+  // the charged bytes shrink with cross-image similarity exactly like the
+  // full-replication diff streams do.
+  const std::uint32_t net_id = node.id() + 1;
+  std::uint64_t installed_bytes = 0;
+  for (const std::string& name : sc_volume_.FileNames()) {
+    const std::uint64_t count = sc_volume_.FileBlockCount(name);
+    for (std::uint64_t b = 0; b < count; ++b) {
+      const zvol::BlockPtr& ptr = sc_volume_.FileBlock(name, b);
+      if (ptr.hole) continue;
+      const std::optional<std::uint32_t> shard =
+          layout_->ShardOfNode(net_id, ptr.digest);
+      if (!shard.has_value()) continue;
+      if (node.shards().Contains(ptr.digest)) continue;
+      const util::Bytes raw = sc_volume_.block_store().Get(ptr.digest);
+      // Encode-on-ingest: the storage node computes the stripe once per
+      // block and ships one shard per member; receivers never see payloads
+      // they are not assigned.
+      std::vector<util::Bytes> shards = codec_->Encode(raw);
+      util::Bytes& mine = shards[*shard];
+      installed_bytes += mine.size();
+      node.shards().Put(ptr.digest, *shard,
+                        static_cast<std::uint32_t>(raw.size()),
+                        std::move(mine));
+    }
+  }
+  return installed_bytes;
 }
 
 RegistrationReport SquirrelCluster::Register(const RegisterRequest& request) {
@@ -58,6 +98,71 @@ RegistrationReport SquirrelCluster::Register(const RegisterRequest& request) {
   report.diff_wire_bytes = wire.size();
   report.total_seconds += static_cast<double>(wire.size()) /
                           config_.stream_processing_bytes_per_second;
+
+  if (layout_.has_value()) {
+    // Striped propagation: metadata (file table + block pointers, payloads
+    // stripped) multicasts to every online node — it is what Boot's striped
+    // cache device reads block pointers from — while payloads travel as one
+    // shard per set member (encode-on-ingest at the storage node). Nodes in
+    // sets too small for a stripe receive the whole stream, like the
+    // default policy. The scatter-gather retry engine stays on the
+    // full-replication path; striped delivery is modelled fault-free.
+    const zvol::SendStream parsed = zvol::SendStream::Deserialize(wire);
+    std::uint64_t payload_bytes = 0;
+    for (const auto& fr : parsed.files) {
+      for (const auto& br : fr.blocks) {
+        if (br.has_payload) payload_bytes += br.payload.size();
+      }
+    }
+    const std::uint64_t meta_bytes =
+        wire.size() > payload_bytes ? wire.size() - payload_bytes : 0;
+    std::vector<std::uint32_t> online_ids;
+    for (const auto& node : compute_nodes_) {
+      if (node->online()) online_ids.push_back(node->id() + 1);
+    }
+    report.total_seconds += network_.Multicast(0, online_ids, meta_bytes) / 1e9;
+    for (const auto& node : compute_nodes_) {
+      if (!node->online()) continue;
+      if (NodeStriped(node->id())) {
+        // A striped node that missed earlier diffs while offline catches up
+        // on its next boot-time sync, like the legacy stale-replica path.
+        if (parsed.incremental && node->shard_synced_id() != parsed.from_id) {
+          continue;
+        }
+        const std::uint64_t bytes = InstallShards(*node);
+        if (bytes > 0) {
+          report.total_seconds +=
+              network_.Transfer(0, node->id() + 1, bytes) / 1e9;
+        }
+        node->set_shard_synced_id(parsed.to_id);
+        ++report.receivers;
+      } else {
+        if (parsed.incremental &&
+            node->volume().LatestSnapshot() == nullptr) {
+          continue;
+        }
+        report.total_seconds +=
+            network_.Transfer(0, node->id() + 1, wire.size()) / 1e9;
+        try {
+          node->volume().Receive(parsed);
+          ++report.receivers;
+        } catch (const zvol::StreamMismatchError&) {
+          // Stale replica; resolved by SyncNode later.
+        } catch (const util::CrashError&) {
+          ++report.transfers.crashed_applies;
+        }
+      }
+    }
+
+    report.cache_logical_bytes = 0;
+    const std::string file = CacheFileName(image_id);
+    for (std::uint64_t b = 0; b < sc_volume_.FileBlockCount(file); ++b) {
+      const zvol::BlockPtr& ptr = sc_volume_.FileBlock(file, b);
+      if (!ptr.hole) report.cache_logical_bytes += ptr.logical_size;
+    }
+    registered_.push_back(image_id);
+    return report;
+  }
 
   std::vector<std::uint32_t> receivers;
   for (const auto& node : compute_nodes_) {
@@ -149,6 +254,25 @@ SyncReport SquirrelCluster::SyncNode(std::uint32_t compute_node, SimClock) {
   const zvol::Snapshot* sc_latest = sc_volume_.LatestSnapshot();
   if (sc_latest == nullptr) return report;  // nothing registered yet
 
+  if (NodeStriped(compute_node)) {
+    // Striped catch-up: rather than replaying diff streams, walk the
+    // current table and install every missing shard — idempotent and
+    // equivalent, since the shard layout is a pure function of the digest.
+    if (node.shard_synced_id() == sc_latest->id) return report;
+    report.full_resync = node.shard_synced_id() == 0;
+    const std::uint64_t bytes = InstallShards(node);
+    report.wire_bytes = bytes;
+    if (bytes > 0) {
+      report.seconds += network_.Transfer(0, compute_node + 1, bytes) / 1e9;
+      report.seconds += static_cast<double>(bytes) /
+                        config_.stream_processing_bytes_per_second;
+    }
+    report.snapshots_advanced =
+        static_cast<std::uint32_t>(sc_latest->id - node.shard_synced_id());
+    node.set_shard_synced_id(sc_latest->id);
+    return report;
+  }
+
   const zvol::Snapshot* local = node.volume().LatestSnapshot();
   if (local != nullptr && local->id == sc_latest->id) return report;
 
@@ -214,9 +338,64 @@ void SquirrelCluster::RunGc(SimClock now) {
   }
 }
 
+BootReport SquirrelCluster::BootStriped(std::uint32_t compute_node,
+                                        const BootRequest& request,
+                                        sim::IoContext& io) {
+  const util::DataSource& base_image = request.base_image;
+  const std::string file = CacheFileName(request.image_id);
+  if (!sc_volume_.HasFile(file)) {
+    throw std::invalid_argument("no registered cache for " + request.image_id);
+  }
+  const std::uint32_t net_id = compute_node + 1;
+  const std::uint64_t net_before = network_.bytes_in(net_id);
+
+  // The stripe: every member of this node's storage set, with its current
+  // liveness. An offline member's shards are unreachable — that is exactly
+  // the degraded case parity exists for.
+  std::vector<placement::ShardPeer> peers;
+  for (const std::uint32_t member :
+       layout_->SetMembers(layout_->SetOfNode(net_id))) {
+    const ComputeNode& m = *compute_nodes_.at(member - 1);
+    peers.push_back({member, &m.shards(), m.online(), member == net_id});
+  }
+  placement::ReconstructionSource source(&*codec_, std::move(peers));
+
+  // §3.3's chain with the striped cache layer: metadata from the replicated
+  // catalog (modelled by the scVolume's table), payloads gathered from the
+  // set, whole-block storage fetches only as a last resort.
+  cow::QcowOverlay overlay(base_image.size(), cow::kDefaultClusterSize);
+  placement::StripedFileDevice cache(&sc_volume_, file, &source,
+                                     &sc_volume_.block_store(), &io,
+                                     &network_, net_id);
+  sim::RemoteImageDevice base(&base_image, &io, &network_, net_id,
+                              request.allocation);
+  cow::Chain chain(&overlay, &cache, &base, /*copy_on_read=*/false);
+
+  BootReport report;
+  // Profile recording/replay, ARC warming and pre-heal are whole-replica
+  // features; a striped boot runs unprofiled (DESIGN.md §16).
+  report.result = sim::SimulateBoot(chain, request.trace, io,
+                                    request.boot_config, request.writes,
+                                    /*prefetch=*/nullptr);
+  report.network_bytes = network_.bytes_in(net_id) - net_before;
+  const placement::StripedFileDevice::StripedReadStats& stats = cache.stats();
+  report.reconstructed_blocks = stats.reconstructed_blocks;
+  report.parity_reads = stats.parity_reads;
+  report.reconstruct_fallbacks = stats.reconstruct_fallbacks;
+  report.shard_remote_bytes = stats.remote_shard_bytes;
+  // The storage-node fallback is the striped analogue of a degraded
+  // re-fetch: surface it through the existing repair counters.
+  report.repair_reads = stats.storage_fetches;
+  report.repaired_blocks_bytes = stats.storage_fetch_bytes;
+  return report;
+}
+
 BootReport SquirrelCluster::Boot(std::uint32_t compute_node,
                                  const BootRequest& request,
                                  sim::IoContext& io) {
+  if (NodeStriped(compute_node)) {
+    return BootStriped(compute_node, request, io);
+  }
   const util::DataSource& base_image = request.base_image;
   const BootProfileRun* profile = request.profile;
   ComputeNode& node = *compute_nodes_.at(compute_node);

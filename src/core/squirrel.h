@@ -34,6 +34,9 @@
 
 #include "core/config.h"
 #include "cow/chain.h"
+#include "placement/layout.h"
+#include "placement/reed_solomon.h"
+#include "placement/shard_store.h"
 #include "sim/boot_sim.h"
 #include "sim/devices.h"
 #include "sim/io_context.h"
@@ -118,6 +121,16 @@ struct BootReport {
   std::uint64_t byzantine_rejected = 0;
   std::uint64_t peers_blacklisted = 0;
   std::uint64_t resourced_blocks = 0;
+  /// Striped-placement boots only (zero under full replication): blocks
+  /// rebuilt through parity when a data-shard holder was unreachable,
+  /// parity shards those rebuilds consumed, and blocks the set could not
+  /// serve at all (more than m members down, or a rebuild that failed its
+  /// digest check) — each fallback is one whole-block storage-node refetch.
+  std::uint64_t reconstructed_blocks = 0;
+  std::uint64_t parity_reads = 0;
+  std::uint64_t reconstruct_fallbacks = 0;
+  /// Set-local shard traffic of a striped boot (included in network_bytes).
+  std::uint64_t shard_remote_bytes = 0;
 };
 
 /// One compute node: its ccVolume and availability state.
@@ -133,10 +146,22 @@ class ComputeNode {
   zvol::Volume& volume() { return volume_; }
   const zvol::Volume& volume() const { return volume_; }
 
+  /// Striped placement: this node's shard of each unique block (empty under
+  /// full replication, where `volume()` holds whole-block replicas instead).
+  placement::ShardStore& shards() { return shards_; }
+  const placement::ShardStore& shards() const { return shards_; }
+
+  /// Latest scVolume snapshot id whose shard set this node has installed
+  /// (the striped analogue of the ccVolume's own snapshot chain).
+  std::uint64_t shard_synced_id() const { return shard_synced_id_; }
+  void set_shard_synced_id(std::uint64_t id) { shard_synced_id_ = id; }
+
  private:
   std::uint32_t id_;
   bool online_ = true;
   zvol::Volume volume_;
+  placement::ShardStore shards_;
+  std::uint64_t shard_synced_id_ = 0;
 };
 
 class SquirrelCluster {
@@ -178,6 +203,16 @@ class SquirrelCluster {
   sim::NetworkAccountant& network() { return network_; }
   const SquirrelConfig& config() const { return config_; }
 
+  /// The storage-set layout, or nullptr under full replication.
+  const placement::StorageSetLayout* layout() const {
+    return layout_.has_value() ? &*layout_ : nullptr;
+  }
+  /// True when `compute_node` (0-based index) stores shards instead of
+  /// whole-block replicas.
+  bool NodeStriped(std::uint32_t compute_node) const {
+    return layout_.has_value() && layout_->NodeStriped(compute_node + 1);
+  }
+
   /// Arms fault injection on replication transfers, degraded boots, crash
   /// points inside every volume's Receive path, and the Byzantine peer
   /// model. The injector is borrowed (caller keeps ownership); nullptr
@@ -203,6 +238,16 @@ class SquirrelCluster {
   }
 
  private:
+  /// Striped propagation: installs every shard `node` should hold for the
+  /// scVolume's current file table but doesn't yet. Returns the shard bytes
+  /// newly installed (the node's wire cost).
+  std::uint64_t InstallShards(ComputeNode& node);
+
+  /// Boot through the striped cache device (placement::StripedFileDevice)
+  /// instead of the node's (empty) ccVolume replica.
+  BootReport BootStriped(std::uint32_t compute_node, const BootRequest& request,
+                         sim::IoContext& io);
+
   SquirrelConfig config_;
   zvol::Volume sc_volume_;
   std::vector<std::unique_ptr<ComputeNode>> compute_nodes_;
@@ -211,6 +256,10 @@ class SquirrelCluster {
   std::uint64_t registration_counter_ = 0;
   util::FaultInjector* faults_ = nullptr;  // borrowed; nullptr = no faults
   std::uint64_t transfer_counter_ = 0;
+  /// Striped placement only (nullopt under full replication, which must
+  /// stay byte-identical to the pre-placement paths).
+  std::optional<placement::StorageSetLayout> layout_;
+  std::optional<placement::ReedSolomon> codec_;
 };
 
 }  // namespace squirrel::core

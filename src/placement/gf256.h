@@ -1,0 +1,95 @@
+// GF(2^8) arithmetic for the Reed–Solomon shard codec.
+//
+// The field is GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1) — the 0x11D primitive
+// polynomial used by virtually every storage erasure code (ISA-L, Jerasure,
+// Backblaze). Multiplication and inversion go through log/exp tables built
+// once at static-init time from the generator α = 2; addition is XOR. All
+// operations are branch-light table lookups, constexpr-free on purpose: the
+// 768 bytes of tables are built by a dynamic initializer so the header stays
+// readable and the generator loop stays obviously correct.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace squirrel::placement {
+
+namespace gf256 {
+
+inline constexpr unsigned kPrimitivePoly = 0x11D;  // x^8+x^4+x^3+x^2+1
+inline constexpr int kFieldSize = 256;
+
+struct Tables {
+  // exp_[i] = α^i for i in [0, 510): doubled so Mul can skip a mod-255.
+  std::array<std::uint8_t, 510> exp_{};
+  // log_[v] = i with α^i = v, for v in [1, 256). log_[0] is unused (0).
+  std::array<std::uint16_t, 256> log_{};
+
+  Tables() {
+    unsigned v = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v);
+      exp_[static_cast<std::size_t>(i) + 255] = static_cast<std::uint8_t>(v);
+      log_[v] = static_cast<std::uint16_t>(i);
+      v <<= 1;
+      if (v & 0x100) v ^= kPrimitivePoly;
+    }
+  }
+};
+
+inline const Tables& T() {
+  static const Tables tables;
+  return tables;
+}
+
+/// Addition and subtraction coincide in characteristic 2.
+inline std::uint8_t Add(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::uint8_t>(a ^ b);
+}
+
+inline std::uint8_t Mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = T();
+  return t.exp_[static_cast<std::size_t>(t.log_[a]) + t.log_[b]];
+}
+
+/// Multiplicative inverse; `a` must be nonzero (0 has no inverse — callers
+/// guard, and the Cauchy construction guarantees nonzero pivots).
+inline std::uint8_t Inv(std::uint8_t a) {
+  const Tables& t = T();
+  return t.exp_[255 - t.log_[a]];
+}
+
+inline std::uint8_t Div(std::uint8_t a, std::uint8_t b) {
+  if (a == 0) return 0;
+  const Tables& t = T();
+  return t.exp_[static_cast<std::size_t>(t.log_[a]) + 255 - t.log_[b]];
+}
+
+/// α^n for n ≥ 0.
+inline std::uint8_t Pow(std::uint8_t a, unsigned n) {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = T();
+  return t.exp_[(static_cast<std::size_t>(t.log_[a]) * n) % 255];
+}
+
+/// out[i] ^= c * in[i] — the row-update kernel the codec spends its time in.
+inline void MulAccumulate(std::uint8_t c, const std::uint8_t* in,
+                          std::uint8_t* out, std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) out[i] ^= in[i];
+    return;
+  }
+  const Tables& t = T();
+  const std::uint16_t log_c = t.log_[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t v = in[i];
+    if (v != 0) out[i] ^= t.exp_[static_cast<std::size_t>(log_c) + t.log_[v]];
+  }
+}
+
+}  // namespace gf256
+
+}  // namespace squirrel::placement

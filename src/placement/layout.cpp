@@ -1,0 +1,103 @@
+#include "placement/layout.h"
+
+#include <string>
+
+#include "placement/gf256.h"
+
+namespace squirrel::placement {
+
+void PlacementConfig::Validate() const {
+  if (!striped()) return;
+  if (data_shards == 0) {
+    throw PlacementError("placement: data_shards must be >= 1");
+  }
+  if (parity_shards == 0) {
+    throw PlacementError("placement: parity_shards must be >= 1");
+  }
+  if (total_shards() > gf256::kFieldSize) {
+    throw PlacementError("placement: k + m must be <= 256, got " +
+                         std::to_string(total_shards()));
+  }
+  if (set_size() < total_shards()) {
+    throw PlacementError(
+        "placement: storage_set_size " + std::to_string(set_size()) +
+        " cannot hold a " + std::to_string(data_shards) + "+" +
+        std::to_string(parity_shards) + " stripe");
+  }
+}
+
+StorageSetLayout::StorageSetLayout(const PlacementConfig& config,
+                                   std::uint32_t compute_count)
+    : config_(config), compute_count_(compute_count) {
+  config_.Validate();
+}
+
+std::uint32_t StorageSetLayout::set_count() const {
+  if (compute_count_ == 0) return 0;
+  const std::uint32_t s = config_.set_size();
+  return (compute_count_ + s - 1) / s;
+}
+
+std::uint32_t StorageSetLayout::SetOfNode(std::uint32_t node_id) const {
+  if (node_id == 0 || node_id > compute_count_) {
+    throw PlacementError("placement: node id " + std::to_string(node_id) +
+                         " outside compute range 1.." +
+                         std::to_string(compute_count_));
+  }
+  return (node_id - 1) / config_.set_size();
+}
+
+std::uint32_t StorageSetLayout::ActualSetSize(std::uint32_t set_index) const {
+  const std::uint32_t s = config_.set_size();
+  const std::uint32_t first = set_index * s + 1;
+  const std::uint32_t last =
+      std::min<std::uint64_t>(compute_count_, std::uint64_t{first} + s - 1);
+  return last >= first ? last - first + 1 : 0;
+}
+
+std::vector<std::uint32_t> StorageSetLayout::SetMembers(
+    std::uint32_t set_index) const {
+  const std::uint32_t first = set_index * config_.set_size() + 1;
+  std::vector<std::uint32_t> members;
+  members.reserve(ActualSetSize(set_index));
+  for (std::uint32_t i = 0; i < ActualSetSize(set_index); ++i) {
+    members.push_back(first + i);
+  }
+  return members;
+}
+
+bool StorageSetLayout::StripedSet(std::uint32_t set_index) const {
+  return config_.striped() &&
+         ActualSetSize(set_index) >= config_.total_shards();
+}
+
+std::uint32_t StorageSetLayout::NodeForShard(std::uint32_t set_index,
+                                             const util::Digest& digest,
+                                             std::uint32_t shard) const {
+  const std::uint32_t size = ActualSetSize(set_index);
+  if (size < config_.total_shards()) {
+    throw PlacementError("placement: set " + std::to_string(set_index) +
+                         " is not striped");
+  }
+  const std::uint32_t member =
+      static_cast<std::uint32_t>((digest.Prefix64() + shard) % size);
+  return set_index * config_.set_size() + 1 + member;
+}
+
+std::optional<std::uint32_t> StorageSetLayout::ShardOfNode(
+    std::uint32_t node_id, const util::Digest& digest) const {
+  if (!config_.striped()) return std::nullopt;
+  const std::uint32_t set_index = SetOfNode(node_id);
+  const std::uint32_t size = ActualSetSize(set_index);
+  if (size < config_.total_shards()) return std::nullopt;
+  const std::uint32_t member =
+      node_id - (set_index * config_.set_size() + 1);
+  // member == (Prefix64 + shard) mod size  ⇒  shard = (member - base) mod size
+  const std::uint32_t base =
+      static_cast<std::uint32_t>(digest.Prefix64() % size);
+  const std::uint32_t shard = (member + size - base) % size;
+  if (shard >= config_.total_shards()) return std::nullopt;
+  return shard;
+}
+
+}  // namespace squirrel::placement

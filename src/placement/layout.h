@@ -1,0 +1,113 @@
+// Placement policy: storage sets and the digest-keyed stripe layout.
+//
+// A PlacementConfig selects between the paper's full replication (every
+// compute node hoards every boot working set — the default, byte-identical
+// to the pre-placement code paths) and erasure-coded striping. Under
+// striping, compute nodes are grouped into fixed-size **storage sets**
+// (failure domains, cortx-motr R2 style): consecutive node ids
+// [1..set_size], [set_size+1..2·set_size], … Each storage set holds the
+// complete working set, striped internally: every unique block is split
+// into k data shards plus m Reed–Solomon parity shards, and shard j of a
+// block with digest d lives on set member
+//
+//     (Prefix64(d) + j) mod S        (S = actual set size ≥ k + m)
+//
+// The layout is a pure function of (digest, set size) — no state, no
+// rebalancing, no coordination. Every node, the storage node and every test
+// computes the same placement from the same digest, which is the placement
+// determinism contract: re-running a registration, replaying a boot, or
+// rebuilding a node's shard set after a wipe always lands the same shards
+// on the same members.
+//
+// A trailing set smaller than k + m cannot hold a full stripe; its members
+// fall back to full replication (StripedSet() reports false) so no
+// configuration silently loses redundancy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/error.h"
+#include "util/hash.h"
+
+namespace squirrel::placement {
+
+/// Thrown for invalid placement parameters (zero shards, set smaller than
+/// the stripe, k + m > 256).
+class PlacementError : public Error {
+ public:
+  using Error::Error;
+};
+
+enum class PolicyKind {
+  kFullReplication,  // paper default: every node replicates everything
+  kStriped,          // erasure-coded partial replication across storage sets
+};
+
+struct PlacementConfig {
+  PolicyKind policy = PolicyKind::kFullReplication;
+  /// Nodes per storage set (failure domain). 0 = data_shards + parity_shards.
+  std::uint32_t storage_set_size = 0;
+  std::uint32_t data_shards = 4;    // k
+  std::uint32_t parity_shards = 2;  // m
+
+  bool striped() const { return policy == PolicyKind::kStriped; }
+  std::uint32_t total_shards() const { return data_shards + parity_shards; }
+  std::uint32_t set_size() const {
+    return storage_set_size != 0 ? storage_set_size : total_shards();
+  }
+
+  /// Throws PlacementError on unusable parameters. A full-replication
+  /// config always validates (the stripe fields are ignored).
+  void Validate() const;
+};
+
+/// The deterministic node-grouping and shard-assignment function for one
+/// cluster (compute node ids 1..compute_count; node 0 is the storage node).
+class StorageSetLayout {
+ public:
+  StorageSetLayout(const PlacementConfig& config, std::uint32_t compute_count);
+
+  const PlacementConfig& config() const { return config_; }
+  std::uint32_t compute_count() const { return compute_count_; }
+  std::uint32_t set_count() const;
+
+  /// Storage set of a compute node (node ids are 1-based).
+  std::uint32_t SetOfNode(std::uint32_t node_id) const;
+
+  /// Members of a set, as node ids in ascending order. The trailing set may
+  /// be smaller than set_size().
+  std::vector<std::uint32_t> SetMembers(std::uint32_t set_index) const;
+
+  /// True when the set is large enough to hold a (k + m) stripe. Undersized
+  /// trailing sets fall back to full replication.
+  bool StripedSet(std::uint32_t set_index) const;
+
+  /// Node id of the member holding shard `shard` (0-based, data then
+  /// parity) of the block with digest `digest`, within `set_index`.
+  /// The set must be striped.
+  std::uint32_t NodeForShard(std::uint32_t set_index,
+                             const util::Digest& digest,
+                             std::uint32_t shard) const;
+
+  /// The shard of `digest` that `node_id` holds, or nullopt when the node
+  /// holds none (set larger than k + m) or its set is not striped. Since
+  /// k + m ≤ set size, a member holds at most one shard per block.
+  std::optional<std::uint32_t> ShardOfNode(std::uint32_t node_id,
+                                           const util::Digest& digest) const;
+
+  /// True when this node's set stripes (i.e. the node stores shards, not
+  /// full replicas).
+  bool NodeStriped(std::uint32_t node_id) const {
+    return config_.striped() && StripedSet(SetOfNode(node_id));
+  }
+
+ private:
+  std::uint32_t ActualSetSize(std::uint32_t set_index) const;
+
+  PlacementConfig config_;
+  std::uint32_t compute_count_;
+};
+
+}  // namespace squirrel::placement

@@ -1,0 +1,197 @@
+#include "placement/reed_solomon.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "placement/gf256.h"
+
+namespace squirrel::placement {
+
+namespace {
+
+// Inverts a k×k GF(256) matrix in place via Gauss–Jordan with partial
+// pivoting. The matrices handed in are submatrices of [I ; Cauchy], which
+// are provably nonsingular; a zero pivot therefore indicates caller misuse
+// and throws rather than returning garbage.
+std::vector<std::vector<std::uint8_t>> InvertMatrix(
+    std::vector<std::vector<std::uint8_t>> a) {
+  const std::size_t n = a.size();
+  std::vector<std::vector<std::uint8_t>> inv(
+      n, std::vector<std::uint8_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) inv[i][i] = 1;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    while (pivot < n && a[pivot][col] == 0) ++pivot;
+    if (pivot == n) {
+      throw CodecError("singular decode matrix: duplicate or invalid shards");
+    }
+    std::swap(a[pivot], a[col]);
+    std::swap(inv[pivot], inv[col]);
+
+    const std::uint8_t scale = gf256::Inv(a[col][col]);
+    for (std::size_t j = 0; j < n; ++j) {
+      a[col][j] = gf256::Mul(a[col][j], scale);
+      inv[col][j] = gf256::Mul(inv[col][j], scale);
+    }
+    for (std::size_t row = 0; row < n; ++row) {
+      if (row == col) continue;
+      const std::uint8_t factor = a[row][col];
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        a[row][j] ^= gf256::Mul(factor, a[col][j]);
+        inv[row][j] ^= gf256::Mul(factor, inv[col][j]);
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(unsigned data_shards, unsigned parity_shards)
+    : k_(data_shards), m_(parity_shards) {
+  if (k_ == 0) throw CodecError("reed-solomon: data_shards must be >= 1");
+  if (m_ == 0) throw CodecError("reed-solomon: parity_shards must be >= 1");
+  if (k_ + m_ > gf256::kFieldSize) {
+    throw CodecError("reed-solomon: k + m must be <= 256, got " +
+                     std::to_string(k_ + m_));
+  }
+  parity_rows_.assign(m_, std::vector<std::uint8_t>(k_, 0));
+  for (unsigned i = 0; i < m_; ++i) {
+    for (unsigned j = 0; j < k_; ++j) {
+      // x_i = k + i and y_j = j are disjoint because i, j < k + m <= 256,
+      // so x + y is never zero and the inverse always exists.
+      parity_rows_[i][j] = gf256::Inv(
+          gf256::Add(static_cast<std::uint8_t>(k_ + i),
+                     static_cast<std::uint8_t>(j)));
+    }
+  }
+}
+
+std::uint64_t ReedSolomon::ShardSize(std::uint64_t payload_size) const {
+  if (payload_size == 0) return 0;
+  return util::CeilDiv(payload_size, k_);
+}
+
+std::vector<util::Bytes> ReedSolomon::Encode(util::ByteSpan payload) const {
+  const std::uint64_t shard_size = ShardSize(payload.size());
+  std::vector<util::Bytes> shards(k_);
+  for (unsigned j = 0; j < k_; ++j) {
+    const std::uint64_t begin =
+        std::min<std::uint64_t>(payload.size(), j * shard_size);
+    const std::uint64_t end =
+        std::min<std::uint64_t>(payload.size(), begin + shard_size);
+    shards[j].assign(shard_size, 0);
+    if (end > begin) {
+      std::memcpy(shards[j].data(), payload.data() + begin, end - begin);
+    }
+  }
+  std::vector<util::Bytes> parity = EncodeParity(shards);
+  for (auto& p : parity) shards.push_back(std::move(p));
+  return shards;
+}
+
+std::vector<util::Bytes> ReedSolomon::EncodeParity(
+    const std::vector<util::Bytes>& data_shards) const {
+  if (data_shards.size() != k_) {
+    throw CodecError("encode: expected " + std::to_string(k_) +
+                     " data shards, got " + std::to_string(data_shards.size()));
+  }
+  const std::size_t shard_size = data_shards[0].size();
+  for (const auto& s : data_shards) {
+    if (s.size() != shard_size) {
+      throw CodecError("encode: data shards must all have equal length");
+    }
+  }
+  std::vector<util::Bytes> parity(m_);
+  for (unsigned i = 0; i < m_; ++i) {
+    parity[i].assign(shard_size, 0);
+    for (unsigned j = 0; j < k_; ++j) {
+      gf256::MulAccumulate(parity_rows_[i][j], data_shards[j].data(),
+                           parity[i].data(), shard_size);
+    }
+  }
+  return parity;
+}
+
+util::Bytes ReedSolomon::Reconstruct(
+    const std::vector<std::optional<util::Bytes>>& shards,
+    std::uint64_t payload_size) const {
+  if (shards.size() != k_ + m_) {
+    throw CodecError("reconstruct: expected " + std::to_string(k_ + m_) +
+                     " shard slots, got " + std::to_string(shards.size()));
+  }
+  const std::uint64_t shard_size = ShardSize(payload_size);
+
+  // Pick the first k present shards, preferring data shards (identity rows
+  // make the decode matrix sparser and skip work when nothing is missing).
+  std::vector<unsigned> chosen;
+  chosen.reserve(k_);
+  for (unsigned i = 0; i < k_ + m_ && chosen.size() < k_; ++i) {
+    if (!shards[i].has_value()) continue;
+    if (shards[i]->size() != shard_size) {
+      throw CodecError("reconstruct: shard " + std::to_string(i) +
+                       " has wrong length");
+    }
+    chosen.push_back(i);
+  }
+  if (chosen.size() < k_) {
+    throw CodecError("reconstruct: only " + std::to_string(chosen.size()) +
+                     " of the required " + std::to_string(k_) +
+                     " shards present");
+  }
+
+  util::Bytes payload(payload_size, 0);
+  if (payload_size == 0) return payload;
+
+  // Fast path: all k data shards survive — reassembly is a straight copy.
+  bool all_data = true;
+  for (unsigned i = 0; i < k_; ++i) {
+    if (chosen[i] != i) {
+      all_data = false;
+      break;
+    }
+  }
+
+  std::vector<util::Bytes> data(k_);
+  if (all_data) {
+    for (unsigned j = 0; j < k_; ++j) data[j] = *shards[j];
+  } else {
+    // Rows of [I ; C] for the surviving shards, inverted to solve for the
+    // original data shards.
+    std::vector<std::vector<std::uint8_t>> mat(
+        k_, std::vector<std::uint8_t>(k_, 0));
+    for (unsigned r = 0; r < k_; ++r) {
+      const unsigned idx = chosen[r];
+      if (idx < k_) {
+        mat[r][idx] = 1;
+      } else {
+        mat[r] = parity_rows_[idx - k_];
+      }
+    }
+    const std::vector<std::vector<std::uint8_t>> inv =
+        InvertMatrix(std::move(mat));
+    for (unsigned j = 0; j < k_; ++j) {
+      data[j].assign(shard_size, 0);
+      for (unsigned r = 0; r < k_; ++r) {
+        gf256::MulAccumulate(inv[j][r], shards[chosen[r]]->data(),
+                             data[j].data(), shard_size);
+      }
+    }
+  }
+
+  for (unsigned j = 0; j < k_; ++j) {
+    const std::uint64_t begin =
+        std::min<std::uint64_t>(payload_size, j * shard_size);
+    const std::uint64_t end =
+        std::min<std::uint64_t>(payload_size, begin + shard_size);
+    if (end > begin) {
+      std::memcpy(payload.data() + begin, data[j].data(), end - begin);
+    }
+  }
+  return payload;
+}
+
+}  // namespace squirrel::placement

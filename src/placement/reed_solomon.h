@@ -1,0 +1,73 @@
+// Systematic Reed–Solomon erasure codec over GF(256).
+//
+// A (k, m) code turns k equal-length data shards into k + m shards such
+// that *any* k of them recover the originals. The generator is the
+// systematic matrix [I_k ; C] where C is the m×k Cauchy matrix
+//
+//   C[i][j] = 1 / (x_i + y_j),   x_i = k + i,  y_j = j   (GF(256) arithmetic)
+//
+// Every square submatrix of a Cauchy matrix is nonsingular, so every subset
+// of k rows of [I ; C] is invertible — decode succeeds for every erasure
+// pattern with at least k survivors, which the tests exhaustively verify.
+// Requires k + m ≤ 256 (x_i and y_j must be distinct field elements).
+//
+// The codec is stateless apart from the precomputed parity rows; encode and
+// decode are pure functions of the shard bytes, which is what makes the
+// placement layer's determinism contract (same digest → same shards on every
+// node, every run) hold for free.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace squirrel::placement {
+
+/// Thrown for unusable codec parameters (k = 0, m = 0, k + m > 256) or
+/// malformed shard sets (mismatched sizes, wrong counts).
+class CodecError : public Error {
+ public:
+  using Error::Error;
+};
+
+class ReedSolomon {
+ public:
+  ReedSolomon(unsigned data_shards, unsigned parity_shards);
+
+  unsigned data_shards() const { return k_; }
+  unsigned parity_shards() const { return m_; }
+  unsigned total_shards() const { return k_ + m_; }
+
+  /// Shard length for a payload of `payload_size` bytes: ceil(size / k).
+  /// The last data shard is zero-padded to this length.
+  std::uint64_t ShardSize(std::uint64_t payload_size) const;
+
+  /// Splits `payload` into k data shards of ShardSize(payload.size()) bytes
+  /// (zero-padded) and appends m parity shards. Result has k + m entries.
+  std::vector<util::Bytes> Encode(util::ByteSpan payload) const;
+
+  /// Computes the m parity shards for already-split data shards, which must
+  /// all have equal (nonzero) length.
+  std::vector<util::Bytes> EncodeParity(
+      const std::vector<util::Bytes>& data_shards) const;
+
+  /// Rebuilds the original payload from any k present shards.
+  /// `shards[i]` is shard i (data for i < k, parity for i ≥ k) or nullopt if
+  /// missing; present shards must share one length. `payload_size` strips the
+  /// zero padding. Throws CodecError if fewer than k shards are present.
+  util::Bytes Reconstruct(
+      const std::vector<std::optional<util::Bytes>>& shards,
+      std::uint64_t payload_size) const;
+
+ private:
+  unsigned k_;
+  unsigned m_;
+  // Cauchy parity rows: parity_rows_[i][j] is the coefficient of data shard
+  // j in parity shard i.
+  std::vector<std::vector<std::uint8_t>> parity_rows_;
+};
+
+}  // namespace squirrel::placement

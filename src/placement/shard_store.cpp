@@ -1,0 +1,34 @@
+#include "placement/shard_store.h"
+
+#include <utility>
+
+namespace squirrel::placement {
+
+void ShardStore::Put(const util::Digest& digest, std::uint32_t shard_index,
+                     std::uint32_t payload_size, util::Bytes bytes) {
+  auto [it, inserted] = shards_.try_emplace(digest);
+  if (!inserted) shard_bytes_ -= it->second.bytes.size();
+  it->second.shard_index = shard_index;
+  it->second.payload_size = payload_size;
+  it->second.bytes = std::move(bytes);
+  shard_bytes_ += it->second.bytes.size();
+}
+
+const ShardEntry* ShardStore::Find(const util::Digest& digest) const {
+  const auto it = shards_.find(digest);
+  return it == shards_.end() ? nullptr : &it->second;
+}
+
+void ShardStore::Erase(const util::Digest& digest) {
+  const auto it = shards_.find(digest);
+  if (it == shards_.end()) return;
+  shard_bytes_ -= it->second.bytes.size();
+  shards_.erase(it);
+}
+
+void ShardStore::Clear() {
+  shards_.clear();
+  shard_bytes_ = 0;
+}
+
+}  // namespace squirrel::placement

@@ -1,0 +1,61 @@
+// Per-node shard storage for the striped placement policy.
+//
+// Under striping a compute node no longer holds whole-block replicas in its
+// ccVolume; it holds at most one shard (data fragment or parity) per unique
+// block of its storage set's working set. The ShardStore is that side
+// table: digest → (shard index, payload size, shard bytes), with byte
+// accounting so benches can report disk-bytes-per-node. Shards are stored
+// raw (uncompressed) — the modelled trade-off is documented in DESIGN.md
+// §16: parity of compressed payloads would couple shard sizes to codec
+// output and break the fixed ceil(L/k) shard geometry.
+//
+// A node holds at most one shard per block (k + m ≤ set size), so the map
+// is keyed by digest alone. Put is idempotent per (digest, shard): the
+// registration and sync paths may install the same shard twice (e.g. a
+// re-sent stream) without double-counting bytes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/bytes.h"
+#include "util/hash.h"
+
+namespace squirrel::placement {
+
+struct ShardEntry {
+  std::uint32_t shard_index = 0;   // 0..k-1 data, k..k+m-1 parity
+  std::uint32_t payload_size = 0;  // whole-block logical size, pre-split
+  util::Bytes bytes;               // ceil(payload_size / k) shard bytes
+};
+
+class ShardStore {
+ public:
+  /// Installs (or re-installs) the node's shard of `digest`. Re-putting the
+  /// same digest replaces the entry and adjusts byte accounting.
+  void Put(const util::Digest& digest, std::uint32_t shard_index,
+           std::uint32_t payload_size, util::Bytes bytes);
+
+  /// The stored shard, or nullptr when this node holds none.
+  const ShardEntry* Find(const util::Digest& digest) const;
+
+  bool Contains(const util::Digest& digest) const {
+    return shards_.find(digest) != shards_.end();
+  }
+
+  /// Drops the shard of `digest` if present (GC of deregistered images).
+  void Erase(const util::Digest& digest);
+
+  void Clear();
+
+  std::uint64_t shard_count() const { return shards_.size(); }
+  /// Total stored shard payload bytes — the per-node disk footprint the
+  /// placement bench plots against full replication.
+  std::uint64_t shard_bytes() const { return shard_bytes_; }
+
+ private:
+  std::unordered_map<util::Digest, ShardEntry, util::DigestHasher> shards_;
+  std::uint64_t shard_bytes_ = 0;
+};
+
+}  // namespace squirrel::placement

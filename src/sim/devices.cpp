@@ -267,6 +267,13 @@ void VolumeFileDevice::SetRepairSources(std::vector<zvol::RepairPeer> peers,
   repair_node_id_ = node_id;
 }
 
+void VolumeFileDevice::SetReconstructionSource(
+    zvol::BlockReconstructor* reconstructor) {
+  if (repair_session_ != nullptr) {
+    repair_session_->SetReconstructionSource(reconstructor);
+  }
+}
+
 void VolumeFileDevice::SetProfileRecorder(vmi::BootProfile* profile) {
   profile_ = profile;
 }
@@ -432,6 +439,10 @@ void VolumeFileDevice::ReadAt(std::uint64_t offset, util::MutableByteSpan out) {
       degraded_.peers_blacklisted = repair_session_->peers_blacklisted();
       degraded_.resourced_blocks = repair_session_->resourced_blocks();
       degraded_.byzantine_rejected = repair_session_->byzantine_rejected();
+      degraded_.reconstructed_blocks = repair_session_->reconstructed_blocks();
+      degraded_.parity_reads = repair_session_->parity_reads();
+      degraded_.reconstruct_fallbacks =
+          repair_session_->reconstruct_fallbacks();
     } else {
       data = volume_->ReadRangeRepair(file_, offset, out.size(), *repair_peer_,
                                       &fetched);

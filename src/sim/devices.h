@@ -153,6 +153,12 @@ class VolumeFileDevice final : public cow::WritableDevice,
     std::uint64_t peers_blacklisted = 0;   // peers struck out for lying
     std::uint64_t resourced_blocks = 0;    // blocks healed from another peer
     std::uint64_t byzantine_rejected = 0;  // wrong payloads caught by digest
+    /// Stripe reconstruction (sessions with a reconstruction source only):
+    /// blocks rebuilt from erasure-coded shards, parity shards consumed,
+    /// and failed rebuilds that fell back to a whole-block fetch.
+    std::uint64_t reconstructed_blocks = 0;
+    std::uint64_t parity_reads = 0;
+    std::uint64_t reconstruct_fallbacks = 0;
   };
 
   /// Arms degraded-mode boots: when the verified read path reports a corrupt
@@ -173,6 +179,11 @@ class VolumeFileDevice final : public cow::WritableDevice,
   void SetRepairSources(std::vector<zvol::RepairPeer> peers,
                         NetworkAccountant* network, std::uint32_t node_id,
                         util::FaultInjector* faults);
+
+  /// Arms stripe reconstruction on the multi-peer session (see
+  /// zvol::RepairSession::SetReconstructionSource). Requires a prior
+  /// SetRepairSources call; borrowed, nullptr disarms.
+  void SetReconstructionSource(zvol::BlockReconstructor* reconstructor);
 
   const DegradedReadStats& degraded_stats() const { return degraded_; }
 

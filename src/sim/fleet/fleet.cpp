@@ -30,6 +30,34 @@ FleetScenario::FleetScenario(const FleetConfig& config)
       reg_slot_free_ns_(std::max<std::uint32_t>(config.registration_slots, 1),
                         0.0) {
   loop_.EnableTrace(config.trace);
+  if (config_.placement_enabled) {
+    const std::uint32_t stripe =
+        config_.data_shards + config_.parity_shards;
+    const std::uint32_t set_size =
+        std::max(config_.storage_set_size, stripe);
+    config_.storage_set_size = set_size;
+    set_count_ = config_.nodes / set_size;  // trailing nodes replicate
+    set_link_free_ns_.assign(set_count_, 0.0);
+  }
+}
+
+bool FleetScenario::NodeStriped(std::uint32_t node) const {
+  return config_.placement_enabled &&
+         node < set_count_ * config_.storage_set_size;
+}
+
+double FleetScenario::ShardFraction() const {
+  return static_cast<double>(config_.data_shards + config_.parity_shards) /
+         (static_cast<double>(config_.data_shards) *
+          static_cast<double>(config_.storage_set_size));
+}
+
+double FleetScenario::ReserveSetLink(std::uint32_t set, double bytes,
+                                     double earliest_ns) {
+  double& free_ns = set_link_free_ns_[set];
+  const double start = std::max(earliest_ns, free_ns);
+  free_ns = start + bytes / config_.set_link_bytes_per_second * 1e9;
+  return free_ns;
 }
 
 double FleetScenario::Jitter() {
@@ -98,13 +126,25 @@ void FleetScenario::ScheduleBoot(std::uint32_t node, std::uint32_t image,
     // path syncs before serving).
     double start = std::max(at_ns, node_available_ns_[node]);
     bool remote = start > at_ns;
+    const bool striped = NodeStriped(node);
     if (state.synced_version < image_version_[image]) {
-      // Stale replica: pull the image's cache from the storage node over
-      // the shared uplink (§3.5 fallback), then boot warm.
-      start = ReserveLink(m.cache_bytes, start);
+      // Stale replica: pull the image's cache (only this node's shard under
+      // striping) from the storage node over the shared uplink (§3.5
+      // fallback), then boot warm.
+      start = ReserveLink(
+          striped ? m.cache_bytes * ShardFraction() : m.cache_bytes, start);
       state.synced_version = cluster_version_;
       node_available_ns_[node] = start;
       remote = true;
+    }
+    if (striped) {
+      // The node holds 1/k of each block; the remaining data shards come
+      // from set peers over the per-set LAN link (FIFO within the set).
+      const double gather =
+          m.cache_bytes * (static_cast<double>(config_.data_shards - 1) /
+                           static_cast<double>(config_.data_shards));
+      start = ReserveSetLink(node / config_.storage_set_size, gather, start);
+      shard_gather_bytes_ += gather;
     }
     double exec_seconds =
         (m.prefetch_enabled ? m.prefetch_boot_seconds : m.warm_boot_seconds) *
@@ -114,6 +154,14 @@ void FleetScenario::ScheduleBoot(std::uint32_t node, std::uint32_t image,
       // critical path.
       exec_seconds += m.prefetch_enabled ? 0.25 * m.degraded_extra_seconds
                                          : m.degraded_extra_seconds;
+      if (striped) {
+        // A degraded striped boot rebuilds its blocks from parity instead of
+        // re-fetching replicas: Reed–Solomon decode CPU on the critical path.
+        const double decode = m.cache_bytes / config_.decode_bytes_per_second;
+        exec_seconds += decode;
+        decode_seconds_ += decode;
+        ++reconstructions_;
+      }
     }
     ++state.active_boots;
     loop_.Schedule(start + exec_seconds * 1e9, "boot-done",
@@ -160,9 +208,11 @@ void FleetScenario::ScheduleChurn() {
       if (behind > 0) {
         // SyncNode catch-up (§3.5): incremental diffs, capped at a full
         // resync of every cache when the node is too far behind.
-        const double bytes = std::min(
+        double bytes = std::min(
             static_cast<double>(behind) * config_.model.diff_bytes,
             config_.model.cache_bytes * static_cast<double>(config_.images));
+        // A striped node only catches up on its own shards.
+        if (NodeStriped(node)) bytes *= ShardFraction();
         node_available_ns_[node] = ReserveLink(bytes, loop_.now_ns());
         ++sync_catchups_;
         sync_bytes_ += bytes;
@@ -291,6 +341,17 @@ FleetReport FleetScenario::Run() {
   report.registration.completion_p99_seconds = reg_completion_.Quantile(99);
   report.registration.completion_max_seconds = reg_completion_.max();
   report.registration.all_under_minute = reg_completion_.max() < 60.0;
+  if (config_.placement_enabled) {
+    report.placement.enabled = true;
+    report.placement.storage_set_size = config_.storage_set_size;
+    report.placement.data_shards = config_.data_shards;
+    report.placement.parity_shards = config_.parity_shards;
+    report.placement.set_count = set_count_;
+    report.placement.per_node_capacity_fraction = ShardFraction();
+    report.placement.shard_gather_bytes = shard_gather_bytes_;
+    report.placement.reconstructions = reconstructions_;
+    report.placement.decode_seconds = decode_seconds_;
+  }
   return report;
 }
 
@@ -340,7 +401,29 @@ std::string FleetReport::ToJson() const {
   AppendF(out, "%.9g", registration.completion_max_seconds);
   out += ", \"all_under_minute\": ";
   out += registration.all_under_minute ? "true" : "false";
-  out += "},\n  \"totals\": {\"boots\": ";
+  out += "},\n";
+  if (placement.enabled) {
+    // Only striped runs carry this section, so default-policy output stays
+    // byte-identical to the pre-placement format.
+    out += "  \"placement\": {\"storage_set_size\": ";
+    AppendU(out, placement.storage_set_size);
+    out += ", \"data_shards\": ";
+    AppendU(out, placement.data_shards);
+    out += ", \"parity_shards\": ";
+    AppendU(out, placement.parity_shards);
+    out += ", \"set_count\": ";
+    AppendU(out, placement.set_count);
+    out += ", \"per_node_capacity_fraction\": ";
+    AppendF(out, "%.9g", placement.per_node_capacity_fraction);
+    out += ", \"shard_gather_bytes\": ";
+    AppendF(out, "%.9g", placement.shard_gather_bytes);
+    out += ", \"reconstructions\": ";
+    AppendU(out, placement.reconstructions);
+    out += ", \"decode_seconds\": ";
+    AppendF(out, "%.9g", placement.decode_seconds);
+    out += "},\n";
+  }
+  out += "  \"totals\": {\"boots\": ";
   AppendU(out, total_boots);
   out += ", \"sync_catchups\": ";
   AppendU(out, sync_catchups);

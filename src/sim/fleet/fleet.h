@@ -105,6 +105,42 @@ struct FleetConfig {
 
   /// Record the event trace (FormatTrace) for replay tests.
   bool trace = false;
+
+  // --- striped-placement model (ISSUE 9) ------------------------------------
+  // When enabled, compute nodes group into storage sets of
+  // `storage_set_size`; each node stores only its erasure-coded shard of
+  // every cache (a (data+parity)/(data·set_size) capacity fraction of full
+  // replication), boots gather the missing data shards from set peers over a
+  // per-set LAN link, and degraded boots rebuild blocks from parity (decode
+  // CPU on the critical path). Plain numbers, mirroring
+  // placement::PlacementConfig — the fleet sim must not depend on the
+  // placement library. A trailing set smaller than data+parity keeps full
+  // replicas (no gather, no shrink), matching the cluster's fallback.
+  // Default off: the report stays byte-identical to the pre-placement model
+  // (no extra RNG draws, no extra JSON).
+  bool placement_enabled = false;
+  std::uint32_t storage_set_size = 6;
+  std::uint32_t data_shards = 4;
+  std::uint32_t parity_shards = 2;
+  /// Intra-set LAN link for boot-time shard gathers (FIFO per set).
+  double set_link_bytes_per_second = 1.25e9;
+  /// Reed–Solomon decode throughput for parity rebuilds, bytes/second.
+  double decode_bytes_per_second = 1.25e9;
+};
+
+/// Striped-placement accounting (zeros and omitted from the JSON when the
+/// placement model is off).
+struct PlacementStats {
+  bool enabled = false;
+  std::uint32_t storage_set_size = 0;
+  std::uint32_t data_shards = 0;
+  std::uint32_t parity_shards = 0;
+  std::uint32_t set_count = 0;  // full stripes; trailing nodes replicate
+  /// Per-node cache capacity vs full replication: (k+m)/(k·set_size).
+  double per_node_capacity_fraction = 1.0;
+  double shard_gather_bytes = 0.0;  // intra-set boot traffic
+  std::uint64_t reconstructions = 0;  // degraded boots rebuilt from parity
+  double decode_seconds = 0.0;        // total decode CPU charged
 };
 
 struct PhaseStats {
@@ -147,6 +183,7 @@ struct FleetReport {
   double sync_bytes = 0.0;
   double sim_seconds = 0.0;
   std::uint64_t events_fired = 0;
+  PlacementStats placement{};
 
   /// Deterministic JSON: same report → byte-identical string.
   std::string ToJson() const;
@@ -187,6 +224,14 @@ class FleetScenario {
   double Jitter();
   std::uint32_t SampleImage();
 
+  /// True when `node` lives in a full stripe set (placement on and the node
+  /// is not in the trailing undersized set, which keeps full replicas).
+  bool NodeStriped(std::uint32_t node) const;
+  /// Per-node stored/transferred fraction of a cache vs full replication.
+  double ShardFraction() const;
+  /// FIFO reservation on one storage set's intra-set LAN link.
+  double ReserveSetLink(std::uint32_t set, double bytes, double earliest_ns);
+
   FleetConfig config_;
   event::EventLoop loop_;
   util::ZipfSampler zipf_;
@@ -207,6 +252,12 @@ class FleetScenario {
   std::uint64_t sync_catchups_ = 0;
   double sync_bytes_ = 0.0;
   std::uint64_t total_boots_ = 0;
+  /// Striped placement only (empty/zero when the model is off).
+  std::vector<double> set_link_free_ns_;
+  std::uint32_t set_count_ = 0;
+  double shard_gather_bytes_ = 0.0;
+  std::uint64_t reconstructions_ = 0;
+  double decode_seconds_ = 0.0;
 };
 
 }  // namespace squirrel::sim::fleet

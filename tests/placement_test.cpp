@@ -1,0 +1,332 @@
+// Placement layer units (ISSUE 9): GF(256) field axioms, Reed–Solomon
+// roundtrips over every erasure pattern up to m losses, the deterministic
+// storage-set layout, the shard side table, and seeded corrupt-shard fuzz
+// (the *CorruptionFuzz* family runs under ASan).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "placement/gf256.h"
+#include "placement/layout.h"
+#include "placement/reed_solomon.h"
+#include "placement/shard_store.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace squirrel::placement {
+namespace {
+
+using util::Bytes;
+
+Bytes MakePayload(std::size_t size, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Bytes payload(size);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.Next());
+  return payload;
+}
+
+util::Digest DigestOf(std::uint64_t seed) {
+  const Bytes payload = MakePayload(32, seed);
+  return util::HashBlock(payload);
+}
+
+// --- GF(256) field axioms ---------------------------------------------------
+
+TEST(PlacementGf256, AdditionIsXorAndSelfInverse) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(gf256::Add(static_cast<std::uint8_t>(a), 0),
+              static_cast<std::uint8_t>(a));
+    EXPECT_EQ(gf256::Add(static_cast<std::uint8_t>(a),
+                         static_cast<std::uint8_t>(a)),
+              0);
+  }
+}
+
+TEST(PlacementGf256, MultiplicationIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf256::Mul(x, 1), x);
+    EXPECT_EQ(gf256::Mul(1, x), x);
+    EXPECT_EQ(gf256::Mul(x, 0), 0);
+    EXPECT_EQ(gf256::Mul(0, x), 0);
+  }
+}
+
+TEST(PlacementGf256, MultiplicationCommutesAndAssociates) {
+  // Spot-check associativity/commutativity on a seeded sample (full triple
+  // product space is 2^24 — overkill for a unit suite).
+  util::Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.Next());
+    const auto b = static_cast<std::uint8_t>(rng.Next());
+    const auto c = static_cast<std::uint8_t>(rng.Next());
+    EXPECT_EQ(gf256::Mul(a, b), gf256::Mul(b, a));
+    EXPECT_EQ(gf256::Mul(gf256::Mul(a, b), c), gf256::Mul(a, gf256::Mul(b, c)));
+    EXPECT_EQ(gf256::Mul(a, gf256::Add(b, c)),
+              gf256::Add(gf256::Mul(a, b), gf256::Mul(a, c)))
+        << "distributivity";
+  }
+}
+
+TEST(PlacementGf256, EveryNonzeroElementHasAnInverse) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    const std::uint8_t inv = gf256::Inv(x);
+    EXPECT_EQ(gf256::Mul(x, inv), 1) << "a = " << a;
+    EXPECT_EQ(gf256::Div(x, x), 1);
+  }
+}
+
+TEST(PlacementGf256, MulAccumulateMatchesScalarLoop) {
+  const Bytes in = MakePayload(257, 7);
+  for (const std::uint8_t c : {0, 1, 2, 29, 255}) {
+    Bytes out(in.size(), 0x5A);
+    Bytes expected = out;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      expected[i] = gf256::Add(expected[i], gf256::Mul(c, in[i]));
+    }
+    gf256::MulAccumulate(c, in.data(), out.data(), in.size());
+    EXPECT_EQ(out, expected) << "c = " << unsigned(c);
+  }
+}
+
+// --- Reed–Solomon ----------------------------------------------------------
+
+TEST(PlacementReedSolomon, RejectsUnusableParameters) {
+  EXPECT_THROW(ReedSolomon(0, 1), CodecError);
+  EXPECT_THROW(ReedSolomon(1, 0), CodecError);
+  EXPECT_THROW(ReedSolomon(200, 57), CodecError);  // k + m > 256
+  EXPECT_NO_THROW(ReedSolomon(200, 56));
+}
+
+TEST(PlacementReedSolomon, ShardGeometry) {
+  const ReedSolomon rs(4, 2);
+  EXPECT_EQ(rs.ShardSize(0), 0u);
+  EXPECT_EQ(rs.ShardSize(1), 1u);
+  EXPECT_EQ(rs.ShardSize(4), 1u);
+  EXPECT_EQ(rs.ShardSize(5), 2u);
+  EXPECT_EQ(rs.ShardSize(65536), 16384u);
+}
+
+// Every erasure pattern with at most m losses must decode, for several
+// (k, m) geometries and payload sizes (including non-multiples of k).
+TEST(PlacementReedSolomon, RoundtripEveryErasurePatternUpToMLosses) {
+  const std::vector<std::pair<unsigned, unsigned>> geometries = {
+      {1, 1}, {2, 1}, {2, 2}, {3, 2}, {4, 2}, {5, 3}};
+  for (const auto& [k, m] : geometries) {
+    const ReedSolomon rs(k, m);
+    const unsigned n = k + m;
+    for (const std::size_t size : {std::size_t{1}, std::size_t{k * 13 + 1},
+                                   std::size_t{4096}}) {
+      const Bytes payload = MakePayload(size, 1000 + k * 10 + m);
+      const std::vector<Bytes> shards = rs.Encode(payload);
+      ASSERT_EQ(shards.size(), n);
+      // Enumerate every subset of shards to erase, up to m of them.
+      for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+        if (static_cast<unsigned>(__builtin_popcount(mask)) > m) continue;
+        std::vector<std::optional<Bytes>> present(n);
+        for (unsigned i = 0; i < n; ++i) {
+          if (!(mask & (1u << i))) present[i] = shards[i];
+        }
+        const Bytes rebuilt = rs.Reconstruct(present, payload.size());
+        EXPECT_EQ(rebuilt, payload)
+            << "k=" << k << " m=" << m << " size=" << size
+            << " erased mask=" << mask;
+      }
+    }
+  }
+}
+
+TEST(PlacementReedSolomon, FewerThanKSurvivorsThrows) {
+  const ReedSolomon rs(3, 2);
+  const Bytes payload = MakePayload(300, 5);
+  const std::vector<Bytes> shards = rs.Encode(payload);
+  std::vector<std::optional<Bytes>> present(5);
+  present[0] = shards[0];
+  present[4] = shards[4];  // only 2 of 3 required shards
+  EXPECT_THROW(rs.Reconstruct(present, payload.size()), CodecError);
+}
+
+TEST(PlacementReedSolomon, EncodeIsDeterministic) {
+  const ReedSolomon a(4, 2);
+  const ReedSolomon b(4, 2);
+  const Bytes payload = MakePayload(1000, 77);
+  EXPECT_EQ(a.Encode(payload), b.Encode(payload));
+}
+
+// --- storage-set layout -----------------------------------------------------
+
+TEST(PlacementLayout, ValidateRejectsBadConfigs) {
+  PlacementConfig config;
+  config.policy = PolicyKind::kStriped;
+  config.data_shards = 0;
+  EXPECT_THROW(config.Validate(), PlacementError);
+  config.data_shards = 4;
+  config.parity_shards = 0;
+  EXPECT_THROW(config.Validate(), PlacementError);
+  config.parity_shards = 2;
+  config.storage_set_size = 5;  // < k + m
+  EXPECT_THROW(config.Validate(), PlacementError);
+  config.storage_set_size = 6;
+  EXPECT_NO_THROW(config.Validate());
+  // Full replication always validates, whatever the stripe fields say.
+  config.policy = PolicyKind::kFullReplication;
+  config.data_shards = 0;
+  EXPECT_NO_THROW(config.Validate());
+}
+
+TEST(PlacementLayout, GroupsConsecutiveNodesIntoSets) {
+  PlacementConfig config;
+  config.policy = PolicyKind::kStriped;
+  config.data_shards = 4;
+  config.parity_shards = 2;
+  const StorageSetLayout layout(config, /*compute_count=*/14);
+  EXPECT_EQ(layout.set_count(), 3u);  // 6 + 6 + trailing 2
+  EXPECT_EQ(layout.SetOfNode(1), 0u);
+  EXPECT_EQ(layout.SetOfNode(6), 0u);
+  EXPECT_EQ(layout.SetOfNode(7), 1u);
+  EXPECT_EQ(layout.SetOfNode(13), 2u);
+  EXPECT_EQ(layout.SetMembers(0),
+            (std::vector<std::uint32_t>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(layout.SetMembers(2), (std::vector<std::uint32_t>{13, 14}));
+  EXPECT_TRUE(layout.StripedSet(0));
+  EXPECT_TRUE(layout.StripedSet(1));
+  EXPECT_FALSE(layout.StripedSet(2));  // 2 nodes cannot hold a 6-shard stripe
+  EXPECT_TRUE(layout.NodeStriped(1));
+  EXPECT_FALSE(layout.NodeStriped(13));
+}
+
+TEST(PlacementLayout, ShardAssignmentIsDeterministicAndConsistent) {
+  PlacementConfig config;
+  config.policy = PolicyKind::kStriped;
+  config.data_shards = 4;
+  config.parity_shards = 2;
+  config.storage_set_size = 8;  // set larger than the stripe
+  const StorageSetLayout layout(config, /*compute_count=*/16);
+  const StorageSetLayout layout2(config, /*compute_count=*/16);
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    const util::Digest digest = DigestOf(s);
+    for (std::uint32_t set = 0; set < layout.set_count(); ++set) {
+      std::vector<std::uint32_t> holders;
+      for (std::uint32_t shard = 0; shard < config.total_shards(); ++shard) {
+        const std::uint32_t node = layout.NodeForShard(set, digest, shard);
+        EXPECT_EQ(node, layout2.NodeForShard(set, digest, shard))
+            << "same config must place identically";
+        EXPECT_EQ(layout.SetOfNode(node), set);
+        // Inverse mapping round-trips.
+        const auto held = layout.ShardOfNode(node, digest);
+        ASSERT_TRUE(held.has_value());
+        EXPECT_EQ(*held, shard);
+        holders.push_back(node);
+      }
+      // k + m distinct members per block: losing one node loses at most
+      // one shard.
+      std::sort(holders.begin(), holders.end());
+      EXPECT_EQ(std::unique(holders.begin(), holders.end()), holders.end());
+      // Members outside the stripe rotation hold nothing for this digest.
+      std::uint32_t holding = 0;
+      for (const std::uint32_t member : layout.SetMembers(set)) {
+        holding += layout.ShardOfNode(member, digest).has_value();
+      }
+      EXPECT_EQ(holding, config.total_shards());
+    }
+  }
+}
+
+// --- shard store ------------------------------------------------------------
+
+TEST(PlacementShardStore, PutFindEraseAndByteAccounting) {
+  ShardStore store;
+  const util::Digest d1 = DigestOf(1);
+  const util::Digest d2 = DigestOf(2);
+  store.Put(d1, 2, 100, Bytes(25, 0xAA));
+  store.Put(d2, 0, 64, Bytes(16, 0xBB));
+  EXPECT_EQ(store.shard_count(), 2u);
+  EXPECT_EQ(store.shard_bytes(), 41u);
+  ASSERT_NE(store.Find(d1), nullptr);
+  EXPECT_EQ(store.Find(d1)->shard_index, 2u);
+  EXPECT_EQ(store.Find(d1)->payload_size, 100u);
+  // Re-putting replaces, not double-counts.
+  store.Put(d1, 3, 100, Bytes(30, 0xCC));
+  EXPECT_EQ(store.shard_count(), 2u);
+  EXPECT_EQ(store.shard_bytes(), 46u);
+  store.Erase(d1);
+  EXPECT_EQ(store.Find(d1), nullptr);
+  EXPECT_EQ(store.shard_bytes(), 16u);
+  store.Clear();
+  EXPECT_EQ(store.shard_count(), 0u);
+  EXPECT_EQ(store.shard_bytes(), 0u);
+}
+
+// --- corrupt-shard fuzz (ASan family) --------------------------------------
+
+// Seeded fuzz: flip bytes in random shards, erase up to m others, and
+// require that Reconstruct either returns (possibly wrong bytes — the
+// digest check upstream owns detection) or throws CodecError. It must
+// never crash, loop, or read out of bounds (ASan enforces the last).
+TEST(PlacementCorruptionFuzz, CorruptShardsNeverCrashReconstruct) {
+  util::Rng rng(20140610);
+  const std::vector<std::pair<unsigned, unsigned>> geometries = {
+      {2, 1}, {4, 2}, {5, 3}};
+  for (const auto& [k, m] : geometries) {
+    const ReedSolomon rs(k, m);
+    const unsigned n = k + m;
+    for (int round = 0; round < 200; ++round) {
+      const std::size_t size = 1 + rng.Below(2048);
+      const Bytes payload = MakePayload(size, rng.Next());
+      std::vector<Bytes> shards = rs.Encode(payload);
+      // Corrupt a few random bytes across random shards.
+      const int flips = 1 + static_cast<int>(rng.Below(8));
+      for (int f = 0; f < flips; ++f) {
+        Bytes& shard = shards[rng.Below(n)];
+        if (shard.empty()) continue;
+        shard[rng.Below(shard.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.Below(255));
+      }
+      // Erase a random subset (possibly more than m — then it must throw).
+      std::vector<std::optional<Bytes>> present(n);
+      unsigned survivors = 0;
+      for (unsigned i = 0; i < n; ++i) {
+        if (!rng.Chance(0.3)) {
+          present[i] = shards[i];
+          ++survivors;
+        }
+      }
+      if (survivors < k) {
+        EXPECT_THROW(rs.Reconstruct(present, payload.size()), CodecError);
+        continue;
+      }
+      const Bytes rebuilt = rs.Reconstruct(present, payload.size());
+      EXPECT_EQ(rebuilt.size(), payload.size());
+    }
+  }
+}
+
+// Truncated and oversized shards must be rejected, not read out of bounds.
+// The victim is always a data shard: Reconstruct only length-checks the
+// first k present shards it actually selects, and with every slot filled
+// those are exactly the data shards.
+TEST(PlacementCorruptionFuzz, MismatchedShardLengthsThrow) {
+  const ReedSolomon rs(3, 2);
+  const Bytes payload = MakePayload(999, 3);
+  util::Rng rng(42);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<Bytes> shards = rs.Encode(payload);
+    Bytes& victim = shards[rng.Below(rs.data_shards())];
+    if (rng.Chance(0.5)) {
+      victim.resize(victim.size() / 2);  // truncate
+    } else {
+      victim.resize(victim.size() + 1 + rng.Below(16));  // grow
+    }
+    std::vector<std::optional<Bytes>> present(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i) present[i] = shards[i];
+    EXPECT_THROW(rs.Reconstruct(present, payload.size()), CodecError);
+  }
+}
+
+}  // namespace
+}  // namespace squirrel::placement

@@ -52,6 +52,31 @@ inline void ExpectVolumeInvariants(const zvol::Volume& volume,
       << "refcount conservation violated";
 }
 
+/// Reconstruction-counter conservation (ISSUE 9): a report's stripe-rebuild
+/// counters must be internally consistent. `parity_shards` is the stripe's
+/// m (0 = placement off, all counters must be zero). Every rebuild or
+/// failed rebuild consumes at most m parity shards, so
+/// parity_reads <= (reconstructed + fallbacks) * m.
+template <typename Report>
+inline void ExpectReconstructionConservation(const Report& report,
+                                             std::uint32_t parity_shards,
+                                             const std::string& context = "") {
+  const char* sep = context.empty() ? "" : ": ";
+  if (parity_shards == 0) {
+    EXPECT_EQ(report.reconstructed_blocks, 0u)
+        << context << sep << "reconstruction counted with placement off";
+    EXPECT_EQ(report.parity_reads, 0u)
+        << context << sep << "parity read with placement off";
+    EXPECT_EQ(report.reconstruct_fallbacks, 0u)
+        << context << sep << "reconstruct fallback with placement off";
+    return;
+  }
+  EXPECT_LE(report.parity_reads,
+            (report.reconstructed_blocks + report.reconstruct_fallbacks) *
+                static_cast<std::uint64_t>(parity_shards))
+      << context << sep << "parity reads exceed rebuild attempts * m";
+}
+
 /// Scoped checker: asserts the volume invariants at construction and again
 /// at scope exit, bracketing a block of operations that may unwind.
 class VolumeInvariantGuard {
